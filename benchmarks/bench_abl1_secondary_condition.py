@@ -1,0 +1,8 @@
+"""Ablation: the secondary-token condition (section 3.1 discussion)."""
+
+from conftest import run_and_check
+
+
+def test_abl1(benchmark):
+    """Ablation: the secondary-token condition (section 3.1 discussion)."""
+    run_and_check(benchmark, "abl1")

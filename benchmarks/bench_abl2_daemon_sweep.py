@@ -1,0 +1,8 @@
+"""Ablation: convergence under the daemon spectrum (central to adversarial)."""
+
+from conftest import run_and_check
+
+
+def test_abl2(benchmark):
+    """Ablation: convergence under the daemon spectrum (central to adversarial)."""
+    run_and_check(benchmark, "abl2")

@@ -1,0 +1,8 @@
+"""Ablation: the K > n requirement of the embedded Dijkstra ring."""
+
+from conftest import run_and_check
+
+
+def test_abl3(benchmark):
+    """Ablation: the K > n requirement of the embedded Dijkstra ring."""
+    run_and_check(benchmark, "abl3")

@@ -1,0 +1,8 @@
+"""Ablation: CST refresh-timer interval vs fault-recovery latency."""
+
+from conftest import run_and_check
+
+
+def test_abl4(benchmark):
+    """Ablation: CST refresh-timer interval vs fault-recovery latency."""
+    run_and_check(benchmark, "abl4")

@@ -1,0 +1,8 @@
+"""Ablation: K's magnitude is immaterial once K > n."""
+
+from conftest import run_and_check
+
+
+def test_abl5(benchmark):
+    """Ablation: K's magnitude is immaterial once K > n."""
+    run_and_check(benchmark, "abl5")

@@ -1,0 +1,8 @@
+"""Application: the continuous-observation camera network (section 1.1)."""
+
+from conftest import run_and_check
+
+
+def test_app1(benchmark):
+    """Application: the continuous-observation camera network (section 1.1)."""
+    run_and_check(benchmark, "app1")

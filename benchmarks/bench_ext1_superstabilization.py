@@ -1,0 +1,8 @@
+"""Extension: single-fault recovery and the >=1-token safety predicate."""
+
+from conftest import run_and_check
+
+
+def test_ext1(benchmark):
+    """Extension: single-fault recovery and the >=1-token safety predicate."""
+    run_and_check(benchmark, "ext1")

@@ -1,0 +1,8 @@
+"""Extension: round complexity of SSRmin convergence."""
+
+from conftest import run_and_check
+
+
+def test_ext2(benchmark):
+    """Extension: round complexity of SSRmin convergence."""
+    run_and_check(benchmark, "ext2")

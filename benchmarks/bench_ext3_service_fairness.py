@@ -1,0 +1,8 @@
+"""Extension: service fairness and message cost across both models."""
+
+from conftest import run_and_check
+
+
+def test_ext3(benchmark):
+    """Extension: service fairness and message cost across both models."""
+    run_and_check(benchmark, "ext3")

@@ -1,0 +1,8 @@
+"""Extension: large-scale O(n^2) scaling via the vectorized batch engine."""
+
+from conftest import run_and_check
+
+
+def test_ext4(benchmark):
+    """Extension: large-scale O(n^2) scaling via the vectorized batch engine."""
+    run_and_check(benchmark, "ext4")

@@ -1,0 +1,8 @@
+"""Extension: layered SSRmin keeps the (m, 2m) token band under messages."""
+
+from conftest import run_and_check
+
+
+def test_ext5(benchmark):
+    """Extension: layered SSRmin keeps the (m, 2m) token band under messages."""
+    run_and_check(benchmark, "ext5")

@@ -1,0 +1,8 @@
+"""Extension: link-outage degradation is confined and recovery guaranteed."""
+
+from conftest import run_and_check
+
+
+def test_ext6(benchmark):
+    """Extension: link-outage degradation is confined and recovery guaranteed."""
+    run_and_check(benchmark, "ext6")

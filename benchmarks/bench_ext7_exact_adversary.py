@@ -1,0 +1,8 @@
+"""Extension: heuristic adversary vs the exact game-theoretic worst case."""
+
+from conftest import run_and_check
+
+
+def test_ext7(benchmark):
+    """Extension: heuristic adversary vs the exact game-theoretic worst case."""
+    run_and_check(benchmark, "ext7")

@@ -1,0 +1,8 @@
+"""Extension: day/night energy sustainability of the rotating camera fleet."""
+
+from conftest import run_and_check
+
+
+def test_ext8(benchmark):
+    """Extension: day/night energy sustainability of the rotating camera fleet."""
+    run_and_check(benchmark, "ext8")

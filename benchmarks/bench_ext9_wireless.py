@@ -1,0 +1,8 @@
+"""Extension: graceful handover on a collision-prone shared wireless medium."""
+
+from conftest import run_and_check
+
+
+def test_ext9(benchmark):
+    """Extension: graceful handover on a collision-prone shared wireless medium."""
+    run_and_check(benchmark, "ext9")

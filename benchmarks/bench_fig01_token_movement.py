@@ -1,0 +1,8 @@
+"""Figure 1: movement of the primary and secondary tokens (P/S table)."""
+
+from conftest import run_and_check
+
+
+def test_fig01(benchmark):
+    """Figure 1: movement of the primary and secondary tokens (P/S table)."""
+    run_and_check(benchmark, "fig01")

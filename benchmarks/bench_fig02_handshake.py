@@ -1,0 +1,8 @@
+"""Figure 2: the rts/tra handshake protocol between P_i and P_{i+1}."""
+
+from conftest import run_and_check
+
+
+def test_fig02(benchmark):
+    """Figure 2: the rts/tra handshake protocol between P_i and P_{i+1}."""
+    run_and_check(benchmark, "fig02")

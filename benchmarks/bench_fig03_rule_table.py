@@ -1,0 +1,8 @@
+"""Figure 3: possible rules for each <rts_i.tra_i> value, enumerated."""
+
+from conftest import run_and_check
+
+
+def test_fig03(benchmark):
+    """Figure 3: possible rules for each <rts_i.tra_i> value, enumerated."""
+    run_and_check(benchmark, "fig03")

@@ -1,0 +1,8 @@
+"""Figure 4: the 16-step execution example with five processes, cell-exact."""
+
+from conftest import run_and_check
+
+
+def test_fig04(benchmark):
+    """Figure 4: the 16-step execution example with five processes, cell-exact."""
+    run_and_check(benchmark, "fig04")

@@ -1,0 +1,8 @@
+"""Figure 11: token extinction of transformed SSToken (message passing)."""
+
+from conftest import run_and_check
+
+
+def test_fig11(benchmark):
+    """Figure 11: token extinction of transformed SSToken (message passing)."""
+    run_and_check(benchmark, "fig11")

@@ -1,0 +1,8 @@
+"""Figure 12: two independent SSToken instances still go token-less."""
+
+from conftest import run_and_check
+
+
+def test_fig12(benchmark):
+    """Figure 12: two independent SSToken instances still go token-less."""
+    run_and_check(benchmark, "fig12")

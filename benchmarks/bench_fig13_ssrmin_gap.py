@@ -1,0 +1,8 @@
+"""Figure 13: SSRmin graceful handover under message passing (Theorem 3)."""
+
+from conftest import run_and_check
+
+
+def test_fig13(benchmark):
+    """Figure 13: SSRmin graceful handover under message passing (Theorem 3)."""
+    run_and_check(benchmark, "fig13")

@@ -1,0 +1,8 @@
+"""Lemma 1: closure via the canonical 3nK-configuration cycle."""
+
+from conftest import run_and_check
+
+
+def test_lem1(benchmark):
+    """Lemma 1: closure via the canonical 3nK-configuration cycle."""
+    run_and_check(benchmark, "lem1")

@@ -1,0 +1,8 @@
+"""Lemma 2: exactly one primary and one secondary token in legitimacy."""
+
+from conftest import run_and_check
+
+
+def test_lem2(benchmark):
+    """Lemma 2: exactly one primary and one secondary token in legitimacy."""
+    run_and_check(benchmark, "lem2")

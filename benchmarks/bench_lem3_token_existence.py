@@ -1,0 +1,8 @@
+"""Lemma 3: some process satisfies G_i in every configuration."""
+
+from conftest import run_and_check
+
+
+def test_lem3(benchmark):
+    """Lemma 3: some process satisfies G_i in every configuration."""
+    run_and_check(benchmark, "lem3")

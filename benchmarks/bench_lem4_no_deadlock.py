@@ -1,0 +1,8 @@
+"""Lemma 4: no deadlock, exhaustively over small instances."""
+
+from conftest import run_and_check
+
+
+def test_lem4(benchmark):
+    """Lemma 4: no deadlock, exhaustively over small instances."""
+    run_and_check(benchmark, "lem4")

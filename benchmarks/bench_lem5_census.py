@@ -1,0 +1,8 @@
+"""Lemma 5: <= 3n steps without Rules 2/4; Lemma 8 domination ratios."""
+
+from conftest import run_and_check
+
+
+def test_lem5(benchmark):
+    """Lemma 5: <= 3n steps without Rules 2/4; Lemma 8 domination ratios."""
+    run_and_check(benchmark, "lem5")

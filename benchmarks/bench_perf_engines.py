@@ -1,0 +1,87 @@
+"""Microbenchmarks of the simulation engines (steps/second).
+
+Unlike the per-experiment benches (single-shot end-to-end reproductions),
+these are classic repeated-timing microbenchmarks guarding the hot paths:
+
+* the scalar composite-atomicity step loop,
+* the vectorized batch step,
+* CST event processing in the DES,
+* the exhaustive model checker on the smallest SSRmin instance.
+
+Regressions here directly inflate every experiment's runtime.
+"""
+
+import random
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import RandomSubsetDaemon, SynchronousDaemon
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+from repro.simulation.batch import BatchSSRmin
+from repro.simulation.engine import SharedMemorySimulator
+
+
+def test_scalar_engine_steps(benchmark):
+    """1000 composite-atomicity steps of the scalar engine (n=8)."""
+    alg = SSRmin(8, 9)
+    daemon = SynchronousDaemon()
+    init = alg.initial_configuration()
+
+    def run():
+        sim = SharedMemorySimulator(alg, daemon)
+        sim.run(init, max_steps=1000, record=False)
+
+    benchmark(run)
+
+
+def test_scalar_engine_recording(benchmark):
+    """Same workload with full execution recording (memory-churn path)."""
+    alg = SSRmin(8, 9)
+    daemon = RandomSubsetDaemon(seed=0)
+    init = alg.random_configuration(random.Random(0))
+
+    def run():
+        sim = SharedMemorySimulator(alg, daemon)
+        sim.run(init, max_steps=300, record=True)
+
+    benchmark(run)
+
+
+def test_batch_engine_steps(benchmark):
+    """1000 vectorized steps over 256 parallel trials (n=8)."""
+    def run():
+        batch = BatchSSRmin(8, 9, trials=256, p=0.5, seed=0)
+        batch.randomize(seed=1)
+        for _ in range(1000):
+            batch.step()
+
+    benchmark(run)
+
+
+def test_batch_legitimacy_mask(benchmark):
+    """Vectorized Definition-1 check over 4096 random configurations."""
+    batch = BatchSSRmin(8, 9, trials=4096, seed=2)
+    batch.randomize(seed=3)
+    benchmark(batch.legitimate_mask)
+
+
+def test_cst_event_processing(benchmark):
+    """100 simulated time units of a 5-node CST network (~2k events)."""
+    def run():
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=4, delay_model=UniformDelay(0.5, 1.5))
+        net.run(100.0)
+
+    benchmark(run)
+
+
+def test_model_checker_smallest_instance(benchmark):
+    """Full exhaustive check of SSRmin n=3, K=4 (4096 configurations)."""
+    from repro.verification import TransitionSystem, check_self_stabilization
+
+    def run():
+        alg = SSRmin(3, 4)
+        report = check_self_stabilization(TransitionSystem(alg, "distributed"))
+        assert report.self_stabilizing
+
+    benchmark(run)

@@ -1,0 +1,8 @@
+"""Theorem 1: 1 <= privileged <= 2 and 4K states per process."""
+
+from conftest import run_and_check
+
+
+def test_thm1(benchmark):
+    """Theorem 1: 1 <= privileged <= 2 and 4K states per process."""
+    run_and_check(benchmark, "thm1")

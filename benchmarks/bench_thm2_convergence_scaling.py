@@ -1,0 +1,8 @@
+"""Theorem 2: O(n^2) convergence scaling with log-log exponent fit."""
+
+from conftest import run_and_check
+
+
+def test_thm2(benchmark):
+    """Theorem 2: O(n^2) convergence scaling with log-log exponent fit."""
+    run_and_check(benchmark, "thm2")

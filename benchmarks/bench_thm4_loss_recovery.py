@@ -1,0 +1,8 @@
+"""Theorem 4: stabilization from arbitrary states/caches under message loss."""
+
+from conftest import run_and_check
+
+
+def test_thm4(benchmark):
+    """Theorem 4: stabilization from arbitrary states/caches under message loss."""
+    run_and_check(benchmark, "thm4")

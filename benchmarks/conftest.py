@@ -1,0 +1,29 @@
+"""Shared helper for the per-experiment benchmarks.
+
+Each bench runs one experiment from the registry exactly once under
+pytest-benchmark timing (``pedantic`` with a single round — the experiments
+are end-to-end reproductions, not microbenchmarks), prints the regenerated
+table, and asserts the paper's claim reproduced.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+def run_and_check(benchmark, experiment_id: str, fast: bool = False):
+    """Benchmark one experiment runner and assert reproduction."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs={"fast": fast},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    assert result.match, result.render()
+    return result

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's motivating application: a self-organizing camera network.
+
+Eight battery-powered camera nodes on a ring run SSRmin over message
+passing.  A node holding a token actively monitors; the others sleep and
+harvest energy.  The script demonstrates the three properties the paper's
+introduction promises:
+
+* **continuous observation** — coverage is 100%: at every instant at least
+  one (and at most two) cameras are recording;
+* **graceful handover** — every duty transfer overlaps, never gaps;
+* **energy efficiency** — each node is active only ~1/n of the time, so the
+  fleet is sustainable on harvested energy where always-on would drain.
+
+It also reboots the network from a corrupted state (arbitrary node states
+and caches) to show the self-organizing part: no global reset, the ring
+heals itself.
+"""
+
+from repro.apps import CameraNetwork, EnergyModel
+from repro.messagepassing.links import UniformDelay
+from repro.viz.ascii import render_timeline
+
+
+def main() -> None:
+    n = 8
+    model = EnergyModel(
+        active_power=8.0,
+        idle_power=0.5,
+        harvest_rate=3.0,
+        capacity=200.0,
+        initial_charge=150.0,
+    )
+
+    # -- clean boot -----------------------------------------------------------
+    print(f"=== clean boot: {n} cameras, SSRmin over message passing ===")
+    cam = CameraNetwork(n, seed=8, delay_model=UniformDelay(0.5, 1.5))
+    report = cam.run(800.0, energy_model=model)
+    print(f"coverage:            {report.coverage:.2%}")
+    print(f"active cameras:      {report.min_active} .. {report.max_active}")
+    print(f"handovers:           {report.handovers} "
+          f"({report.graceful_handovers} graceful)")
+    e = report.energy
+    print(f"duty cycle per node: {[f'{d:.2f}' for d in e.duty_cycle]}")
+    print(f"energy saving:       x{e.saving_factor:.1f} vs all-always-on")
+    print(f"sustainable:         {e.sustainable} "
+          f"(min charge {min(e.min_charge):.0f})")
+    print()
+    print("activity strip (last 60 time units; # = camera recording):")
+    print(render_timeline(cam.network.timeline, n,
+                          t_start=cam.network.queue.now - 60.0, columns=72))
+    print()
+
+    # -- boot from corruption -------------------------------------------------
+    print(f"=== post-fault boot: arbitrary states AND caches ===")
+    cam2 = CameraNetwork(n, seed=9, start_clean=False,
+                         delay_model=UniformDelay(0.5, 1.5))
+    # Let it stabilize, then measure after the warmup.
+    cam2.network.run(150.0)
+    report2 = cam2.run(650.0, warmup=150.0)
+    print(f"coverage after self-stabilization: {report2.coverage:.2%}")
+    print(f"active cameras: {report2.min_active} .. {report2.max_active}")
+    print("the ring healed itself — no global reset was needed.")
+
+
+if __name__ == "__main__":
+    main()

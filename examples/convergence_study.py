@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Convergence-time scaling study (Theorem 2: O(n^2)).
+
+Sweeps ring sizes, measures steps-to-legitimacy from random initial
+configurations under several daemons, fits the power law T(n) ~ c * n^alpha,
+and prints an ASCII log-log chart.  Theorem 2 proves alpha <= 2 for the
+worst case (the conference version of the paper only proved alpha <= 3);
+average-case behaviour typically sits below the worst-case exponent.
+"""
+
+from repro.analysis.scaling import fit_power_law
+from repro.analysis.statistics import summarize
+from repro.core import SSRmin
+from repro.daemons import (
+    BernoulliDaemon,
+    RandomCentralDaemon,
+    RandomSubsetDaemon,
+    SynchronousDaemon,
+)
+from repro.simulation.convergence import convergence_steps
+
+NS = (5, 8, 12, 17, 24, 32)
+TRIALS = 30
+
+DAEMONS = {
+    "random subset": lambda alg, s: RandomSubsetDaemon(seed=s),
+    "synchronous": lambda alg, s: SynchronousDaemon(),
+    "central": lambda alg, s: RandomCentralDaemon(seed=s),
+    "bernoulli p=0.2": lambda alg, s: BernoulliDaemon(0.2, seed=s),
+}
+
+
+def main() -> None:
+    print(f"{TRIALS} random initial configurations per (daemon, n)\n")
+    fits = {}
+    for label, factory in DAEMONS.items():
+        print(f"--- daemon: {label} ---")
+        means = []
+        for n in NS:
+            samples = convergence_steps(
+                algorithm_factory=lambda n=n: SSRmin(n, n + 1),
+                daemon_factory=factory,
+                trials=TRIALS,
+                seed=17 * n,
+            )
+            s = summarize(samples)
+            means.append(s.mean)
+            print(
+                f"  n={n:3d}: mean {s.mean:8.1f}  max {s.maximum:6.0f}  "
+                f"max/n^2 {s.maximum / n / n:.2f}"
+            )
+        fit = fit_power_law(NS, means)
+        fits[label] = fit
+        print(f"  fit: {fit}\n")
+
+    print("=== exponents (paper: worst case O(n^2), conference O(n^3)) ===")
+    for label, fit in fits.items():
+        verdict = "consistent with O(n^2)" if fit.exponent <= 2.2 else "check!"
+        print(f"  {label:18s} alpha = {fit.exponent:.2f}   {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The model gap, side by side (paper section 5, Figures 11-13).
+
+Three systems, same message-passing substrate, same delays:
+
+* Dijkstra's SSToken — exactly one token in the state-reading model, but
+  token-less for most of every handover under message passing (Figure 11);
+* two independent SSToken instances — still token-less whenever the two
+  handovers overlap (Figure 12);
+* SSRmin — never token-less: the two-token handshake tolerates the gap
+  between the models (Figure 13, Theorem 3).
+
+Prints extinction statistics plus a visual strip chart for each.
+"""
+
+from repro.algorithms import DijkstraKState, IndependentComposition
+from repro.core import SSRmin
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+from repro.messagepassing.modelgap import evaluate_gap
+from repro.viz.ascii import render_timeline
+
+DURATION = 300.0
+DELAYS = UniformDelay(0.5, 1.5)
+
+
+def study(name: str, net, n: int) -> None:
+    report = evaluate_gap(net, duration=DURATION)
+    frac = report.zero_time / DURATION
+    print(f"--- {name} ---")
+    print(
+        f"holders in [{report.min_count}, {report.max_count}]; "
+        f"zero-token time {report.zero_time:.1f} ({frac:.0%} of the run), "
+        f"{len(report.zero_intervals)} extinction intervals"
+    )
+    print(render_timeline(net.timeline, n, t_start=DURATION - 40.0,
+                          t_end=DURATION, columns=72))
+    print()
+
+
+def main() -> None:
+    n, K = 5, 6
+
+    study("Dijkstra SSToken (Figure 11)",
+          transformed(DijkstraKState(n, K), seed=1, delay_model=DELAYS), n)
+
+    comp = IndependentComposition([DijkstraKState(n, K), DijkstraKState(n, K)])
+    init = comp.compose_configurations([(0,) * n, (1, 1, 0, 0, 0)])
+    study("two independent SSToken instances (Figure 12)",
+          transformed(comp, seed=2, initial_states=list(init),
+                      delay_model=DELAYS), n)
+
+    study("SSRmin (Figure 13)",
+          transformed(SSRmin(n, K), seed=3, delay_model=DELAYS), n)
+
+    print("Conclusion: only SSRmin keeps a token alive at every instant —")
+    print("the model gap tolerance the paper designs for.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Generalized (m, 2m)-critical-section with layered SSRmin rings.
+
+The paper places mutual inclusion inside the (l, k)-critical-section family:
+at least l, at most k processes privileged.  SSRmin solves (1, 2); layering
+m independent SSRmin instances generalizes the construction — and because
+every layer is model-gap tolerant, the whole band survives the
+message-passing transform (unlike the naive composition of Dijkstra rings
+the paper's Figure 12 dismisses).
+
+The example also drives the callback-based critical-section *service* API:
+application code gets enter/exit notifications instead of polling token
+predicates, the way a camera driver would consume this library.
+"""
+
+from repro.algorithms.multi_inclusion import LayeredSSRmin
+from repro.apps.mutex import CriticalSectionService
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+from repro.viz.ascii import render_timeline
+
+
+def main() -> None:
+    n, m = 6, 2
+    alg = LayeredSSRmin(n, m)
+    print(f"{m} SSRmin layers on a ring of {n}: guaranteed layer-token band "
+          f"{alg.band()}\n")
+
+    init = alg.staggered_initial()
+    net = transformed(alg, seed=9, initial_states=list(init),
+                      delay_model=UniformDelay(0.5, 1.5))
+
+    # Application-facing service: notifications instead of polling.
+    events = []
+    service = CriticalSectionService(
+        net,
+        on_enter=lambda i, t: events.append(f"t={t:7.2f}  node {i} ENTER"),
+        on_exit=lambda i, t: events.append(f"t={t:7.2f}  node {i} exit"),
+    )
+
+    # Track the layer-token count at every observable instant.
+    counts = []
+
+    def layer_tokens(network):
+        total = 0
+        for node in network.nodes:
+            view = node.view()
+            for l, sub in enumerate(alg.layers):
+                if sub.node_holds_token(alg.layer_config(view, l), node.index):
+                    total += 1
+        counts.append(total)
+
+    net.observers.append(layer_tokens)
+    net.run(300.0)
+
+    print("first 12 service events:")
+    for line in events[:12]:
+        print(" ", line)
+    print()
+
+    lo, hi = min(counts), max(counts)
+    print(f"layer-token count stayed in [{lo}, {hi}] "
+          f"(guaranteed band {alg.band()})")
+    print(f"privileged-process coverage gaps: {net.timeline.zero_time():.2f} "
+          "time units (0 = continuous service)")
+    print(f"sessions per node: {service.session_counts()}")
+    print(f"handover overlap fraction: "
+          f"{service.overlapping_handover_fraction():.0%}\n")
+
+    print("activity strip, last 50 time units (two token pairs visible):")
+    print(render_timeline(net.timeline, n,
+                          t_start=net.queue.now - 50.0, columns=72))
+
+
+if __name__ == "__main__":
+    main()

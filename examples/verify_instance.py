@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Machine-check the paper's lemmas on a small SSRmin instance.
+
+The paper proves closure (Lemma 1), no-deadlock (Lemma 4) and convergence
+(Lemma 6) by hand.  For small (n, K) we can verify all three *exhaustively*:
+enumerate every configuration (``(4K)^n`` of them), every daemon choice, and
+check the properties mechanically — plus compute the exact adversarial
+worst-case convergence time Theorem 2 bounds by O(n^2), and extract a
+provably-worst execution.
+"""
+
+from repro.analysis.profiling import Stopwatch
+from repro.core.ssrmin import SSRmin
+from repro.verification import TransitionSystem, check_self_stabilization
+from repro.verification.model_checker import worst_case_witness
+
+
+def main() -> None:
+    n, K = 3, 4
+    alg = SSRmin(n, K)
+    print(f"SSRmin n={n}, K={K}: {(4 * K) ** n} configurations, "
+          "distributed daemon (all non-empty subsets)\n")
+
+    with Stopwatch() as sw:
+        report = check_self_stabilization(TransitionSystem(alg, "distributed"))
+        sw.split("model check")
+        witness = worst_case_witness(TransitionSystem(alg, "distributed"))
+        sw.split("worst-case witness")
+
+    print(report.summary())
+    print()
+    print(f"Lemma 1 (closure):      {len(report.closure_violations)} violations")
+    print(f"Lemma 4 (no deadlock):  {len(report.deadlocks)} deadlocks")
+    print(f"Lemma 6 (convergence):  "
+          f"{'holds' if report.illegitimate_cycle is None else 'FAILS'}")
+    print(f"Theorem 2 budget check: worst case {report.worst_case_steps} "
+          f"steps <= O(n^2) regime\n")
+
+    print(f"a provably worst execution ({len(witness) - 1} steps):")
+    for t, config in enumerate(witness):
+        marker = "  <- legitimate" if alg.is_legitimate(config) else ""
+        print(f"  step {t:2d}: {config}{marker}")
+
+    print(f"\ntimings: " + ", ".join(f"{l}={s:.2f}s" for l, s in sw.splits))
+
+
+if __name__ == "__main__":
+    main()

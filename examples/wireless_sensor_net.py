@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""SSRmin on a real(istic) radio: shared medium, half-duplex, collisions.
+
+The paper's motivation is *wireless* sensor networks, and a shared radio
+channel is harsher than point-to-point links: one transmission reaches both
+neighbours (nice), but overlapping transmissions destroy each other at any
+receiver that hears both (not nice), and a transmitting node hears nothing.
+
+This example runs the camera ring over `repro.messagepassing.wireless` and
+shows what the theory predicts for a *lossy* channel:
+
+* collisions destroy a large fraction of receptions, yet
+* coverage stays near-total and never exceeds two active nodes — the
+  Theorem-4 regime: brief disturbances, continual self-healing;
+* a message-sequence-style accounting of the radio traffic.
+"""
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import coherent_caches, legitimate_initial_states
+from repro.messagepassing.wireless import build_wireless_network
+from repro.viz.ascii import render_timeline
+
+
+def main() -> None:
+    n = 6
+    alg = SSRmin(n, n + 1)
+    states = legitimate_initial_states(alg)
+    net = build_wireless_network(
+        alg, states, seed=6,
+        initial_caches=coherent_caches(list(states), n),
+    )
+    net.run(600.0)
+    net.timeline.finish(net.queue.now)
+
+    stats = net.message_stats()
+    receptions = stats["delivered"] + stats["lost"]
+    print(f"=== {n} camera nodes on one radio channel, 600 time units ===")
+    print(f"transmissions:       {stats['sent']}")
+    print(f"receptions spoiled:  {stats['lost']}/{receptions} "
+          f"({stats['lost'] / receptions:.0%} collision rate — no MAC layer!)")
+    coverage = net.timeline.coverage_fraction()
+    lo, hi = net.timeline.count_bounds()
+    print(f"coverage:            {coverage:.2%}")
+    print(f"active cameras:      min {lo}, max {hi}")
+    served = {h for pt in net.timeline.points for h in pt.holders}
+    print(f"nodes served:        {sorted(served)}")
+    zero = net.timeline.zero_intervals()
+    if zero:
+        worst = max(b - a for a, b in zero)
+        print(f"extinction windows:  {len(zero)} (worst {worst:.1f} time "
+              "units) — collision loss suspends Theorem 3; Theorem 4's "
+              "recovery closes every window")
+    else:
+        print("extinction windows:  none in this run")
+
+    print("\nactivity strip, last 60 time units:")
+    print(render_timeline(net.timeline, n,
+                          t_start=net.queue.now - 60.0, columns=72))
+
+    print("\nCompare examples/model_gap_study.py: on lossless wired links "
+          "the zero-token time is exactly 0 (Theorem 3); the radio trades "
+          "that absolute guarantee for broadcast economy and still delivers "
+          "continuous observation in practice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,155 @@
+"""Parallel composition of independent ring algorithms (Figure-12 baseline).
+
+The paper (section 5, Figure 12) shows that running **two independent
+instances** of Dijkstra's SSToken concurrently — the naive way to get
+"always at least one token" — fails in the message-passing model: if both
+token holders execute at the same moment, there is a time instant with no
+token anywhere.  It also notes the multi-token ring of Flatebo, Datta &
+Schoone [3] is "not sufficient for our purpose" for the same reason.
+
+:class:`IndependentComposition` layers ``k`` independent instances of any
+:class:`~repro.algorithms.base.RingAlgorithm` over the same processes.  The
+local state of a process is the tuple of its per-layer states; a selected
+process executes *every* layer in which it is enabled (layers never interact,
+so each layer's projection of an execution is a legal execution of that layer
+— possibly with stutter steps, which self-stabilization tolerates).
+
+A process is *privileged* if it is privileged in any layer, and a
+configuration is legitimate iff every layer's projection is legitimate.  In
+the state-reading model this trivially gives mutual inclusion (each layer
+always has >= 1 token); the Figure-12 bench demonstrates it does **not**
+survive the CST message-passing transform — unlike SSRmin.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+from repro.core.rules import Rule, RuleSet
+from repro.ring.topology import RingTopology
+
+#: Local state of the composition: one entry per layer.
+LayeredState = Tuple[Any, ...]
+LayeredConfig = Tuple[LayeredState, ...]
+
+
+class IndependentComposition(RingAlgorithm[LayeredConfig, LayeredState]):
+    """``k`` independent ring algorithms running side by side.
+
+    Parameters
+    ----------
+    layers:
+        The component algorithms.  All must have the same ``n``.
+    """
+
+    def __init__(self, layers: Sequence[RingAlgorithm]):
+        if not layers:
+            raise ValueError("composition needs at least one layer")
+        n = layers[0].n
+        for alg in layers:
+            if alg.n != n:
+                raise ValueError(
+                    f"all layers must share n; got {[a.n for a in layers]}"
+                )
+        self.layers: Tuple[RingAlgorithm, ...] = tuple(layers)
+        self.ring = RingTopology(n, bidirectional=True)
+        # A synthetic one-rule set so generic tooling can introspect names;
+        # actual enabledness/execution is overridden below.
+        self.rule_set = RuleSet(
+            [
+                Rule(
+                    "ANY",
+                    1,
+                    guard=lambda config, i: self._any_layer_enabled(config, i),
+                    command=lambda config, i: self._execute_all_layers(config, i),
+                    description="execute every enabled layer",
+                )
+            ]
+        )
+
+    # -- layer plumbing ------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of layers."""
+        return len(self.layers)
+
+    def layer_config(self, config: LayeredConfig, layer: int) -> Tuple[Any, ...]:
+        """Project a composed configuration onto one layer.
+
+        ``None`` placeholders (CST local views fill unreadable positions with
+        ``None``) project to ``None`` — layer guards never read them.
+        """
+        return tuple(None if s is None else s[layer] for s in config)
+
+    def _any_layer_enabled(self, config: LayeredConfig, i: int) -> bool:
+        return any(
+            alg.is_enabled(self.layer_config(config, l), i)
+            for l, alg in enumerate(self.layers)
+        )
+
+    def _execute_all_layers(self, config: LayeredConfig, i: int) -> LayeredState:
+        new_state: List[Any] = []
+        for l, alg in enumerate(self.layers):
+            proj = self.layer_config(config, l)
+            if alg.is_enabled(proj, i):
+                new_state.append(alg.execute(proj, i))
+            else:
+                new_state.append(config[i][l])
+        return tuple(new_state)
+
+    # -- semantics --------------------------------------------------------------
+    def is_legitimate(self, config: LayeredConfig) -> bool:
+        """Legitimate iff every layer's projection is legitimate."""
+        return all(
+            alg.is_legitimate(self.layer_config(config, l))
+            for l, alg in enumerate(self.layers)
+        )
+
+    def privileged(self, config: LayeredConfig) -> Tuple[int, ...]:
+        """Processes privileged in at least one layer."""
+        holders = set()
+        for l, alg in enumerate(self.layers):
+            holders.update(alg.privileged(self.layer_config(config, l)))
+        return tuple(sorted(holders))
+
+    def node_holds_token(self, view, i: int) -> bool:
+        """Own-view predicate: a token in any layer's cached projection."""
+        return any(
+            alg.node_holds_token(self.layer_config(view, l), i)
+            for l, alg in enumerate(self.layers)
+        )
+
+    def privileged_by_layer(self, config: LayeredConfig) -> List[Tuple[int, ...]]:
+        """Per-layer privilege sets (used by the Figure-12 timeline rendering)."""
+        return [
+            alg.privileged(self.layer_config(config, l))
+            for l, alg in enumerate(self.layers)
+        ]
+
+    def local_state_space(self) -> Sequence[LayeredState]:
+        import itertools
+
+        spaces = [list(alg.local_state_space()) for alg in self.layers]
+        return [tuple(combo) for combo in itertools.product(*spaces)]
+
+    def random_configuration(self, rng: random.Random) -> LayeredConfig:
+        layer_cfgs = [alg.random_configuration(rng) for alg in self.layers]
+        return tuple(
+            tuple(layer_cfgs[l][i] for l in range(self.k)) for i in range(self.n)
+        )
+
+    def compose_configurations(
+        self, layer_configs: Sequence[Sequence[Any]]
+    ) -> LayeredConfig:
+        """Zip per-layer configurations into one composed configuration."""
+        if len(layer_configs) != self.k:
+            raise ValueError(f"expected {self.k} layer configs, got {len(layer_configs)}")
+        for cfg in layer_configs:
+            if len(cfg) != self.n:
+                raise ValueError("layer configuration has wrong length")
+        return tuple(
+            tuple(layer_configs[l][i] for l in range(self.k))
+            for i in range(self.n)
+        )

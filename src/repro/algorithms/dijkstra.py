@@ -1,0 +1,173 @@
+"""Dijkstra's self-stabilizing K-state token ring ``SSToken`` (Algorithm 1).
+
+The substrate SSRmin extends.  A unidirectional ring of ``n`` processes, each
+holding ``x_i in {0 .. K-1}`` with ``K > n``:
+
+* bottom process ``P_0`` — **Rule D1**: ``if x_0 == x_{n-1} then
+  x_0 <- x_{n-1} + 1 mod K``; token condition ``x_0 == x_{n-1}``;
+* other process ``P_i`` — **Rule D2**: ``if x_i != x_{i-1} then
+  x_i <- x_{i-1}``; token condition ``x_i != x_{i-1}``.
+
+A configuration is legitimate iff it has the form ``(x, x, ..., x)`` or
+``(x+1, ..., x+1, x, ..., x)`` (a single "step" descending at some position),
+equivalently: exactly one process is privileged.
+
+The module also exposes :func:`dijkstra_guard` / :func:`dijkstra_command`
+(the ``G_i`` / ``C_i`` macros of Algorithm 2) in a form reusable by SSRmin,
+parameterized on how to read the ``x`` component out of a local state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+from repro.core.rules import Rule, RuleSet
+from repro.ring.topology import RingTopology
+
+#: A Dijkstra configuration is just the tuple (x_0, ..., x_{n-1}).
+DijkstraConfig = Tuple[int, ...]
+
+
+def dijkstra_guard(x_i: int, x_pred: int, is_bottom: bool) -> bool:
+    """The macro ``G_i`` of Algorithm 2.
+
+    ``G_0 == (x_0 == x_{n-1})`` for the bottom process and
+    ``G_i == (x_i != x_{i-1})`` for every other process.
+    """
+    if is_bottom:
+        return x_i == x_pred
+    return x_i != x_pred
+
+
+def dijkstra_command(x_pred: int, is_bottom: bool, K: int) -> int:
+    """The macro ``C_i`` of Algorithm 2 — the new value of ``x_i``.
+
+    ``C_0: x_0 <- x_{n-1} + 1 mod K``; ``C_i: x_i <- x_{i-1}`` otherwise.
+    """
+    if is_bottom:
+        return (x_pred + 1) % K
+    return x_pred
+
+
+def is_dijkstra_legitimate(xs: Sequence[int], K: int) -> bool:
+    """Closed-form legitimacy of the K-state ring (section 2.3).
+
+    Legitimate iff of the form ``(x, ..., x)`` or
+    ``(x+1, ..., x+1, x, ..., x)`` with ``1 <= l <= n-1`` leading ``x+1``
+    entries (arithmetic mod K) — equivalently, exactly one process holds the
+    token.
+    """
+    n = len(xs)
+    x_last = xs[-1]
+    # Count how many leading entries equal x_last + 1 before they drop to x_last.
+    step = (x_last + 1) % K
+    i = 0
+    while i < n and xs[i] == step:
+        i += 1
+    if i == 0:
+        return all(v == x_last for v in xs)
+    # xs[0..i-1] == x_last+1; the rest must all equal x_last.
+    return all(xs[j] == x_last for j in range(i, n))
+
+
+class DijkstraKState(RingAlgorithm[DijkstraConfig, int]):
+    """Dijkstra's K-state token ring on a unidirectional ring.
+
+    Parameters
+    ----------
+    n:
+        Number of processes, ``n >= 2``.
+    K:
+        Size of the counter domain.  The paper requires ``K > n`` for
+        correctness under the distributed daemon; by default the constructor
+        enforces this, but ``allow_small_k=True`` permits ``2 <= K <= n`` so
+        the K-sensitivity ablation (bench ``abl3``) can demonstrate *why* the
+        requirement exists.
+    """
+
+    def __init__(self, n: int, K: int | None = None, *, allow_small_k: bool = False):
+        if n < 2:
+            raise ValueError(f"Dijkstra's ring needs n >= 2, got {n}")
+        K = n + 1 if K is None else K
+        if K <= n and not allow_small_k:
+            raise ValueError(
+                f"K must exceed n for self-stabilization (got K={K}, n={n}); "
+                "pass allow_small_k=True to experiment below the threshold"
+            )
+        if K < 2:
+            raise ValueError(f"K must be at least 2, got {K}")
+        self.K = K
+        self.ring = RingTopology(n, bidirectional=False)
+        self.rule_set = RuleSet(
+            [
+                Rule(
+                    name="D1",
+                    number=1,
+                    guard=self._guard_bottom,
+                    command=self._command_bottom,
+                    description="bottom: advance counter when it catches up",
+                ),
+                Rule(
+                    name="D2",
+                    number=2,
+                    guard=self._guard_other,
+                    command=self._command_other,
+                    description="other: copy predecessor's counter",
+                ),
+            ]
+        )
+
+    # -- rules ---------------------------------------------------------------
+    def _guard_bottom(self, config: DijkstraConfig, i: int) -> bool:
+        if i != 0:
+            return False
+        return dijkstra_guard(config[0], config[-1], is_bottom=True)
+
+    def _command_bottom(self, config: DijkstraConfig, i: int) -> int:
+        return dijkstra_command(config[-1], is_bottom=True, K=self.K)
+
+    def _guard_other(self, config: DijkstraConfig, i: int) -> bool:
+        if i == 0:
+            return False
+        return dijkstra_guard(config[i], config[i - 1], is_bottom=False)
+
+    def _command_other(self, config: DijkstraConfig, i: int) -> int:
+        return dijkstra_command(config[i - 1], is_bottom=False, K=self.K)
+
+    # -- semantics -------------------------------------------------------------
+    def is_legitimate(self, config: DijkstraConfig) -> bool:
+        """See :func:`is_dijkstra_legitimate`."""
+        return is_dijkstra_legitimate(config, self.K)
+
+    def privileged(self, config: DijkstraConfig) -> Tuple[int, ...]:
+        """Token holders — identical to the enabled set for this algorithm."""
+        return self.enabled_processes(config)
+
+    def local_state_space(self) -> Sequence[int]:
+        return range(self.K)
+
+    def random_configuration(self, rng: random.Random) -> DijkstraConfig:
+        return tuple(rng.randrange(self.K) for _ in range(self.n))
+
+    # -- helpers -----------------------------------------------------------
+    def initial_configuration(self, x: int = 0) -> DijkstraConfig:
+        """The all-equal legitimate configuration ``(x, ..., x)``."""
+        if not 0 <= x < self.K:
+            raise ValueError(f"x={x} outside domain [0, {self.K})")
+        return tuple([x] * self.n)
+
+    def token_position(self, config: DijkstraConfig) -> int:
+        """Position of the unique token in a *legitimate* configuration.
+
+        Raises :class:`ValueError` if the configuration is illegitimate
+        (where token count may exceed one).
+        """
+        holders = self.privileged(config)
+        if len(holders) != 1:
+            raise ValueError(
+                f"configuration {config!r} holds {len(holders)} tokens; "
+                "token_position is defined only for legitimate configurations"
+            )
+        return holders[0]

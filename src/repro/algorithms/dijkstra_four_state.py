@@ -1,0 +1,145 @@
+"""Dijkstra's self-stabilizing four-state token ring (reconstruction).
+
+The third ring of Dijkstra's 1974 note (paper reference [2]): machines on a
+bidirectional array hold ``(x, up)`` with ``x in {0, 1}`` and a direction bit
+``up``.  The bottom machine has ``up == True`` frozen, the top machine
+``up == False`` frozen:
+
+* bottom ``0``:  ``if x_0 == x_1 and not up_1 then x_0 := 1 - x_0``
+* top ``n-1``:   ``if x_{n-1} != x_{n-2} then x_{n-1} := x_{n-2}``
+* normal ``i``:
+  ``R_down: if x_i != x_{i-1} then x_i := x_{i-1}; up_i := True`` and
+  ``R_up:   if x_i == x_{i+1} and up_i and not up_{i+1} then up_i := False``
+
+Each true guard is a privilege; legitimacy is exactly one privilege.  Like
+the three-state ring this is a literature reconstruction and is validated by
+exhaustive model checking in the test suite before experiments rely on it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+from repro.core.rules import Rule, RuleSet
+from repro.ring.topology import RingTopology
+
+#: Local state ``(x, up)`` with x in {0,1} and up in {False, True}.
+FourState = Tuple[int, bool]
+FourStateConfig = Tuple[FourState, ...]
+
+
+class DijkstraFourState(RingAlgorithm[FourStateConfig, FourState]):
+    """Dijkstra's four-state self-stabilizing mutual exclusion."""
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise ValueError(f"four-state ring needs n >= 3, got {n}")
+        self.ring = RingTopology(n, bidirectional=True)
+        self.rule_set = RuleSet(
+            [
+                Rule("B", 1, self._guard_bottom, self._cmd_bottom,
+                     "bottom: flip x when wave returns"),
+                Rule("T", 2, self._guard_top, self._cmd_top,
+                     "top: copy x, reflect wave"),
+                Rule("ND", 3, self._guard_down, self._cmd_down,
+                     "normal: propagate x downward, turn up"),
+                Rule("NU", 4, self._guard_up, self._cmd_up,
+                     "normal: absorb reflected wave, turn down"),
+            ]
+        )
+
+    # -- rules ---------------------------------------------------------------
+    def _guard_bottom(self, config: FourStateConfig, i: int) -> bool:
+        if i != 0:
+            return False
+        (x0, _), (x1, up1) = config[0], config[1]
+        return x0 == x1 and not up1
+
+    def _cmd_bottom(self, config: FourStateConfig, i: int) -> FourState:
+        return (1 - config[0][0], True)
+
+    def _guard_top(self, config: FourStateConfig, i: int) -> bool:
+        n = self.n
+        return i == n - 1 and config[n - 1][0] != config[n - 2][0]
+
+    def _cmd_top(self, config: FourStateConfig, i: int) -> FourState:
+        return (config[self.n - 2][0], False)
+
+    def _guard_down(self, config: FourStateConfig, i: int) -> bool:
+        if i == 0 or i == self.n - 1:
+            return False
+        return config[i][0] != config[i - 1][0]
+
+    def _cmd_down(self, config: FourStateConfig, i: int) -> FourState:
+        return (config[i - 1][0], True)
+
+    def _guard_up(self, config: FourStateConfig, i: int) -> bool:
+        if i == 0 or i == self.n - 1:
+            return False
+        (x_i, up_i), (x_s, up_s) = config[i], config[i + 1]
+        # R_down has priority at the same machine (handled by RuleSet order),
+        # but the raw guard is as in Dijkstra's text:
+        return x_i == x_s and up_i and not up_s
+
+    def _cmd_up(self, config: FourStateConfig, i: int) -> FourState:
+        return (config[i][0], False)
+
+    # -- semantics --------------------------------------------------------------
+    def privilege_count(self, config: FourStateConfig) -> int:
+        """Total number of true guards across all machines."""
+        count = 0
+        for i in range(self.n):
+            for rule in self.rule_set.rules:
+                if rule.guard(config, i):
+                    count += 1
+        return count
+
+    def is_legitimate(self, config: FourStateConfig) -> bool:
+        """Exactly one privilege in the whole system."""
+        return self.privilege_count(config) == 1
+
+    def privileged(self, config: FourStateConfig) -> Tuple[int, ...]:
+        return self.enabled_processes(config)
+
+    def local_state_space(self) -> Sequence[FourState]:
+        """All four ``(x, up)`` pairs.
+
+        Note the bottom/top machines only ever *occupy* half of these (their
+        ``up`` bit is frozen), but arbitrary transient faults may place any
+        value there; the rules never read the frozen bits.
+        """
+        return [(x, up) for x in (0, 1) for up in (False, True)]
+
+    def random_configuration(self, rng: random.Random) -> FourStateConfig:
+        """Random configuration with the frozen direction bits respected.
+
+        Dijkstra's model fixes ``up_0 = True`` and ``up_{n-1} = False`` as
+        *constants* of the machines (not corruptible state), so random
+        configurations honour them.
+        """
+        states = [
+            (rng.randrange(2), bool(rng.randrange(2))) for _ in range(self.n)
+        ]
+        states[0] = (states[0][0], True)
+        states[-1] = (states[-1][0], False)
+        return tuple(states)
+
+    def configuration_space(self):
+        """All configurations with the frozen bottom/top direction bits."""
+        import itertools
+
+        middle = list(self.local_state_space())
+        bottoms = [(0, True), (1, True)]
+        tops = [(0, False), (1, False)]
+        for bottom in bottoms:
+            for mid in itertools.product(middle, repeat=self.n - 2):
+                for top in tops:
+                    yield (bottom, *mid, top)
+
+    def initial_configuration(self) -> FourStateConfig:
+        """All machines agree on x=0 with the wave heading up (legitimate)."""
+        states = [(0, True)] * self.n
+        states[-1] = (0, False)
+        return tuple(states)

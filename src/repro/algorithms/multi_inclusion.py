@@ -1,0 +1,94 @@
+"""Generalized (l, k)-critical-section via layered SSRmin rings.
+
+The paper situates mutual inclusion inside the *(l, k)-critical section*
+family (reference [9]): at least ``l`` and at most ``k`` processes in the
+critical section.  SSRmin solves (1, 2).  Layering ``m`` independent SSRmin
+instances (the paper's own composition idea from Figure 12, but with a
+gap-tolerant component instead of SSToken) gives a straightforward
+construction for the band:
+
+* every layer keeps 1..2 privileged processes once legitimate, so the union
+  over layers has **at least max-over-layers >= 1** privileged processes and
+  at most ``2m`` — and because each layer alone is already >= 1, the union
+  count sits in ``[1, 2m]``; distinct-layer tokens may coincide on a
+  process, so the *lower* bound stays 1, not m.
+* counting **layer-tokens** instead of processes yields the full band
+  ``[m, 2m]`` — each layer always contributes 1..2 tokens.
+
+Crucially, unlike the Figure-12 composition of SSTokens, every layer here is
+model-gap tolerant, so the per-layer lower bound survives the CST
+message-passing transform — measured by the layered experiment in the test
+suite.
+
+:class:`LayeredSSRmin` wraps :class:`~repro.algorithms.composition.IndependentComposition`
+with layer-token counting and the (m, 2m)-band predicate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.algorithms.composition import IndependentComposition, LayeredConfig
+
+
+class LayeredSSRmin(IndependentComposition):
+    """``m`` independent SSRmin layers on one ring.
+
+    Parameters
+    ----------
+    n:
+        Ring size (shared by all layers).
+    m:
+        Number of layers (>= 1).
+    K:
+        Counter modulus per layer (default ``n + 1``).
+    """
+
+    def __init__(self, n: int, m: int, K: int | None = None):
+        # Imported here: repro.core.ssrmin itself imports repro.algorithms,
+        # so a module-level import would be circular.
+        from repro.core.ssrmin import SSRmin
+
+        if m < 1:
+            raise ValueError(f"need at least one layer, got m={m}")
+        super().__init__([SSRmin(n, K) for _ in range(m)])
+
+    # -- layer-token accounting ------------------------------------------------
+    def layer_token_count(self, config: LayeredConfig) -> int:
+        """Total privileged (process, layer) pairs — the (m, 2m) band."""
+        total = 0
+        for l, alg in enumerate(self.layers):
+            total += len(alg.privileged(self.layer_config(config, l)))
+        return total
+
+    def band(self) -> Tuple[int, int]:
+        """The guaranteed layer-token band ``(m, 2m)`` after convergence."""
+        return (self.k, 2 * self.k)
+
+    def in_band(self, config: LayeredConfig) -> bool:
+        """Whether the layer-token count currently sits in the band."""
+        lo, hi = self.band()
+        return lo <= self.layer_token_count(config) <= hi
+
+    # -- construction helpers ---------------------------------------------
+    def staggered_initial(self, spacing: int | None = None) -> LayeredConfig:
+        """Legitimate start with the layer tokens spread around the ring.
+
+        Layer ``l``'s token pair starts at position ``l * spacing`` (default
+        spacing ``n // m``), which maximizes initial coverage diversity.
+        """
+        n = self.n
+        spacing = max(1, n // self.k) if spacing is None else spacing
+        layer_configs: List[Sequence] = []
+        for l, alg in enumerate(self.layers):
+            pos = (l * spacing) % n
+            # Build the shape-A legitimate configuration with the token at
+            # `pos`: x+1 before the token position, x from it onward.
+            x = 0
+            states = []
+            for i in range(n):
+                xi = (x + 1) % alg.K if i < pos else x
+                states.append((xi, 0, 1 if i == pos else 0))
+            layer_configs.append(states)
+        return self.compose_configurations(layer_configs)

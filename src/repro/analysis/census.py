@@ -1,0 +1,92 @@
+"""Rule-execution censuses (Lemma 5 and Lemma 8's bookkeeping).
+
+Lemma 5: any execution fragment containing **no** execution of Rules 2/4
+(the embedded Dijkstra steps, the ``W24`` events) has length at most ``3n``.
+Lemma 8 bounds ``|W135|`` by a constant factor of ``|W24|`` (the domination
+argument with constants ``L = 9`` and ``M = 2``).
+
+:func:`census_execution` extracts both quantities from a recorded execution
+so the lem5 bench can confront them with the proven bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.simulation.execution import Execution
+from repro.simulation.monitors import W135_RULES, W24_RULES
+
+
+@dataclass(frozen=True)
+class CensusReport:
+    """Census of one execution.
+
+    Attributes
+    ----------
+    n:
+        Ring size the execution ran on.
+    steps:
+        Number of transitions.
+    rule_counts:
+        Executions per rule name (a step may contain several moves).
+    w24, w135:
+        Event totals in each class.
+    longest_w135_run:
+        Longest run of consecutive *steps* containing no W24 event —
+        Lemma 5 bounds this by ``3n``.
+    """
+
+    n: int
+    steps: int
+    rule_counts: Dict[str, int]
+    w24: int
+    w135: int
+    longest_w135_run: int
+
+    @property
+    def lemma5_bound(self) -> int:
+        """The proven ``3n`` bound."""
+        return 3 * self.n
+
+    @property
+    def lemma5_holds(self) -> bool:
+        """Whether the observed longest W135 run respects Lemma 5."""
+        return self.longest_w135_run <= self.lemma5_bound
+
+    @property
+    def domination_ratio(self) -> float:
+        """``|W135| / |W24|`` — Lemma 8 bounds this by a constant (~L=9).
+
+        Returns ``inf`` when no W24 event occurred (only possible for very
+        short executions, by Lemma 5).
+        """
+        return self.w135 / self.w24 if self.w24 else float("inf")
+
+
+def census_execution(execution: Execution, n: int) -> CensusReport:
+    """Compute the census of a recorded execution on an ``n``-ring."""
+    counts: Dict[str, int] = {}
+    longest = 0
+    current = 0
+    for step_moves in execution.moves:
+        saw_w24 = False
+        for m in step_moves:
+            counts[m.rule] = counts.get(m.rule, 0) + 1
+            if m.rule in W24_RULES:
+                saw_w24 = True
+        if saw_w24:
+            current = 0
+        else:
+            current += 1
+            longest = max(longest, current)
+    w24 = sum(v for k, v in counts.items() if k in W24_RULES)
+    w135 = sum(v for k, v in counts.items() if k in W135_RULES)
+    return CensusReport(
+        n=n,
+        steps=execution.steps,
+        rule_counts=counts,
+        w24=w24,
+        w135=w135,
+        longest_w135_run=longest,
+    )

@@ -1,0 +1,98 @@
+"""Daemon fairness analysis: who got starved, and for how long.
+
+The paper's daemon is *unfair*: it "may not select a process even if it is
+continuously enabled forever", and SSRmin must cope.  This module measures
+how unfair a given schedule actually was:
+
+* :func:`starvation_report` — for each process, the longest streak of
+  consecutive steps in which it was enabled but not selected (its
+  *starvation streak*), plus selection counts;
+* :class:`FairnessReport.weakly_fair` — whether the schedule was weakly
+  fair in the finite-execution sense: no process ends the execution mid-
+  streak having been continuously enabled without ever moving again.
+
+Used in tests to confirm the daemon taxonomy behaves as advertised
+(round-robin is fair, fixed-priority starves) and in the abl2 narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.algorithms.base import RingAlgorithm
+from repro.simulation.execution import Execution
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Starvation statistics of one recorded execution.
+
+    Attributes
+    ----------
+    selections:
+        Moves per process over the execution.
+    max_streak:
+        Per-process longest enabled-but-unselected streak (steps).
+    final_streak:
+        Per-process streak still open when the execution ended.
+    """
+
+    selections: Dict[int, int]
+    max_streak: Dict[int, int]
+    final_streak: Dict[int, int]
+
+    @property
+    def worst_starvation(self) -> int:
+        """The longest streak any process suffered."""
+        return max(self.max_streak.values(), default=0)
+
+    @property
+    def weakly_fair(self) -> bool:
+        """No process was left continuously enabled and unserved at the end.
+
+        (On finite executions this is the checkable fragment of weak
+        fairness; an ongoing streak shorter than the execution does not
+        falsify it, so we flag only processes whose open streak spans a
+        meaningful fraction of the run.)
+        """
+        horizon = max(sum(self.selections.values()), 1)
+        return all(st < max(horizon // 2, 2) for st in self.final_streak.values())
+
+    def starved(self, threshold: int) -> List[int]:
+        """Processes whose longest streak reached ``threshold``."""
+        return sorted(i for i, s in self.max_streak.items() if s >= threshold)
+
+
+def starvation_report(
+    execution: Execution, algorithm: RingAlgorithm
+) -> FairnessReport:
+    """Analyze an execution's schedule for starvation.
+
+    A process's streak grows on every step where it is enabled (in the
+    pre-step configuration) but not selected; it resets when the process
+    moves or becomes disabled.
+    """
+    n = algorithm.n
+    selections = {i: 0 for i in range(n)}
+    max_streak = {i: 0 for i in range(n)}
+    streak = {i: 0 for i in range(n)}
+
+    for t, moves in enumerate(execution.moves):
+        config = execution.configurations[t]
+        movers = {m.process for m in moves}
+        enabled = set(algorithm.enabled_processes(config))
+        for i in range(n):
+            if i in movers:
+                selections[i] += 1
+                streak[i] = 0
+            elif i in enabled:
+                streak[i] += 1
+                max_streak[i] = max(max_streak[i], streak[i])
+            else:
+                streak[i] = 0
+    return FairnessReport(
+        selections=selections,
+        max_streak=max_streak,
+        final_streak=dict(streak),
+    )

@@ -1,0 +1,93 @@
+"""Round complexity accounting.
+
+Steps (daemon activations) are the paper's complexity unit, but much of the
+self-stabilization literature measures **rounds**: a round is a minimal
+execution fragment in which every process that was *continuously enabled
+since the round began* has either moved or become disabled.  Rounds factor
+out the daemon's freedom to starve — an O(n^2)-step algorithm can still be
+O(n)-round.
+
+:class:`RoundCounter` is a simulation monitor that segments an execution
+into rounds online; :func:`measure_rounds` is the batch driver used by the
+``ext2`` experiment, which reports SSRmin's empirical round complexity next
+to its step complexity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Set, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+from repro.daemons.base import Daemon
+from repro.simulation.execution import Move
+from repro.simulation.monitors import Monitor
+
+
+class RoundCounter(Monitor):
+    """Online round segmentation of an execution.
+
+    At the start of each round the set of enabled processes is snapshotted;
+    a process leaves the snapshot when it moves *or* when it is observed
+    disabled (its guard was falsified by neighbours).  When the snapshot
+    empties, the round ends and the next one begins at the following
+    configuration.
+    """
+
+    def __init__(self, algorithm: RingAlgorithm):
+        self.algorithm = algorithm
+        #: Completed rounds (count).
+        self.rounds = 0
+        #: Steps consumed by each completed round.
+        self.round_lengths: List[int] = []
+        self._pending: Set[int] = set()
+        self._current_len = 0
+
+    def _snapshot(self, config: Any) -> None:
+        self._pending = set(self.algorithm.enabled_processes(config))
+        self._current_len = 0
+
+    def on_start(self, config: Any) -> None:
+        self.rounds = 0
+        self.round_lengths = []
+        self._snapshot(config)
+
+    def on_step(self, step: int, config: Any, moves: Tuple[Move, ...],
+                next_config: Any) -> None:
+        self._current_len += 1
+        for m in moves:
+            self._pending.discard(m.process)
+        # Processes whose guards got falsified also leave the round.
+        still_enabled = set(self.algorithm.enabled_processes(next_config))
+        self._pending &= still_enabled
+        if not self._pending:
+            self.rounds += 1
+            self.round_lengths.append(self._current_len)
+            self._snapshot(next_config)
+
+
+def measure_rounds(
+    algorithm: RingAlgorithm,
+    daemon: Daemon,
+    initial: Any,
+    max_steps: Optional[int] = None,
+) -> Tuple[int, int]:
+    """``(steps, rounds)`` until ``initial`` converges to legitimacy.
+
+    Raises :class:`RuntimeError` on budget exhaustion.
+    """
+    from repro.simulation.engine import SharedMemorySimulator
+
+    n = algorithm.n
+    budget = max_steps if max_steps is not None else 60 * n * n + 600
+    counter = RoundCounter(algorithm)
+    sim = SharedMemorySimulator(algorithm, daemon, monitors=[counter])
+    result = sim.run(initial, max_steps=budget,
+                     stop_when=algorithm.is_legitimate, record=False)
+    if not result.stopped_by_predicate and not algorithm.is_legitimate(
+        result.final_config
+    ):
+        raise RuntimeError("did not converge within the round-measure budget")
+    # Count the in-progress round as one if it consumed steps.
+    rounds = counter.rounds + (1 if counter._current_len > 0 else 0)
+    return result.steps, rounds

@@ -1,0 +1,68 @@
+"""Power-law scaling fits: is convergence time O(n^2)? (Theorem 2)
+
+The scaling study measures convergence steps ``T(n)`` for a sweep of ring
+sizes and fits ``T = c * n^alpha`` by least squares on ``log T = log c +
+alpha log n`` (numpy.polyfit).  Theorem 2 proves ``alpha <= 2`` for the worst
+case; the conference version only gave ``alpha <= 3``, so the fitted exponent
+of *adversarially scheduled* runs landing near (or below) 2 is the paper-vs-
+measured comparison the thm2 bench records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y = c * x^alpha``.
+
+    Attributes
+    ----------
+    exponent:
+        The fitted ``alpha``.
+    prefactor:
+        The fitted ``c``.
+    r_squared:
+        Coefficient of determination of the log-log regression.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """``c * x^alpha``."""
+        return self.prefactor * (x ** self.exponent)
+
+    def __str__(self) -> str:
+        return (
+            f"y = {self.prefactor:.3g} * x^{self.exponent:.3f} "
+            f"(R^2 = {self.r_squared:.4f})"
+        )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares power-law fit in log-log space.
+
+    Requires at least two distinct positive ``x`` values and positive ``y``
+    values.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need matching samples with at least two points")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    if np.allclose(lx, lx[0]):
+        raise ValueError("need at least two distinct x values")
+    alpha, logc = np.polyfit(lx, ly, 1)
+    pred = alpha * lx + logc
+    ss_res = float(np.sum((ly - pred) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(exponent=float(alpha), prefactor=float(np.exp(logc)), r_squared=r2)

@@ -1,0 +1,101 @@
+"""Service fairness: how often (and how regularly) each process is privileged.
+
+In the legitimate regime the token pair takes exactly ``3n`` steps per lap
+(Lemma 1's canonical cycle), so each process is privileged once per lap and
+the gap between consecutive services is bounded.  This module quantifies it:
+
+* :class:`ServiceMonitor` — records, per process, the step indices at which
+  it was privileged (entered the critical section);
+* :func:`service_report` — waiting-time statistics: max inter-service gap,
+  per-process service counts, Jain's fairness index of the counts.
+
+Used by tests (progress/fairness evidence) and the ``ext3`` experiment
+(message-passing service statistics next to state-reading ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.simulation.execution import Move
+from repro.simulation.monitors import Monitor
+
+
+class ServiceMonitor(Monitor):
+    """Track per-process privileged intervals over a simulation."""
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        #: step index -> tuple of privileged processes
+        self.history: List[Tuple[int, ...]] = []
+
+    def on_start(self, config: Any) -> None:
+        self.history = [tuple(self.algorithm.privileged(config))]
+
+    def on_step(self, step: int, config: Any, moves: Tuple[Move, ...],
+                next_config: Any) -> None:
+        self.history.append(tuple(self.algorithm.privileged(next_config)))
+
+
+@dataclass
+class ServiceReport:
+    """Fairness statistics extracted from a service history."""
+
+    service_counts: Dict[int, int]
+    max_gap: int
+    mean_gap: float
+    jain_index: float
+
+    @property
+    def all_served(self) -> bool:
+        return all(v > 0 for v in self.service_counts.values())
+
+
+def jain_fairness(counts) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in ``(0, 1]``."""
+    x = np.asarray(list(counts), dtype=float)
+    if x.size == 0 or not np.any(x):
+        return 0.0
+    return float(x.sum() ** 2 / (x.size * (x ** 2).sum()))
+
+
+def service_report(history: List[Tuple[int, ...]], n: int) -> ServiceReport:
+    """Summarize a privileged-set history.
+
+    A *service* of process ``i`` is a maximal run of consecutive
+    configurations in which ``i`` is privileged; gaps are the runs in
+    between.  ``max_gap`` is the longest any process waited between
+    services (or before its first service).
+    """
+    counts: Dict[int, int] = {i: 0 for i in range(n)}
+    gaps: List[int] = []
+    last_end: Dict[int, int] = {i: 0 for i in range(n)}
+    in_service: Dict[int, bool] = {i: False for i in range(n)}
+
+    for t, holders in enumerate(history):
+        hset = set(holders)
+        for i in range(n):
+            if i in hset:
+                if not in_service[i]:
+                    counts[i] += 1
+                    gaps.append(t - last_end[i])
+                    in_service[i] = True
+            else:
+                if in_service[i]:
+                    last_end[i] = t
+                    in_service[i] = False
+
+    # Processes never served wait the whole history.
+    for i in range(n):
+        if counts[i] == 0:
+            gaps.append(len(history))
+
+    return ServiceReport(
+        service_counts=counts,
+        max_gap=max(gaps) if gaps else 0,
+        mean_gap=float(np.mean(gaps)) if gaps else 0.0,
+        jain_index=jain_fairness(counts.values()),
+    )

@@ -1,0 +1,83 @@
+"""Summary statistics for experiment samples (numpy-backed).
+
+Experiments report convergence steps, zero-token times, coverage fractions
+etc. over many seeded trials; :func:`summarize` collapses a sample into the
+mean, spread and a normal-approximation confidence interval — enough for the
+table rows the benches print (the paper itself reports only asymptotics, so
+empirical spreads are our addition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample.
+
+    Attributes
+    ----------
+    n:
+        Sample size.
+    mean, std:
+        Sample mean and (ddof=1) standard deviation.
+    minimum, maximum:
+        Extremes.
+    median:
+        Sample median.
+    ci_low, ci_high:
+        ~95% normal-approximation confidence interval for the mean.
+    """
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.2f} +/- {self.ci_half:.2f} "
+            f"(std={self.std:.2f}, min={self.minimum:.0f}, "
+            f"median={self.median:.1f}, max={self.maximum:.0f})"
+        )
+
+    @property
+    def ci_half(self) -> float:
+        """Half-width of the confidence interval."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+
+def summarize(samples: Sequence[float], z: float = 1.96) -> Summary:
+    """Summarize a non-empty sample.
+
+    Parameters
+    ----------
+    samples:
+        The observations.
+    z:
+        Normal quantile for the CI (1.96 ~ 95%).
+    """
+    if len(samples) == 0:
+        raise ValueError("cannot summarize an empty sample")
+    arr = np.asarray(samples, dtype=float)
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    half = z * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )

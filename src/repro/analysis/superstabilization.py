@@ -1,0 +1,126 @@
+"""Empirical superstabilization study (paper section 1.2's related work).
+
+A *superstabilizing* algorithm is self-stabilizing and additionally keeps a
+safety predicate while recovering from a single transient fault applied to a
+legitimate configuration (references [4, 15] of the paper; the paper lists
+replacing Dijkstra's ring with a superstabilizing one as future work).
+
+SSRmin is not claimed superstabilizing, but its single-fault behaviour is
+interesting empirically: does the mutual-inclusion predicate ">= 1 token"
+survive a one-process corruption?  :func:`study_single_fault` measures, over
+many random (legitimate configuration, fault, schedule) triples:
+
+* whether the ">= 1 privileged process" passive safety predicate held at
+  every configuration during recovery;
+* the recovery length in steps;
+* the largest transient token count observed (burst above the 1..2 band).
+
+The ``ext1`` experiment reports the resulting table — an honest
+*beyond-paper* data point rather than a claimed theorem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.base import Daemon
+from repro.simulation.initial import perturbed_legitimate
+
+
+@dataclass
+class SingleFaultRecord:
+    """One single-fault recovery trial."""
+
+    recovery_steps: int
+    safety_held: bool
+    max_token_count: int
+    min_token_count: int
+
+
+@dataclass
+class SuperstabilizationReport:
+    """Aggregate over all trials of :func:`study_single_fault`."""
+
+    records: List[SingleFaultRecord]
+
+    @property
+    def trials(self) -> int:
+        return len(self.records)
+
+    @property
+    def safety_fraction(self) -> float:
+        """Fraction of trials where >= 1 token held throughout recovery."""
+        return sum(r.safety_held for r in self.records) / self.trials
+
+    @property
+    def max_recovery(self) -> int:
+        return max(r.recovery_steps for r in self.records)
+
+    @property
+    def mean_recovery(self) -> float:
+        return sum(r.recovery_steps for r in self.records) / self.trials
+
+    @property
+    def worst_burst(self) -> int:
+        """Largest transient token count seen across all trials."""
+        return max(r.max_token_count for r in self.records)
+
+
+def study_single_fault(
+    algorithm: SSRmin,
+    daemon_factory,
+    trials: int,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> SuperstabilizationReport:
+    """Measure single-fault recoveries.
+
+    Parameters
+    ----------
+    algorithm:
+        The SSRmin instance under study.
+    daemon_factory:
+        ``(algorithm, trial_seed) -> Daemon``.
+    trials:
+        Number of (legitimate config, fault, schedule) samples.
+    seed:
+        Master seed.
+    max_steps:
+        Per-trial recovery budget (default: the Theorem-2 regime).
+    """
+    n = algorithm.n
+    budget = max_steps if max_steps is not None else 60 * n * n + 600
+    records: List[SingleFaultRecord] = []
+    for t in range(trials):
+        rng = random.Random(seed + t)
+        config = perturbed_legitimate(algorithm, rng, faults=1)
+        daemon: Daemon = daemon_factory(algorithm, seed + t)
+        daemon.reset()
+
+        lo = hi = len(algorithm.privileged(config))
+        steps = 0
+        while steps < budget and not algorithm.is_legitimate(config):
+            enabled = algorithm.enabled_processes(config)
+            if not enabled:
+                raise RuntimeError("deadlock during single-fault recovery")
+            config = algorithm.step(
+                config, daemon.select(enabled, config, steps)
+            )
+            steps += 1
+            count = len(algorithm.privileged(config))
+            lo = min(lo, count)
+            hi = max(hi, count)
+        if not algorithm.is_legitimate(config):
+            raise RuntimeError(f"trial {t} exhausted the recovery budget")
+        records.append(
+            SingleFaultRecord(
+                recovery_steps=steps,
+                safety_held=lo >= 1,
+                max_token_count=hi,
+                min_token_count=lo,
+            )
+        )
+    return SuperstabilizationReport(records=records)

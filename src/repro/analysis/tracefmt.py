@@ -1,0 +1,80 @@
+"""Execution-trace tables in the paper's visual style (Figures 1 and 4).
+
+Figure 4 prints, per step and process, ``x.rts.tra`` annotated with ``P``
+(primary token), ``S`` (secondary token) and ``/g`` (the enabled rule's
+number); enabled processes are marked.  Figure 1 is the coarser view: just
+which process holds ``P`` and ``S``.  These formatters regenerate both from
+a recorded execution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.ssrmin import SSRmin
+from repro.simulation.execution import Execution
+
+
+def annotate_process(alg: SSRmin, config, i: int) -> str:
+    """One Figure-4 cell: ``x.rts.tra`` + P/S flags + ``/rule`` if enabled."""
+    x, rts, tra = config[i]
+    cell = f"{x}.{rts}.{tra}"
+    if alg.holds_primary(config, i):
+        cell += "P"
+    if alg.holds_secondary(config, i):
+        cell += "S"
+    rule = alg.enabled_rule(config, i)
+    if rule is not None:
+        cell += f"/{rule.number}"
+    return cell
+
+
+def format_trace(alg: SSRmin, execution: Execution, start_step: int = 1) -> str:
+    """Figure-4 style table for a recorded SSRmin execution.
+
+    Steps are numbered from ``start_step`` (the paper starts at 1).
+    """
+    n = alg.n
+    header = ["Step"] + [f"P{i}" for i in range(n)]
+    rows: List[List[str]] = []
+    for t, config in enumerate(execution.configurations):
+        rows.append(
+            [str(start_step + t)]
+            + [annotate_process(alg, config, i) for i in range(n)]
+        )
+    return _render_table(header, rows)
+
+
+def format_token_movement(
+    alg: SSRmin, execution: Execution, start_step: int = 1
+) -> str:
+    """Figure-1 style table: 'P', 'S', 'PS' or '-' per process per step."""
+    n = alg.n
+    header = ["Step"] + [f"P{i}" for i in range(n)]
+    rows: List[List[str]] = []
+    for t, config in enumerate(execution.configurations):
+        cells = []
+        for i in range(n):
+            mark = ""
+            if alg.holds_primary(config, i):
+                mark += "P"
+            if alg.holds_secondary(config, i):
+                mark += "S"
+            cells.append(mark or "-")
+        rows.append([str(start_step + t)] + cells)
+    return _render_table(header, rows)
+
+
+def _render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width plain-text table."""
+    widths = [len(h) for h in header]
+    for row in rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[c]) for c, h in enumerate(header)),
+        "  ".join("-" * widths[c] for c in range(len(header))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+    return "\n".join(lines)

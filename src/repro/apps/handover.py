@@ -1,0 +1,102 @@
+"""Handover extraction and gracefulness checking.
+
+A *handover* is the transfer of monitoring duty from one node to the next.
+On a token timeline it shows up as the holder set changing from ``{i}`` to
+``{i, j}`` (overlap begins) and then to ``{j}`` (old holder retires).  The
+handover is **graceful** iff coverage never drops to zero in between — in
+timeline terms, there is no change-point with an empty holder set inside the
+transfer window.
+
+Dijkstra's transformed SSToken produces *abrupt* handovers (``{i}`` ->
+``{}`` -> ``{j}``); SSRmin produces graceful ones (``{i}`` -> ``{i, j}`` ->
+``{j}``).  :func:`extract_handovers` classifies every duty transfer on a
+timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.messagepassing.timeline import TokenTimeline
+
+
+@dataclass(frozen=True)
+class HandoverEvent:
+    """One transfer of monitoring duty.
+
+    Attributes
+    ----------
+    start, end:
+        Simulation-time bounds of the transfer window: from the last instant
+        the outgoing holder set was stable to the first instant the incoming
+        set is stable.
+    from_holders, to_holders:
+        Stable holder sets before and after.
+    graceful:
+        Whether coverage stayed >= 1 throughout the window.
+    gap:
+        Total uncovered time inside the window (0 for graceful handovers).
+    """
+
+    start: float
+    end: float
+    from_holders: Tuple[int, ...]
+    to_holders: Tuple[int, ...]
+    graceful: bool
+    gap: float
+
+
+def extract_handovers(timeline: TokenTimeline) -> List[HandoverEvent]:
+    """Classify every duty transfer on a finished timeline.
+
+    A transfer is the span between two maximal single-holder (or stable
+    multi-holder) periods with different holder sets; intermediate
+    change-points (overlaps or gaps) belong to the transfer window.
+    """
+    intervals = timeline.intervals()
+    if not intervals:
+        return []
+
+    # Identify "stable" anchor intervals: non-empty holder sets.  Everything
+    # between consecutive anchors with different sets is a transfer window.
+    anchors = [
+        (a, b, h) for a, b, h in intervals if h
+    ]
+    out: List[HandoverEvent] = []
+    for (a1, b1, h1), (a2, b2, h2) in zip(anchors, anchors[1:]):
+        if h1 == h2:
+            continue
+        window = [
+            (a, b, h) for a, b, h in intervals if a >= b1 and b <= a2
+        ]
+        gap = sum(b - a for a, b, h in window if not h)
+        out.append(
+            HandoverEvent(
+                start=b1,
+                end=a2,
+                from_holders=h1,
+                to_holders=h2,
+                graceful=gap == 0.0,
+                gap=gap,
+            )
+        )
+    return out
+
+
+def all_graceful(timeline: TokenTimeline) -> bool:
+    """Whether every handover on the timeline was graceful."""
+    return all(h.graceful for h in extract_handovers(timeline))
+
+
+def handover_stats(timeline: TokenTimeline) -> dict:
+    """Counts and gap statistics over all handovers (bench table row)."""
+    events = extract_handovers(timeline)
+    graceful = [e for e in events if e.graceful]
+    return {
+        "handovers": len(events),
+        "graceful": len(graceful),
+        "abrupt": len(events) - len(graceful),
+        "total_gap": sum(e.gap for e in events),
+        "max_gap": max((e.gap for e in events), default=0.0),
+    }

@@ -1,0 +1,128 @@
+"""A critical-section *service* API over the token ring.
+
+The library's lower layers expose token predicates; applications want a
+callback interface: "tell me when I may start my privileged work and when I
+must have stopped".  :class:`CriticalSectionService` provides exactly that
+over a running :class:`~repro.messagepassing.network.MessagePassingNetwork`:
+
+* ``on_enter(node_index, time)`` fires when a node's own-view token
+  predicate turns true (the node becomes privileged — in the camera
+  application: starts recording);
+* ``on_exit(node_index, time)`` fires when it turns false.
+
+The service also accumulates per-node session logs (enter/exit pairs), from
+which it derives occupancy statistics.  It is deliberately thin: all
+guarantees come from the algorithm underneath — with SSRmin, sessions at
+consecutive holders overlap (graceful handover), so a camera driver that
+records exactly during its sessions never leaves the scene unobserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.messagepassing.network import MessagePassingNetwork
+
+
+@dataclass
+class Session:
+    """One privileged period of one node."""
+
+    node: int
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError("session still open")
+        return self.end - self.start
+
+
+@dataclass
+class CriticalSectionService:
+    """Callback-based critical-section service over a CST network.
+
+    Parameters
+    ----------
+    network:
+        A built (not necessarily started) message-passing network.
+    on_enter, on_exit:
+        Optional callbacks ``(node_index, simulation_time)``.
+    """
+
+    network: MessagePassingNetwork
+    on_enter: Optional[Callable[[int, float], None]] = None
+    on_exit: Optional[Callable[[int, float], None]] = None
+    #: Closed and open sessions per node, in time order.
+    sessions: Dict[int, List[Session]] = field(default_factory=dict)
+    _holding: Dict[int, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = self.network.algorithm.n
+        self.sessions = {i: [] for i in range(n)}
+        self._holding = {i: False for i in range(n)}
+        self.network.observers.append(self._observe)
+
+    def _observe(self, network: MessagePassingNetwork) -> None:
+        now = network.queue.now
+        holders = set(network.token_holders())
+        for i, was in self._holding.items():
+            is_now = i in holders
+            if is_now and not was:
+                self.sessions[i].append(Session(node=i, start=now))
+                if self.on_enter is not None:
+                    self.on_enter(i, now)
+            elif was and not is_now:
+                self.sessions[i][-1].end = now
+                if self.on_exit is not None:
+                    self.on_exit(i, now)
+            self._holding[i] = is_now
+
+    # -- statistics --------------------------------------------------------
+    def closed_sessions(self) -> List[Session]:
+        """All completed sessions across nodes, by start time."""
+        out = [s for per in self.sessions.values() for s in per if not s.open]
+        return sorted(out, key=lambda s: s.start)
+
+    def session_counts(self) -> Dict[int, int]:
+        """Completed sessions per node."""
+        return {
+            i: sum(1 for s in per if not s.open)
+            for i, per in self.sessions.items()
+        }
+
+    def occupancy(self, i: int) -> float:
+        """Total completed privileged time of node ``i``."""
+        return sum(s.duration for s in self.sessions[i] if not s.open)
+
+    def overlapping_handover_fraction(self) -> float:
+        """Fraction of session transitions that overlap in time.
+
+        For each closed session, checks whether another node's session was
+        open at its end instant — SSRmin's graceful handover makes this 1.0;
+        transformed SSToken would score 0.
+        """
+        closed = self.closed_sessions()
+        if not closed:
+            return 1.0
+        transitions = 0
+        overlapped = 0
+        for s in closed:
+            others = [
+                o
+                for per in self.sessions.values()
+                for o in per
+                if o is not s
+            ]
+            covered = any(
+                o.start <= s.end and (o.open or o.end > s.end) for o in others
+            )
+            transitions += 1
+            overlapped += covered
+        return overlapped / transitions

@@ -1,0 +1,103 @@
+"""The abstract inchworm model of section 3.1 — a cross-validation reference.
+
+Section 3.1 explains SSRmin through three *abstract actions* on explicit
+token positions:
+
+* ``alpha_1`` (ready to send the secondary token): the holder ``P_i`` of both
+  tokens raises ``rts_i``;
+* ``beta`` (receive the secondary token): ``P_{i+1}`` observes ``rts_i = 1``
+  and raises ``tra_{i+1}`` — the secondary token is now at ``P_{i+1}``;
+* ``alpha_2`` (send the primary token): ``P_i`` observes ``tra_{i+1} = 1``,
+  executes Dijkstra's rule, and drops ``rts_i`` — the primary token joins the
+  secondary at ``P_{i+1}``.
+
+:class:`AbstractInchworm` tracks *explicit* primary/secondary positions plus
+a phase, cycling ``alpha_1 -> beta -> alpha_2``.  The test suite co-simulates
+it with the real SSRmin on legitimate executions and asserts the token
+positions derived from SSRmin's predicates match this reference at every step
+— evidence the concrete Rules 1–3 faithfully implement the abstract actions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Phase(enum.Enum):
+    """Where the handshake between the token pair currently stands."""
+
+    #: Both tokens co-located; next action is ``alpha_1`` by the holder.
+    TOGETHER = "together"
+    #: ``rts`` raised; tokens still co-located; next action is ``beta``.
+    READY = "ready"
+    #: Secondary moved ahead; next action is ``alpha_2`` by the primary holder.
+    SPLIT = "split"
+
+
+@dataclass(frozen=True)
+class AbstractInchworm:
+    """Reference state machine for the two-token inchworm.
+
+    Attributes
+    ----------
+    n:
+        Ring size.
+    primary:
+        Index of the primary token holder.
+    secondary:
+        Index of the secondary token holder (equals ``primary`` or
+        ``primary + 1 mod n``).
+    phase:
+        Current handshake :class:`Phase`.
+    """
+
+    n: int
+    primary: int = 0
+    secondary: int = 0
+    phase: Phase = Phase.TOGETHER
+
+    def __post_init__(self) -> None:
+        if self.n < 3:
+            raise ValueError(f"need n >= 3, got {self.n}")
+        if not 0 <= self.primary < self.n:
+            raise ValueError(f"primary index {self.primary} out of range")
+        expected = (
+            self.primary
+            if self.phase in (Phase.TOGETHER, Phase.READY)
+            else (self.primary + 1) % self.n
+        )
+        if self.secondary != expected:
+            raise ValueError(
+                f"inconsistent inchworm: phase={self.phase}, "
+                f"primary={self.primary}, secondary={self.secondary}"
+            )
+
+    # -- the single legal action at each phase ------------------------------
+    def advance(self) -> "AbstractInchworm":
+        """Apply the unique enabled abstract action and return the new state."""
+        if self.phase is Phase.TOGETHER:
+            # alpha_1: holder raises rts.
+            return AbstractInchworm(self.n, self.primary, self.primary, Phase.READY)
+        if self.phase is Phase.READY:
+            # beta: successor raises tra; the secondary token moves.
+            nxt = (self.primary + 1) % self.n
+            return AbstractInchworm(self.n, self.primary, nxt, Phase.SPLIT)
+        # alpha_2: primary joins the secondary.
+        nxt = (self.primary + 1) % self.n
+        return AbstractInchworm(self.n, nxt, nxt, Phase.TOGETHER)
+
+    def acting_process(self) -> int:
+        """Which process performs the next abstract action."""
+        if self.phase is Phase.READY:
+            return (self.primary + 1) % self.n  # beta is P_{i+1}'s action
+        return self.primary  # alpha_1 and alpha_2 are P_i's actions
+
+    def holders(self) -> Tuple[int, ...]:
+        """Sorted distinct processes holding at least one token."""
+        return tuple(sorted({self.primary, self.secondary}))
+
+    def steps_per_lap(self) -> int:
+        """Abstract actions needed for one full circulation: ``3n``."""
+        return 3 * self.n

@@ -1,0 +1,125 @@
+"""Legitimate configurations of SSRmin (paper Definition 1 and Lemma 1).
+
+Definition 1 lists six configuration shapes; for some ``x`` (mod K) and token
+position ``i`` they collapse to: the x-vector is Dijkstra-legitimate with its
+unique primary-token holder at ``P_i``, and the handshake vector is one of
+
+* ``P_i = <0.1>``, everyone else ``<0.0>``  (``P_i`` holds both tokens,
+  secondary via ``tra``),
+* ``P_i = <1.0>``, everyone else ``<0.0>``  (``P_i`` holds both tokens,
+  secondary via ``rts`` with a quiet successor),
+* ``P_i = <1.0>``, ``P_{i+1 mod n} = <0.1>``, everyone else ``<0.0>``
+  (``P_i`` primary, ``P_{i+1}`` secondary).
+
+Lemma 1's closure proof walks a canonical cycle of exactly ``3n`` legitimate
+configurations per ``x`` value (``3nK`` in total), with exactly one process
+enabled in each.  :func:`canonical_cycle` regenerates that cycle by executing
+the algorithm, and :func:`legitimate_configurations` enumerates the closed
+forms directly; the test suite checks the two enumerations coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.algorithms.dijkstra import is_dijkstra_legitimate
+from repro.core.state import Configuration, StateTuple
+
+
+def _primary_position(xs: Sequence[int], K: int) -> int | None:
+    """Token position of a Dijkstra-legitimate x-vector, else ``None``.
+
+    Position 0 when all entries are equal; otherwise the index of the last
+    process still carrying the old value... precisely: the first index ``i``
+    with ``x_i != x_{i-1}`` (the unique guard-true process).
+    """
+    if not is_dijkstra_legitimate(xs, K):
+        return None
+    n = len(xs)
+    if all(v == xs[0] for v in xs):
+        return 0
+    for i in range(1, n):
+        if xs[i] != xs[i - 1]:
+            return i
+    raise AssertionError("unreachable: legitimate but no boundary found")
+
+
+def is_legitimate(config: Sequence[StateTuple], K: int) -> bool:
+    """Definition 1 membership test (closed form).
+
+    Parameters
+    ----------
+    config:
+        Sequence of ``(x, rts, tra)`` triples.
+    K:
+        The Dijkstra counter modulus of the algorithm instance.
+    """
+    n = len(config)
+    xs = [s[0] for s in config]
+    i = _primary_position(xs, K)
+    if i is None:
+        return False
+    hs = [(s[1], s[2]) for s in config]
+    succ = (i + 1) % n
+    quiet = all(hs[j] == (0, 0) for j in range(n) if j not in (i, succ))
+    if not quiet:
+        return False
+    own, nxt = hs[i], hs[succ]
+    # Shape 1/2: P_i holds both tokens; successor must be quiet too.
+    if nxt == (0, 0) and own in ((0, 1), (1, 0)):
+        return True
+    # Shape 3: P_i primary (rts=1), successor holds the secondary via tra.
+    if own == (1, 0) and nxt == (0, 1):
+        return True
+    return False
+
+
+def legitimate_configurations(n: int, K: int) -> Iterator[Configuration]:
+    """Enumerate all ``3nK`` legitimate configurations in closed form.
+
+    Order: for each ``x`` and each token position ``i``, the three shapes in
+    the order they appear along the canonical cycle.
+    """
+    if n < 3:
+        raise ValueError(f"SSRmin legitimacy is defined for n >= 3, got {n}")
+    for x in range(K):
+        for i in range(n):
+            xs = [(x + 1) % K] * i + [x] * (n - i)
+            for own, nxt in (((0, 1), (0, 0)), ((1, 0), (0, 0)), ((1, 0), (0, 1))):
+                hs: List[Tuple[int, int]] = [(0, 0)] * n
+                hs[i] = own
+                if nxt != (0, 0):
+                    hs[(i + 1) % n] = nxt
+                yield Configuration(
+                    (xs[j], hs[j][0], hs[j][1]) for j in range(n)
+                )
+
+
+def canonical_cycle(
+    n: int, K: int, x: int = 0, cycles: int = 1
+) -> List[Configuration]:
+    """Regenerate Lemma 1's canonical execution from ``gamma_0``.
+
+    Starting at ``gamma_0 = (x.0.1, x.0.0, ..., x.0.0)``, repeatedly asserts
+    exactly one process is enabled and executes it, for ``cycles`` laps of
+    ``3n`` steps each.  The returned list has ``3n * cycles + 1``
+    configurations (including both endpoints).
+
+    Raises :class:`AssertionError` if at any point the number of enabled
+    processes differs from one — i.e. if closure as proven in Lemma 1 were
+    violated.
+    """
+    from repro.core.ssrmin import SSRmin
+
+    alg = SSRmin(n, K)
+    config = alg.initial_configuration(x)
+    out = [config]
+    for _ in range(3 * n * cycles):
+        enabled = alg.enabled_processes(config)
+        if len(enabled) != 1:
+            raise AssertionError(
+                f"Lemma 1 violated: {len(enabled)} processes enabled in {config}"
+            )
+        config = alg.step(config, enabled)
+        out.append(config)
+    return out

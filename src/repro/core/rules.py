@@ -1,0 +1,106 @@
+"""Guarded-command rules with strict priority (paper section 2.1 / Algorithm 3).
+
+An algorithm is a finite list of guarded commands ``if <guard> then <command>``
+per process.  SSRmin additionally imposes a *priority*: "a rule with a smaller
+number has priority over rules with a larger rule number", so each process is
+enabled by **at most one** rule — the lowest-numbered rule whose guard holds.
+
+:class:`Rule` packages a guard and a command operating on
+``(config, i) -> bool`` and ``(config, i) -> local state``; :class:`RuleSet`
+resolves priority.  Guards may read only ``q_i``, ``q_{i-1}`` and ``q_{i+1}``
+(enforced by construction: concrete algorithms only access those indices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, Sequence, Tuple, TypeVar
+
+S = TypeVar("S")  # local-state type
+C = TypeVar("C")  # configuration type (a sequence of local states)
+
+#: Guard signature: does this rule's guard hold for process ``i`` in ``config``?
+GuardFn = Callable[[C, int], bool]
+#: Command signature: the new local state of process ``i`` computed from ``config``.
+CommandFn = Callable[[C, int], S]
+
+
+@dataclass(frozen=True)
+class Rule(Generic[C, S]):
+    """One guarded command.
+
+    Attributes
+    ----------
+    name:
+        Human-readable rule name (e.g. ``"R1"`` or ``"D2"``), used in traces
+        and the Figure-4 style renderings.
+    number:
+        Priority number; smaller wins.  Numbers must be unique in a
+        :class:`RuleSet`.
+    guard:
+        ``guard(config, i) -> bool``.
+    command:
+        ``command(config, i) -> new local state`` — only evaluated when the
+        guard holds.
+    description:
+        Paper-facing description (e.g. "send the primary token").
+    """
+
+    name: str
+    number: int
+    guard: GuardFn
+    command: CommandFn
+    description: str = ""
+
+    def enabled(self, config: C, i: int) -> bool:
+        """Whether this rule's guard holds at process ``i``."""
+        return self.guard(config, i)
+
+    def execute(self, config: C, i: int) -> S:
+        """The command result; caller is responsible for checking the guard."""
+        return self.command(config, i)
+
+
+class RuleSet(Generic[C, S]):
+    """An ordered collection of rules with strict priority resolution."""
+
+    def __init__(self, rules: Sequence[Rule[C, S]]):
+        if not rules:
+            raise ValueError("a rule set needs at least one rule")
+        numbers = [r.number for r in rules]
+        if len(set(numbers)) != len(numbers):
+            raise ValueError(f"duplicate rule numbers in {numbers}")
+        self._rules: Tuple[Rule[C, S], ...] = tuple(
+            sorted(rules, key=lambda r: r.number)
+        )
+
+    @property
+    def rules(self) -> Tuple[Rule[C, S], ...]:
+        """Rules in priority order (lowest number first)."""
+        return self._rules
+
+    def enabled_rule(self, config: C, i: int) -> Optional[Rule[C, S]]:
+        """The unique highest-priority rule enabled at ``i``, or ``None``.
+
+        This implements the paper's "if the guard of a rule is true, rules
+        with lower priority are ignored" semantics.
+        """
+        for rule in self._rules:
+            if rule.guard(config, i):
+                return rule
+        return None
+
+    def all_enabled_guards(self, config: C, i: int) -> Tuple[Rule[C, S], ...]:
+        """Every rule whose *raw guard* holds at ``i``, ignoring priority.
+
+        Used by the Figure-3 reproduction, which tabulates which guards can be
+        simultaneously true for each ``<rts, tra>`` value.
+        """
+        return tuple(r for r in self._rules if r.guard(config, i))
+
+    def by_name(self, name: str) -> Rule[C, S]:
+        """Look a rule up by its name; raises :class:`KeyError` if absent."""
+        for r in self._rules:
+            if r.name == name:
+                return r
+        raise KeyError(name)

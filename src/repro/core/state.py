@@ -1,0 +1,192 @@
+"""Local states and configurations for SSRmin (paper Definition 1).
+
+A process's local state is the triple ``x_i.rts_i.tra_i`` where
+
+* ``x`` in ``{0 .. K-1}`` is the Dijkstra K-state token-ring variable,
+* ``rts`` ("ready to send") and ``tra`` ("token receipt acknowledged") are the
+  booleans controlling the secondary-token handshake.
+
+For speed in simulation hot loops, local states are plain tuples
+``(x, rts, tra)`` of ints; :class:`SSRminState` is an ergonomic named wrapper
+that converts to/from that tuple form and renders the paper's ``x.rts.tra``
+notation.  A :class:`Configuration` is an immutable n-tuple of local states
+with convenience accessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+#: Plain-tuple local state used in hot loops: ``(x, rts, tra)``.
+StateTuple = Tuple[int, int, int]
+
+
+@dataclass(frozen=True, order=True)
+class SSRminState:
+    """Named local state ``x.rts.tra`` of one SSRmin process.
+
+    Attributes
+    ----------
+    x:
+        The Dijkstra K-state counter, ``0 <= x < K``.
+    rts:
+        "Ready to send" flag for the secondary token (0 or 1).
+    tra:
+        "Token receipt acknowledged" flag for the secondary token (0 or 1).
+    """
+
+    x: int
+    rts: int
+    tra: int
+
+    def __post_init__(self) -> None:
+        if self.x < 0:
+            raise ValueError(f"x must be non-negative, got {self.x}")
+        if self.rts not in (0, 1):
+            raise ValueError(f"rts must be 0 or 1, got {self.rts}")
+        if self.tra not in (0, 1):
+            raise ValueError(f"tra must be 0 or 1, got {self.tra}")
+
+    def as_tuple(self) -> StateTuple:
+        """Plain ``(x, rts, tra)`` tuple for hot-loop use."""
+        return (self.x, self.rts, self.tra)
+
+    @classmethod
+    def from_tuple(cls, t: StateTuple) -> "SSRminState":
+        """Inverse of :meth:`as_tuple`."""
+        return cls(*t)
+
+    @classmethod
+    def parse(cls, text: str) -> "SSRminState":
+        """Parse the paper's dotted notation, e.g. ``"3.1.0"``.
+
+        Raises :class:`ValueError` on malformed input.
+        """
+        parts = text.strip().split(".")
+        if len(parts) != 3:
+            raise ValueError(f"expected 'x.rts.tra', got {text!r}")
+        return cls(int(parts[0]), int(parts[1]), int(parts[2]))
+
+    def __str__(self) -> str:
+        return f"{self.x}.{self.rts}.{self.tra}"
+
+
+class Configuration(Sequence[StateTuple]):
+    """An immutable configuration ``(q_0, q_1, ..., q_{n-1})``.
+
+    Stores local states as plain tuples and hashes like the underlying tuple,
+    so it can be a dict key (model checking) while still offering readable
+    helpers (``cfg.x(i)``, ``str(cfg)`` in the paper's notation).
+    """
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Iterable[StateTuple | SSRminState]):
+        norm = []
+        for s in states:
+            if isinstance(s, SSRminState):
+                norm.append(s.as_tuple())
+            else:
+                x, rts, tra = s
+                if rts not in (0, 1) or tra not in (0, 1):
+                    raise ValueError(f"invalid local state {s!r}")
+                norm.append((int(x), int(rts), int(tra)))
+        if not norm:
+            raise ValueError("a configuration needs at least one process")
+        self._states: Tuple[StateTuple, ...] = tuple(norm)
+
+    # -- parsing / rendering ----------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Configuration":
+        """Parse a whitespace- or comma-separated list of ``x.rts.tra`` states.
+
+        Example: ``Configuration.parse("3.0.1 3.0.0 3.0.0")``.
+        """
+        toks = text.replace(",", " ").split()
+        if not toks:
+            raise ValueError("empty configuration text")
+        return cls([SSRminState.parse(t) for t in toks])
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(f"{x}.{r}.{t}" for x, r, t in self._states) + ")"
+
+    def __repr__(self) -> str:
+        return f"Configuration{self._states!r}"
+
+    # -- sequence protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __getitem__(self, i):  # type: ignore[override]
+        return self._states[i]
+
+    def __iter__(self) -> Iterator[StateTuple]:
+        return iter(self._states)
+
+    def __hash__(self) -> int:
+        return hash(self._states)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._states == other._states
+        if isinstance(other, tuple):
+            return self._states == other
+        return NotImplemented
+
+    # -- accessors ----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return len(self._states)
+
+    @property
+    def states(self) -> Tuple[StateTuple, ...]:
+        """The raw tuple-of-tuples, suitable for hashing and fast access."""
+        return self._states
+
+    def x(self, i: int) -> int:
+        """Dijkstra counter ``x_i``."""
+        return self._states[i][0]
+
+    def rts(self, i: int) -> int:
+        """``rts_i`` flag."""
+        return self._states[i][1]
+
+    def tra(self, i: int) -> int:
+        """``tra_i`` flag."""
+        return self._states[i][2]
+
+    def x_vector(self) -> Tuple[int, ...]:
+        """The projection ``(x_0, ..., x_{n-1})`` onto Dijkstra's token ring.
+
+        Lemmas 7-8 reason about this projection: SSRmin embeds an exact copy
+        of Dijkstra's K-state ring in the ``x`` components.
+        """
+        return tuple(s[0] for s in self._states)
+
+    def handshake_vector(self) -> Tuple[Tuple[int, int], ...]:
+        """The projection ``((rts_0, tra_0), ..., (rts_{n-1}, tra_{n-1}))``."""
+        return tuple((s[1], s[2]) for s in self._states)
+
+    def replace(self, i: int, new_state: StateTuple | SSRminState) -> "Configuration":
+        """Configuration with process ``i``'s local state replaced."""
+        if isinstance(new_state, SSRminState):
+            new_state = new_state.as_tuple()
+        states = list(self._states)
+        states[i] = new_state
+        return Configuration(states)
+
+    def replace_many(
+        self, updates: dict[int, StateTuple]
+    ) -> "Configuration":
+        """Configuration with several local states replaced atomically.
+
+        This is the composite-atomicity write step: every selected process
+        computed its command from the *old* configuration, and all writes land
+        simultaneously.
+        """
+        states = list(self._states)
+        for i, st in updates.items():
+            states[i] = st
+        return Configuration(states)

@@ -1,0 +1,100 @@
+"""Token predicates for SSRmin, standalone (paper Algorithm 3, lines 36-41).
+
+The paper stresses that a token is *not* a data object: "a process decides
+whether it holds a token or not by evaluating some predicate ... on the values
+of local variables of itself and its neighbors."  These module-level functions
+evaluate those predicates on any sequence of ``(x, rts, tra)`` triples,
+without needing an :class:`repro.core.ssrmin.SSRmin` instance — which is what
+the message-passing layer needs, because there each *node* evaluates the
+predicate against its own cached view of its neighbours.
+
+``holds_primary`` requires the predecessor's state; ``holds_secondary``
+requires the successor's.  The per-node-view variants take explicit neighbour
+states instead of a global configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.core.state import StateTuple
+
+
+def primary_condition(x_i: int, x_pred: int, is_bottom: bool) -> bool:
+    """Primary-token condition ``G_i`` from explicitly supplied values.
+
+    ``x_i == x_pred`` for the bottom process, ``x_i != x_pred`` otherwise.
+    """
+    if is_bottom:
+        return x_i == x_pred
+    return x_i != x_pred
+
+
+def secondary_condition(
+    own: Tuple[int, int], successor: Tuple[int, int]
+) -> bool:
+    """Secondary-token condition from explicit ``(rts, tra)`` pairs.
+
+    ``tra_i = 1`` or ``(rts_i = 1 and rts_{i+1} = 0 and tra_{i+1} = 0)``.
+
+    The second disjunct is what gives SSRmin its *model gap tolerance*: the
+    sender keeps the secondary token (from its own point of view) until it
+    observes — possibly with delay — that the receiver picked it up (section
+    3.1's discussion of why ``tra_i = 1`` alone would not suffice).
+    """
+    rts_i, tra_i = own
+    rts_s, tra_s = successor
+    return tra_i == 1 or (rts_i == 1 and rts_s == 0 and tra_s == 0)
+
+
+def weak_secondary_condition(
+    own: Tuple[int, int], successor: Tuple[int, int]
+) -> bool:
+    """The *rejected* secondary-token condition ``tra_i = 1`` alone.
+
+    Section 3.1 discusses this weaker predicate: it is correct in the
+    state-reading model but loses the token during message-passing transient
+    periods.  Exposed for the abl1 ablation bench, which demonstrates the
+    extinction the paper predicts.
+    """
+    return own[1] == 1
+
+
+def holds_primary(config: Sequence[StateTuple], i: int) -> bool:
+    """Whether ``P_i`` holds the primary token in ``config`` (global view)."""
+    n = len(config)
+    return primary_condition(config[i][0], config[(i - 1) % n][0], is_bottom=(i == 0))
+
+
+def holds_secondary(config: Sequence[StateTuple], i: int) -> bool:
+    """Whether ``P_i`` holds the secondary token in ``config`` (global view)."""
+    n = len(config)
+    _, rts, tra = config[i]
+    _, rts_s, tra_s = config[(i + 1) % n]
+    return secondary_condition((rts, tra), (rts_s, tra_s))
+
+
+def token_holders(config: Sequence[StateTuple]) -> Tuple[int, ...]:
+    """Processes holding the primary or the secondary token."""
+    n = len(config)
+    return tuple(
+        i for i in range(n) if holds_primary(config, i) or holds_secondary(config, i)
+    )
+
+
+def primary_holders(config: Sequence[StateTuple]) -> Tuple[int, ...]:
+    """Processes holding the primary token."""
+    return tuple(i for i in range(len(config)) if holds_primary(config, i))
+
+
+def secondary_holders(config: Sequence[StateTuple]) -> Tuple[int, ...]:
+    """Processes holding the secondary token."""
+    return tuple(i for i in range(len(config)) if holds_secondary(config, i))
+
+
+def token_count(config: Sequence[StateTuple]) -> int:
+    """Number of *privileged processes* (holding >= 1 token).
+
+    Theorem 1 guarantees this is 1 or 2 in every legitimate configuration.
+    """
+    return len(token_holders(config))

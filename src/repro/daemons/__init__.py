@@ -1,0 +1,47 @@
+"""Process schedulers ("daemons") — paper section 2.1.
+
+At each step a daemon selects a non-empty subset of the enabled processes:
+
+* the **central daemon** picks exactly one enabled process;
+* the **distributed daemon** picks an arbitrary non-empty subset;
+* a daemon is **unfair** if it may starve a continuously-enabled process.
+
+SSRmin is proven correct under the *unfair distributed* daemon — the weakest
+scheduler — so this package provides a spectrum of schedulers to exercise it:
+
+* :class:`SynchronousDaemon` — all enabled processes move (a distributed
+  daemon's extreme choice);
+* :class:`RandomCentralDaemon` / :class:`RandomSubsetDaemon` /
+  :class:`BernoulliDaemon` — randomized selections;
+* :class:`RoundRobinDaemon` — a fair central daemon;
+* :class:`AdversarialDaemon` — greedy lookahead trying to maximize
+  convergence time (an *unfair* daemon by construction);
+* :class:`ReplayDaemon` — replays a recorded selection sequence
+  (deterministic regression tests, Figure 4).
+"""
+
+from repro.daemons.base import Daemon
+from repro.daemons.central import (
+    RandomCentralDaemon,
+    RoundRobinDaemon,
+    FixedPriorityDaemon,
+)
+from repro.daemons.distributed import (
+    SynchronousDaemon,
+    RandomSubsetDaemon,
+    BernoulliDaemon,
+)
+from repro.daemons.adversarial import AdversarialDaemon
+from repro.daemons.replay import ReplayDaemon
+
+__all__ = [
+    "Daemon",
+    "RandomCentralDaemon",
+    "RoundRobinDaemon",
+    "FixedPriorityDaemon",
+    "SynchronousDaemon",
+    "RandomSubsetDaemon",
+    "BernoulliDaemon",
+    "AdversarialDaemon",
+    "ReplayDaemon",
+]

@@ -1,0 +1,133 @@
+"""An adversarial (unfair) daemon that tries to delay convergence.
+
+The unfair distributed daemon of the paper is an *adversary*: correctness
+must hold for every selection it can make.  :class:`AdversarialDaemon`
+approximates the worst case with bounded-depth greedy lookahead: at each step
+it enumerates candidate selections, simulates ``depth`` steps ahead (with the
+same policy recursively at depth > 1), and picks the selection whose deepest
+reachable configuration stays illegitimate the longest / keeps the most
+disorder.
+
+The *exact* worst case (game value) is computed by
+:mod:`repro.verification.model_checker` for small instances; this daemon
+scales to larger rings and is used by the Lemma-5 census and the convergence
+scaling study to pressure-test the O(n^2) bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.daemons.base import Daemon
+
+
+def _default_disorder(algorithm, config: Any) -> float:
+    """Heuristic disorder score: higher = further from legitimacy.
+
+    Counts enabled processes (legitimate SSRmin configurations have exactly
+    one) and adds a large bonus while the configuration is illegitimate, so
+    the adversary prefers staying outside Lambda.
+    """
+    score = float(len(algorithm.enabled_processes(config)))
+    if not algorithm.is_legitimate(config):
+        score += 1000.0
+    return score
+
+
+class AdversarialDaemon(Daemon):
+    """Greedy lookahead adversary.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm under test (needed to simulate lookahead).
+    depth:
+        Lookahead depth in steps (>= 1).  Cost grows as
+        ``(candidate count)^depth``.
+    max_subsets:
+        Cap on candidate selections evaluated per node.  All singletons are
+        always considered; the full set and random larger subsets fill the
+        remaining budget.
+    disorder:
+        Scoring function ``(algorithm, config) -> float``; the adversary
+        maximizes the minimum score along its lookahead.  Defaults to
+        :func:`_default_disorder`.
+    seed:
+        Seed for the tie-breaking / subset-sampling RNG.
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        depth: int = 2,
+        max_subsets: int = 12,
+        disorder: Optional[Callable[[Any, Any], float]] = None,
+        seed: Optional[int] = None,
+    ):
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        if max_subsets < 1:
+            raise ValueError(f"max_subsets must be >= 1, got {max_subsets}")
+        self.algorithm = algorithm
+        self.depth = depth
+        self.max_subsets = max_subsets
+        self.disorder = disorder or _default_disorder
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    # -- candidate enumeration ------------------------------------------------
+    def _candidates(self, enabled: Sequence[int]) -> list[Tuple[int, ...]]:
+        enabled = list(enabled)
+        cands: list[Tuple[int, ...]] = [(i,) for i in enabled]
+        if len(enabled) > 1:
+            cands.append(tuple(enabled))
+        if len(enabled) <= 4:
+            # Small enabled sets: enumerate every non-empty subset exactly.
+            for r in range(2, len(enabled)):
+                cands.extend(itertools.combinations(enabled, r))
+        else:
+            while len(cands) < self.max_subsets:
+                size = self._rng.randint(2, len(enabled) - 1)
+                cands.append(tuple(sorted(self._rng.sample(enabled, size))))
+        # Deduplicate, keep order, respect the budget.
+        seen = set()
+        out = []
+        for c in cands:
+            if c not in seen:
+                seen.add(c)
+                out.append(c)
+            if len(out) >= max(self.max_subsets, len(enabled) + 1):
+                break
+        return out
+
+    def _value(self, config: Any, depth: int) -> float:
+        """Best disorder the adversary can maintain from ``config``."""
+        base = self.disorder(self.algorithm, config)
+        if depth == 0:
+            return base
+        enabled = self.algorithm.enabled_processes(config)
+        if not enabled:
+            return base
+        best = float("-inf")
+        for cand in self._candidates(enabled):
+            nxt = self.algorithm.step(config, cand)
+            best = max(best, self._value(nxt, depth - 1))
+        return best
+
+    # -- Daemon API --------------------------------------------------------
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        best_score = float("-inf")
+        best: list[Tuple[int, ...]] = []
+        for cand in self._candidates(enabled):
+            nxt = self.algorithm.step(config, cand)
+            score = self._value(nxt, self.depth - 1)
+            if score > best_score:
+                best_score, best = score, [cand]
+            elif score == best_score:
+                best.append(cand)
+        return self._rng.choice(best)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,73 @@
+"""Central daemons: exactly one enabled process moves per step."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.daemons.base import Daemon
+
+
+class RandomCentralDaemon(Daemon):
+    """Uniformly random central daemon.
+
+    Picks one enabled process uniformly at random each step.  Seeded for
+    reproducibility.
+    """
+
+    distributed = False
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        return (self._rng.choice(list(enabled)),)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class RoundRobinDaemon(Daemon):
+    """A *fair* central daemon cycling through process indices.
+
+    Maintains a pointer and each step selects the first enabled process at or
+    after it (wrapping), then advances past it.  Every continuously enabled
+    process is eventually selected, so this daemon is weakly fair — useful as
+    a contrast to the unfair daemons SSRmin is proven under.
+    """
+
+    distributed = False
+
+    def __init__(self) -> None:
+        self._pointer = 0
+
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        n_max = max(enabled) + 1
+        for offset in range(n_max):
+            candidate = (self._pointer + offset) % n_max
+            if candidate in enabled:
+                self._pointer = (candidate + 1) % n_max
+                return (candidate,)
+        raise AssertionError("unreachable: enabled was non-empty")
+
+    def reset(self) -> None:
+        self._pointer = 0
+
+
+class FixedPriorityDaemon(Daemon):
+    """Central daemon that always picks the enabled process of lowest index.
+
+    Deterministic and maximally *unfair*: a low-index process that is
+    continuously enabled starves everyone above it.  Handy for reproducible
+    worst-case-flavoured executions and for exercising unfairness tolerance.
+    """
+
+    distributed = False
+
+    def __init__(self, reverse: bool = False):
+        #: If True, pick the highest index instead.
+        self.reverse = reverse
+
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        return (max(enabled) if self.reverse else min(enabled),)

@@ -1,0 +1,70 @@
+"""Distributed daemons: any non-empty subset of enabled processes may move."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.daemons.base import Daemon
+
+
+class SynchronousDaemon(Daemon):
+    """Every enabled process moves at every step.
+
+    The fully synchronous schedule is one particular (extreme) behaviour of
+    the distributed daemon, so algorithms proven under the unfair distributed
+    daemon must also converge under it.
+    """
+
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        return tuple(enabled)
+
+
+class RandomSubsetDaemon(Daemon):
+    """A uniformly random non-empty subset of the enabled processes moves.
+
+    Each of the ``2^|enabled| - 1`` non-empty subsets is equally likely.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        enabled = list(enabled)
+        while True:
+            chosen = [i for i in enabled if self._rng.random() < 0.5]
+            if chosen:
+                return tuple(chosen)
+            # Rejection-sample away the empty set; with >= 1 enabled process
+            # each retry succeeds with probability >= 1/2.
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+class BernoulliDaemon(Daemon):
+    """Each enabled process independently moves with probability ``p``.
+
+    Falls back to a single uniformly random process when the coin flips all
+    come up tails, so the selection is always non-empty.  ``p`` close to 1
+    approximates the synchronous daemon, close to 0 the central daemon — the
+    knob used by the daemon-sweep ablation (abl2).
+    """
+
+    def __init__(self, p: float = 0.5, seed: Optional[int] = None):
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = p
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        enabled = list(enabled)
+        chosen = [i for i in enabled if self._rng.random() < self.p]
+        if not chosen:
+            chosen = [self._rng.choice(enabled)]
+        return tuple(chosen)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)

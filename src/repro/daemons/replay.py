@@ -1,0 +1,54 @@
+"""Replay daemon: drive a simulation from a recorded selection sequence.
+
+Used for figure-exact regression tests (Figure 4's sixteen steps) and for
+replaying executions recorded by :class:`repro.simulation.execution.Execution`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+from repro.daemons.base import Daemon
+
+
+class ReplayDaemon(Daemon):
+    """Selects a pre-recorded set of processes at each step.
+
+    Parameters
+    ----------
+    schedule:
+        Iterable of selections; each element is a process index or an
+        iterable of indices.  Raises :class:`IndexError` when the engine asks
+        for more steps than were recorded, and :class:`ValueError` if a
+        recorded selection is not a subset of the currently enabled set (the
+        replayed execution has diverged).
+    """
+
+    def __init__(self, schedule: Iterable):
+        self._schedule: list[Tuple[int, ...]] = []
+        for entry in schedule:
+            if isinstance(entry, int):
+                self._schedule.append((entry,))
+            else:
+                self._schedule.append(tuple(entry))
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._schedule)
+
+    @property
+    def remaining(self) -> int:
+        """Selections not yet consumed."""
+        return len(self._schedule) - self._cursor
+
+    def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
+        if self._cursor >= len(self._schedule):
+            raise IndexError(
+                f"replay schedule exhausted after {len(self._schedule)} steps"
+            )
+        selection = self._schedule[self._cursor]
+        self._cursor += 1
+        return self.validate_selection(selection, enabled)
+
+    def reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,55 @@
+"""Run registry experiments in parallel worker processes.
+
+The experiments are independent and CPU-bound, so a process pool gives a
+near-linear wall-clock win for the full report.  Workers resolve runners by
+*id* through the registry (only strings cross the process boundary, so
+nothing fancy needs pickling).
+
+``python -m repro report --parallel N`` uses this path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.registry import ExperimentResult, list_experiments
+
+
+def _run_one(args) -> ExperimentResult:
+    """Worker entry point (module-level for pickling)."""
+    experiment_id, fast = args
+    from repro.experiments.registry import run_experiment
+
+    return run_experiment(experiment_id, fast=fast)
+
+
+def run_experiments_parallel(
+    experiment_ids: Optional[Sequence[str]] = None,
+    fast: bool = False,
+    workers: int = 2,
+) -> List[ExperimentResult]:
+    """Run experiments across ``workers`` processes; results in input order.
+
+    Parameters
+    ----------
+    experiment_ids:
+        Ids to run (default: the whole registry).
+    fast:
+        Reduced trial counts.
+    workers:
+        Process count (>= 1; 1 degenerates to sequential in-process
+        execution, useful for debugging).
+    """
+    ids = list(experiment_ids) if experiment_ids is not None else list_experiments()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return [_run_one((eid, fast)) for eid in ids]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_one, [(eid, fast) for eid in ids]))
+
+
+def results_by_id(results: Sequence[ExperimentResult]) -> Dict[str, ExperimentResult]:
+    """Index results by experiment id."""
+    return {r.experiment_id: r for r in results}

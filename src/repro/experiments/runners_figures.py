@@ -1,0 +1,315 @@
+"""Runners regenerating the paper's figures (1-4, 11-13).
+
+Figures 5-10 are proof illustrations (domination-graph sketches inside
+Lemma 8's argument) with no independent experimental content; their
+quantitative substance — the domination constants — is exercised by the
+``lem5`` runner instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from repro.algorithms.composition import IndependentComposition
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.analysis.tracefmt import annotate_process, format_token_movement
+from repro.core.ssrmin import SSRmin
+from repro.core.state import Configuration
+from repro.daemons.replay import ReplayDaemon
+from repro.experiments.registry import ExperimentResult
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+from repro.messagepassing.modelgap import evaluate_gap
+from repro.simulation.engine import SharedMemorySimulator
+
+
+def _canonical_execution(alg: SSRmin, x: int, steps: int):
+    """Record the unique legitimate execution from gamma_0(x)."""
+    config = alg.initial_configuration(x)
+    schedule = []
+    probe = config
+    for _ in range(steps):
+        enabled = alg.enabled_processes(probe)
+        assert len(enabled) == 1
+        schedule.append(enabled[0])
+        probe = alg.step(probe, enabled)
+    sim = SharedMemorySimulator(alg, ReplayDaemon(schedule))
+    return sim.run(config, max_steps=steps)
+
+
+def run_fig01(fast: bool = False) -> ExperimentResult:
+    """Figure 1: movement of the two tokens on five processes."""
+    alg = SSRmin(5, 6)
+    steps = 3 * alg.n if fast else 6 * alg.n
+    result = _canonical_execution(alg, x=0, steps=steps)
+    rows: List[List[str]] = []
+    for t, config in enumerate(result.execution.configurations):
+        cells = []
+        for i in range(alg.n):
+            mark = ""
+            if alg.holds_primary(config, i):
+                mark += "P"
+            if alg.holds_secondary(config, i):
+                mark += "S"
+            cells.append(mark or "-")
+        rows.append([str(t + 1)] + cells)
+    # The paper's pattern: PS together, then P|S split, repeating clockwise.
+    ok = True
+    for t, config in enumerate(result.execution.configurations):
+        holders = alg.privileged(config)
+        if not 1 <= len(holders) <= 2:
+            ok = False
+        if len(holders) == 2:
+            i, j = holders
+            if (i + 1) % alg.n != j and (j + 1) % alg.n != i:
+                ok = False  # token holders must be ring-adjacent
+    return ExperimentResult(
+        experiment_id="fig01",
+        title="Movement of the two tokens (P/S table, n=5)",
+        paper_claim="P and S move like an inchworm: PS together, S one ahead, "
+        "P catches up; holders always the same or adjacent processes",
+        measured=f"{steps + 1} configurations; holders always 1-2 adjacent processes: {ok}",
+        match=ok,
+        header=["Step", "P0", "P1", "P2", "P3", "P4"],
+        rows=rows,
+    )
+
+
+def run_fig02(fast: bool = False) -> ExperimentResult:
+    """Figure 2: the rts/tra handshake between P_i and P_{i+1}."""
+    alg = SSRmin(5, 6)
+    result = _canonical_execution(alg, x=0, steps=3)
+    rows = []
+    expected = [("R1", 0), ("R3", 1), ("R2", 0)]
+    seen = []
+    for t, moves in enumerate(result.execution.moves):
+        m = moves[0]
+        config = result.execution.configurations[t + 1]
+        seen.append((m.rule, m.process))
+        rows.append(
+            [
+                str(t + 1),
+                f"P{m.process}",
+                m.rule,
+                f"{config.rts(0)}.{config.tra(0)}",
+                f"{config.rts(1)}.{config.tra(1)}",
+            ]
+        )
+    ok = seen == expected
+    return ExperimentResult(
+        experiment_id="fig02",
+        title="Handshake between P_i and P_{i+1} (rts/tra protocol)",
+        paper_claim="one handover = R1 by P_i (rts_i=1), R3 by P_{i+1} "
+        "(tra_{i+1}=1), R2 by P_i (counters advance, flags reset)",
+        measured=f"observed rule/actor sequence {seen}",
+        match=ok,
+        header=["Event", "Actor", "Rule", "rts0.tra0", "rts1.tra1"],
+        rows=rows,
+    )
+
+
+def run_fig03(fast: bool = False) -> ExperimentResult:
+    """Figure 3: possible rules for each <rts_i.tra_i> value.
+
+    Enumerates every combination of neighbour handshake states and both
+    values of G_i on a 3-ring, recording which rule (after priority) can
+    fire at a process with each own-state.
+    """
+    alg = SSRmin(3, 4)
+    hs_values = [(0, 0), (0, 1), (1, 0), (1, 1)]
+    table = {}
+    for own in hs_values:
+        for g_true in (True, False):
+            fired = set()
+            for pred_hs, succ_hs in itertools.product(hs_values, repeat=2):
+                # Control G_1 = (x_1 != x_0) via the x components on P1.
+                x1 = 1 if g_true else 0
+                config = Configuration(
+                    [
+                        (0, *pred_hs),
+                        (x1, *own),
+                        (0, *succ_hs),
+                    ]
+                )
+                rule = alg.enabled_rule(config, 1)
+                if rule is not None:
+                    fired.add(rule.number)
+            table[(own, g_true)] = fired
+    # The paper's Figure 3 content:
+    expected = {
+        ((0, 0), True): {1},
+        ((0, 0), False): {3},
+        ((0, 1), True): {1},
+        ((0, 1), False): {5},
+        ((1, 0), True): {2, 4},
+        ((1, 0), False): {3, 5},
+        ((1, 1), True): {1},
+        ((1, 1), False): {3, 5},
+    }
+    rows = []
+    ok = True
+    for own in hs_values:
+        for g_true in (True, False):
+            got = table[(own, g_true)]
+            exp = expected[(own, g_true)]
+            if got != exp:
+                ok = False
+            rows.append(
+                [
+                    f"{own[0]}.{own[1]}",
+                    "true" if g_true else "false",
+                    ",".join(map(str, sorted(got))) or "-",
+                    ",".join(map(str, sorted(exp))),
+                ]
+            )
+    return ExperimentResult(
+        experiment_id="fig03",
+        title="Possible rules for each <rts_i.tra_i> value",
+        paper_claim="00: R1/R3; 01: R1/R5; 10: R2,R4/R3,R5; 11: R1/R3,R5 "
+        "(G true / G false)",
+        measured="enumerated over all neighbour states; "
+        + ("matches Figure 3 exactly" if ok else "differs from Figure 3"),
+        match=ok,
+        header=["rts.tra", "G_i", "possible rules", "paper"],
+        rows=rows,
+    )
+
+
+#: Figure 4 of the paper, verbatim (n=5, K=6, x starting at 3).
+FIG4_EXPECTED = [
+    ["3.0.1PS/1", "3.0.0", "3.0.0", "3.0.0", "3.0.0"],
+    ["3.1.0PS", "3.0.0/3", "3.0.0", "3.0.0", "3.0.0"],
+    ["3.1.0P/2", "3.0.1S", "3.0.0", "3.0.0", "3.0.0"],
+    ["4.0.0", "3.0.1PS/1", "3.0.0", "3.0.0", "3.0.0"],
+    ["4.0.0", "3.1.0PS", "3.0.0/3", "3.0.0", "3.0.0"],
+    ["4.0.0", "3.1.0P/2", "3.0.1S", "3.0.0", "3.0.0"],
+    ["4.0.0", "4.0.0", "3.0.1PS/1", "3.0.0", "3.0.0"],
+    ["4.0.0", "4.0.0", "3.1.0PS", "3.0.0/3", "3.0.0"],
+    ["4.0.0", "4.0.0", "3.1.0P/2", "3.0.1S", "3.0.0"],
+    ["4.0.0", "4.0.0", "4.0.0", "3.0.1PS/1", "3.0.0"],
+    ["4.0.0", "4.0.0", "4.0.0", "3.1.0PS", "3.0.0/3"],
+    ["4.0.0", "4.0.0", "4.0.0", "3.1.0P/2", "3.0.1S"],
+    ["4.0.0", "4.0.0", "4.0.0", "4.0.0", "3.0.1PS/1"],
+    ["4.0.0/3", "4.0.0", "4.0.0", "4.0.0", "3.1.0PS"],
+    ["4.0.1S", "4.0.0", "4.0.0", "4.0.0", "3.1.0P/2"],
+    ["4.0.1PS/1", "4.0.0", "4.0.0", "4.0.0", "4.0.0"],
+]
+
+
+def run_fig04(fast: bool = False) -> ExperimentResult:
+    """Figure 4: the 16-step execution example with five processes."""
+    alg = SSRmin(5, 6)
+    result = _canonical_execution(alg, x=3, steps=15)
+    rows = []
+    ok = True
+    for t, config in enumerate(result.execution.configurations):
+        cells = [annotate_process(alg, config, i) for i in range(5)]
+        if cells != FIG4_EXPECTED[t]:
+            ok = False
+        rows.append([str(t + 1)] + cells)
+    return ExperimentResult(
+        experiment_id="fig04",
+        title="Execution example of SSRmin with five processes",
+        paper_claim="the exact 16-row trace of Figure 4 (x=3, K=6)",
+        measured="trace matches Figure 4 cell-for-cell"
+        if ok
+        else "trace DIFFERS from Figure 4",
+        match=ok,
+        header=["Step", "P0", "P1", "P2", "P3", "P4"],
+        rows=rows,
+    )
+
+
+def run_fig11(fast: bool = False) -> ExperimentResult:
+    """Figure 11: token extinction of transformed SSToken."""
+    duration = 100.0 if fast else 400.0
+    alg = DijkstraKState(5, 6)
+    net = transformed(alg, seed=11, delay_model=UniformDelay(0.5, 1.5))
+    rep = evaluate_gap(net, duration=duration)
+    frac = rep.zero_time / duration
+    rows = [
+        ["zero-token time", f"{rep.zero_time:.1f}"],
+        ["zero-token fraction", f"{frac:.2%}"],
+        ["extinction intervals", str(len(rep.zero_intervals))],
+        ["min holders", str(rep.min_count)],
+        ["max holders", str(rep.max_count)],
+    ]
+    ok = rep.zero_time > 0 and rep.min_count == 0 and rep.max_count <= 1
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Token extinction of SSToken in the message-passing model",
+        paper_claim="between release by P_i and receipt by P_{i+1} there is "
+        "no token in the system (Figure 11)",
+        measured=f"token absent {frac:.0%} of the time "
+        f"({len(rep.zero_intervals)} extinction intervals)",
+        match=ok,
+        header=["quantity", "value"],
+        rows=rows,
+        notes="legitimate + cache-coherent start; uniform delays in [0.5, 1.5]",
+    )
+
+
+def run_fig12(fast: bool = False) -> ExperimentResult:
+    """Figure 12: two independent SSToken instances still go tokenless."""
+    duration = 150.0 if fast else 600.0
+    layers = [DijkstraKState(5, 6), DijkstraKState(5, 6)]
+    comp = IndependentComposition(layers)
+    # Start the two tokens far apart (positions 0 and 2).
+    init = comp.compose_configurations([(0, 0, 0, 0, 0), (1, 1, 0, 0, 0)])
+    net = transformed(comp, seed=12, initial_states=list(init),
+                      delay_model=UniformDelay(0.5, 1.5))
+    rep = evaluate_gap(net, duration=duration)
+    frac = rep.zero_time / duration
+    rows = [
+        ["zero-token time", f"{rep.zero_time:.1f}"],
+        ["zero-token fraction", f"{frac:.2%}"],
+        ["extinction intervals", str(len(rep.zero_intervals))],
+        ["min holders", str(rep.min_count)],
+        ["max holders", str(rep.max_count)],
+    ]
+    ok = rep.zero_time > 0
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Two independent SSToken instances in the message-passing model",
+        paper_claim="if the two token holders move at overlapping times, "
+        "there is an instant with no token anywhere (Figure 12)",
+        measured=f"despite two tokens, no-token windows cover {frac:.0%} "
+        f"of the run ({len(rep.zero_intervals)} intervals)",
+        match=ok,
+        header=["quantity", "value"],
+        rows=rows,
+        notes="stands in for the multi-token ring of [3]; see DESIGN.md "
+        "substitutions",
+    )
+
+
+def run_fig13(fast: bool = False) -> ExperimentResult:
+    """Figure 13: SSRmin's graceful handover in the message-passing model."""
+    duration = 150.0 if fast else 600.0
+    alg = SSRmin(5, 6)
+    net = transformed(alg, seed=13, delay_model=UniformDelay(0.5, 1.5))
+    rep = evaluate_gap(net, duration=duration, sample_observations=True,
+                       sample_every=duration / 50)
+    from repro.messagepassing.modelgap import definition3_holds
+
+    d3 = definition3_holds(rep.observations)
+    rows = [
+        ["zero-token time", f"{rep.zero_time:.1f}"],
+        ["min holders", str(rep.min_count)],
+        ["max holders", str(rep.max_count)],
+        ["Definition 3 samples consistent", str(d3)],
+    ]
+    ok = rep.tolerant and rep.min_count >= 1 and rep.max_count <= 2 and d3
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="SSRmin mutual inclusion in the message-passing model",
+        paper_claim="at least one and at most two nodes hold a token at any "
+        "time (Theorem 3); SSRmin is model gap tolerant",
+        measured=f"holders stayed in [{rep.min_count}, {rep.max_count}], "
+        f"zero-token time {rep.zero_time:.1f}",
+        match=ok,
+        header=["quantity", "value"],
+        rows=rows,
+        notes="legitimate + cache-coherent start; uniform delays in [0.5, 1.5]",
+    )

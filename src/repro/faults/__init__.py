@@ -1,0 +1,29 @@
+"""Transient-fault injection (the faults self-stabilization tolerates).
+
+Section 2.2: a self-stabilizing system tolerates "any kind and any finite
+number of transient faults, for example, memory corruption by soft error,
+message loss and/or corruption" — the configuration just after the fault is
+treated as a fresh initial configuration.
+
+* :mod:`repro.faults.injection` — primitive injectors for state-reading
+  configurations and for message-passing networks (state, cache, message).
+* :mod:`repro.faults.scenarios` — composed scenarios: single bit-flip,
+  bursts, periodic faults with a mean time between faults, used by the
+  recovery experiments and the fault_recovery example.
+"""
+
+from repro.faults.injection import (
+    corrupt_process,
+    corrupt_processes,
+    FaultInjector,
+)
+from repro.faults.scenarios import FaultScenario, periodic_faults, burst_fault
+
+__all__ = [
+    "corrupt_process",
+    "corrupt_processes",
+    "FaultInjector",
+    "FaultScenario",
+    "periodic_faults",
+    "burst_fault",
+]

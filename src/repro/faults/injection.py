@@ -1,0 +1,85 @@
+"""Primitive fault injectors.
+
+For state-reading configurations, a transient fault replaces a process's
+local state with an arbitrary domain value.  For message-passing networks,
+faults can additionally hit caches (a corrupted cache entry is exactly the
+"bad incoherence" of section 5) — message loss itself is a property of the
+:class:`~repro.messagepassing.links.Link`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.algorithms.base import RingAlgorithm
+
+
+def corrupt_process(
+    algorithm: RingAlgorithm, config: Any, i: int, rng: random.Random
+) -> Any:
+    """Replace process ``i``'s local state with a uniform random domain value.
+
+    Returns the corrupted configuration (configurations are immutable).
+    """
+    space = list(algorithm.local_state_space())
+    new_state = rng.choice(space)
+    replace = getattr(config, "replace", None)
+    if callable(replace):
+        return replace(i, new_state)
+    states = list(config)
+    states[i] = new_state
+    return algorithm.normalize_configuration(states)
+
+
+def corrupt_processes(
+    algorithm: RingAlgorithm,
+    config: Any,
+    indices: Iterable[int],
+    rng: random.Random,
+) -> Any:
+    """Corrupt several processes (a fault burst)."""
+    for i in indices:
+        config = corrupt_process(algorithm, config, i, rng)
+    return config
+
+
+class FaultInjector:
+    """Stateful injector with a seeded RNG and an injection log.
+
+    Works on state-reading configurations (:meth:`hit_config`) and on
+    message-passing networks (:meth:`hit_network_state`,
+    :meth:`hit_network_cache`).
+    """
+
+    def __init__(self, algorithm: RingAlgorithm, seed: int = 0):
+        self.algorithm = algorithm
+        self.rng = random.Random(seed)
+        #: Log of ``(kind, target)`` tuples, in injection order.
+        self.log: list = []
+
+    def hit_config(self, config: Any, count: int = 1) -> Any:
+        """Corrupt ``count`` uniformly chosen processes of a configuration."""
+        for _ in range(count):
+            i = self.rng.randrange(self.algorithm.n)
+            config = corrupt_process(self.algorithm, config, i, self.rng)
+            self.log.append(("state", i))
+        return config
+
+    def hit_network_state(self, network, count: int = 1) -> None:
+        """Corrupt ``count`` node states of a running CST network in place."""
+        space = list(self.algorithm.local_state_space())
+        for _ in range(count):
+            i = self.rng.randrange(self.algorithm.n)
+            network.corrupt_node(i, self.rng.choice(space))
+            self.log.append(("node-state", i))
+
+    def hit_network_cache(self, network, count: int = 1) -> None:
+        """Corrupt ``count`` cache entries of a running CST network."""
+        space = list(self.algorithm.local_state_space())
+        n = self.algorithm.n
+        for _ in range(count):
+            i = self.rng.randrange(n)
+            neighbor = self.rng.choice([(i - 1) % n, (i + 1) % n])
+            network.corrupt_cache(i, neighbor, self.rng.choice(space))
+            self.log.append(("cache", (i, neighbor)))

@@ -1,0 +1,149 @@
+"""Composed fault scenarios for recovery experiments.
+
+A :class:`FaultScenario` interleaves fault injections with simulation in the
+state-reading model and measures recovery: after each injection, how many
+steps until the system is legitimate again.  Factory helpers build the two
+standard shapes:
+
+* :func:`burst_fault` — one burst of ``f`` simultaneous corruptions
+  (superstabilization literature's "single topology-change event" analogue);
+* :func:`periodic_faults` — repeated single faults every ``period`` steps
+  (a soft-error-rate regime); the system is "available" whenever legitimate,
+  so the scenario also reports the availability fraction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.algorithms.base import RingAlgorithm
+from repro.daemons.base import Daemon
+from repro.faults.injection import FaultInjector
+from repro.simulation.convergence import converge
+
+
+@dataclass
+class RecoveryRecord:
+    """Recovery from one injection: steps back to legitimacy."""
+
+    fault_index: int
+    corrupted_processes: int
+    recovery_steps: int
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of a full fault scenario run."""
+
+    records: List[RecoveryRecord] = field(default_factory=list)
+    total_steps: int = 0
+    legitimate_steps: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of steps spent in legitimate configurations."""
+        return self.legitimate_steps / self.total_steps if self.total_steps else 1.0
+
+    @property
+    def max_recovery(self) -> int:
+        """Worst observed recovery time."""
+        return max((r.recovery_steps for r in self.records), default=0)
+
+
+class FaultScenario:
+    """Run: converge, inject, recover, repeat.
+
+    Parameters
+    ----------
+    algorithm, daemon:
+        The system under test.
+    faults_per_injection:
+        How many process states each injection corrupts.
+    injections:
+        Number of injection/recovery rounds.
+    seed:
+        Master seed (injector and recovery budget use derived seeds).
+    """
+
+    def __init__(
+        self,
+        algorithm: RingAlgorithm,
+        daemon: Daemon,
+        faults_per_injection: int = 1,
+        injections: int = 10,
+        seed: int = 0,
+    ):
+        self.algorithm = algorithm
+        self.daemon = daemon
+        self.faults_per_injection = faults_per_injection
+        self.injections = injections
+        self.injector = FaultInjector(algorithm, seed=seed)
+        self.rng = random.Random(seed + 7919)
+
+    def run(self, initial: Optional[Any] = None) -> ScenarioResult:
+        """Execute the scenario; returns per-injection recovery records."""
+        alg = self.algorithm
+        config = (
+            alg.normalize_configuration(initial)
+            if initial is not None
+            else alg.random_configuration(self.rng)
+        )
+        result = ScenarioResult()
+
+        # Initial convergence (not counted as a recovery record).
+        res = converge(alg, self.daemon, config)
+        if not res.converged:
+            raise RuntimeError("initial convergence failed")
+        config = res.final_config
+        result.total_steps += res.steps
+
+        for k in range(self.injections):
+            config = self.injector.hit_config(config, self.faults_per_injection)
+            res = converge(alg, self.daemon, config)
+            if not res.converged:
+                raise RuntimeError(f"recovery {k} failed to converge")
+            config = res.final_config
+            result.records.append(
+                RecoveryRecord(
+                    fault_index=k,
+                    corrupted_processes=self.faults_per_injection,
+                    recovery_steps=res.steps,
+                )
+            )
+            result.total_steps += res.steps
+            result.legitimate_steps += 0  # illegitimate during recovery
+            # Let the system run legitimately for a lap between faults.
+            lap = 3 * alg.n
+            from repro.simulation.engine import SharedMemorySimulator
+
+            sim = SharedMemorySimulator(alg, self.daemon)
+            run_res = sim.run(config, max_steps=lap, record=False)
+            config = run_res.final_config
+            result.total_steps += run_res.steps
+            result.legitimate_steps += run_res.steps
+        return result
+
+
+def burst_fault(
+    algorithm: RingAlgorithm, daemon: Daemon, faults: int, seed: int = 0
+) -> ScenarioResult:
+    """One burst of ``faults`` simultaneous corruptions, then recovery."""
+    scenario = FaultScenario(
+        algorithm, daemon, faults_per_injection=faults, injections=1, seed=seed
+    )
+    return scenario.run()
+
+
+def periodic_faults(
+    algorithm: RingAlgorithm,
+    daemon: Daemon,
+    rounds: int,
+    seed: int = 0,
+) -> ScenarioResult:
+    """``rounds`` single-fault injections with legitimate laps in between."""
+    scenario = FaultScenario(
+        algorithm, daemon, faults_per_injection=1, injections=rounds, seed=seed
+    )
+    return scenario.run()

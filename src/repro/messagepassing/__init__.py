@@ -1,0 +1,58 @@
+"""Message-passing execution of state-reading algorithms (paper section 5).
+
+Real sensor networks do not offer instantaneous neighbour-state reads; the
+paper executes SSRmin on them via Herman's *cached sensornet transform* (CST,
+Algorithm 4): every node keeps a **cache** of its neighbours' states, sends
+its own state whenever it changes and periodically on a timer, and evaluates
+guards (and the token predicates) against the cache.
+
+This package is a discrete-event simulation of that world:
+
+* :mod:`repro.messagepassing.des` — event queue and clock;
+* :mod:`repro.messagepassing.links` — directed links with transmission
+  delay, Bernoulli loss, and the paper's "at most one message in transit per
+  direction" constraint (newest state coalesces while the link is busy);
+* :mod:`repro.messagepassing.node` — CST nodes (Algorithm 4 verbatim:
+  on-receive handler + interval timer);
+* :mod:`repro.messagepassing.network` — wiring + run loop + token
+  timelines;
+* :mod:`repro.messagepassing.coherence` — Definition 2's cache-coherence
+  predicate and good/bad incoherence classification;
+* :mod:`repro.messagepassing.timeline` — change-point records of how many
+  nodes hold a token *in their own cached view*, the quantity Figures 11-13
+  reason about;
+* :mod:`repro.messagepassing.modelgap` — Definition 3's model-gap-tolerance
+  evaluation.
+"""
+
+from repro.messagepassing.des import EventQueue, Event
+from repro.messagepassing.links import (
+    Link,
+    FixedDelay,
+    UniformDelay,
+    ExponentialDelay,
+)
+from repro.messagepassing.node import CSTNode
+from repro.messagepassing.network import MessagePassingNetwork, build_cst_network
+from repro.messagepassing.coherence import is_cache_coherent
+from repro.messagepassing.timeline import TokenTimeline
+from repro.messagepassing.trace import MessageTrace, render_sequence_diagram
+from repro.messagepassing.wireless import WirelessMedium, build_wireless_network
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "Link",
+    "FixedDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "CSTNode",
+    "MessagePassingNetwork",
+    "build_cst_network",
+    "is_cache_coherent",
+    "TokenTimeline",
+    "MessageTrace",
+    "render_sequence_diagram",
+    "WirelessMedium",
+    "build_wireless_network",
+]

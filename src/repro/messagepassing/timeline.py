@@ -1,0 +1,130 @@
+"""Token-coverage timelines: who holds a token, when (Figures 11-13).
+
+The message-passing experiments all ask the same question: over continuous
+time, how many nodes believe (through their own cached view) that they hold a
+token?  :class:`TokenTimeline` records change-points ``(time, count,
+holders)`` and answers interval queries:
+
+* :meth:`zero_intervals` — maximal intervals with **no** token anywhere: the
+  "token extinction" the paper's Figure 11 shows for transformed SSToken and
+  Figure 13 shows never happens for SSRmin;
+* :meth:`count_bounds` — min/max simultaneous holders (Theorem 3's 1..2);
+* :meth:`coverage_fraction` — fraction of time with >= 1 holder (the camera
+  application's continuous-observation metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """A change-point: from ``time`` onward, ``holders`` hold tokens."""
+
+    time: float
+    holders: Tuple[int, ...]
+
+    @property
+    def count(self) -> int:
+        """Number of simultaneous holders from this instant."""
+        return len(self.holders)
+
+
+class TokenTimeline:
+    """Append-only record of token-holding change-points."""
+
+    def __init__(self) -> None:
+        self._points: List[TimelinePoint] = []
+        self._end_time: Optional[float] = None
+
+    # -- construction ------------------------------------------------------
+    def record(self, time: float, holders: Sequence[int]) -> None:
+        """Record the holder set effective from ``time``.
+
+        Consecutive identical holder sets are coalesced; times must be
+        non-decreasing.  Multiple records at the same instant keep only the
+        last (events at equal time are a single observable instant).
+        """
+        holders_t = tuple(sorted(holders))
+        if self._points:
+            last = self._points[-1]
+            if time < last.time:
+                raise ValueError(f"time went backwards: {time} < {last.time}")
+            if holders_t == last.holders:
+                return
+            if time == last.time:
+                self._points[-1] = TimelinePoint(time, holders_t)
+                # Coalesce again if this made it equal to its predecessor.
+                if (
+                    len(self._points) >= 2
+                    and self._points[-2].holders == holders_t
+                ):
+                    self._points.pop()
+                return
+        self._points.append(TimelinePoint(time, holders_t))
+
+    def finish(self, end_time: float) -> None:
+        """Close the timeline at ``end_time`` (defines the last interval)."""
+        if self._points and end_time < self._points[-1].time:
+            raise ValueError("end_time precedes the last change-point")
+        self._end_time = end_time
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def points(self) -> Tuple[TimelinePoint, ...]:
+        """All change-points, in time order."""
+        return tuple(self._points)
+
+    @property
+    def end_time(self) -> float:
+        if self._end_time is None:
+            raise ValueError("call finish(end_time) before querying intervals")
+        return self._end_time
+
+    def intervals(self) -> List[Tuple[float, float, Tuple[int, ...]]]:
+        """``(start, end, holders)`` triples partitioning [t0, end_time]."""
+        end = self.end_time
+        out = []
+        for idx, pt in enumerate(self._points):
+            stop = self._points[idx + 1].time if idx + 1 < len(self._points) else end
+            if stop > pt.time:
+                out.append((pt.time, stop, pt.holders))
+        return out
+
+    def zero_intervals(self) -> List[Tuple[float, float]]:
+        """Maximal intervals of positive length with zero token holders."""
+        return [(a, b) for a, b, h in self.intervals() if not h]
+
+    def zero_time(self) -> float:
+        """Total time with no token anywhere ("token extinction" time)."""
+        return sum(b - a for a, b in self.zero_intervals())
+
+    def count_bounds(
+        self, from_time: float = 0.0
+    ) -> Tuple[int, int]:
+        """(min, max) simultaneous holders over ``[from_time, end_time]``."""
+        counts = [
+            len(h) for a, b, h in self.intervals() if b > from_time
+        ]
+        if not counts:
+            raise ValueError("no intervals after from_time")
+        return min(counts), max(counts)
+
+    def coverage_fraction(self, from_time: float = 0.0) -> float:
+        """Fraction of time in ``[from_time, end_time]`` with >= 1 holder."""
+        total = 0.0
+        covered = 0.0
+        for a, b, h in self.intervals():
+            a = max(a, from_time)
+            if b <= a:
+                continue
+            total += b - a
+            if h:
+                covered += b - a
+        return covered / total if total > 0 else 1.0
+
+    def holder_changes(self) -> int:
+        """Number of change-points (handover activity measure)."""
+        return len(self._points)

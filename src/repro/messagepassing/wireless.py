@@ -1,0 +1,284 @@
+"""A shared wireless medium: broadcast, half-duplex, collisions.
+
+The paper motivates SSRmin with *wireless* sensor networks, where the
+point-to-point link model of :mod:`repro.messagepassing.links` is an
+idealization: real radios **broadcast** (one transmission reaches every
+neighbour), are **half-duplex** (a transmitting node hears nothing), and
+**collide** (a receiver covered by two overlapping transmissions decodes
+neither).  This module models exactly that:
+
+* :class:`WirelessMedium` — transmissions occupy the air for an *airtime*;
+  at the end of a transmission each ring neighbour of the sender receives
+  the payload unless a collision spoiled it: some *other* transmission whose
+  sender is audible to the receiver (the receiver itself or one of its
+  neighbours) overlapped the airtime window;
+* :class:`TransmitterAdapter` — lets the unchanged :class:`CSTNode` drive
+  the medium through its ``links`` interface (newest-state coalescing while
+  the transmitter is busy, as with wired links);
+* :func:`build_wireless_network` — the CST transform over the medium,
+  API-compatible with :func:`~repro.messagepassing.network.build_cst_network`'s
+  returned :class:`~repro.messagepassing.network.MessagePassingNetwork`.
+
+Collisions are a new *loss mechanism*, so the theory's story carries over:
+Theorem 3 holds while caches stay "good", and Theorem 4's recovery argument
+covers collision-induced losses exactly like random message loss (the
+periodic, jittered timers guarantee eventually-collision-free refreshes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.algorithms.base import RingAlgorithm
+from repro.messagepassing.des import EventQueue
+from repro.messagepassing.links import DelayModel, FixedDelay, UniformDelay
+from repro.messagepassing.network import MessagePassingNetwork
+from repro.messagepassing.node import CSTNode
+
+
+@dataclass
+class Transmission:
+    """One on-air transmission."""
+
+    sender: int
+    payload: Any
+    start: float
+    end: float
+
+
+class WirelessMedium:
+    """The shared radio channel of a ring-deployed sensor network.
+
+    Parameters
+    ----------
+    queue:
+        Shared event queue.
+    n:
+        Number of nodes (ring neighbourhood: ``i-1`` and ``i+1`` mod n).
+    airtime_model:
+        Distribution of per-transmission airtime (propagation is folded in).
+    rng:
+        Randomness for airtimes.
+    """
+
+    def __init__(
+        self,
+        queue: EventQueue,
+        n: int,
+        airtime_model: DelayModel,
+        rng: random.Random,
+    ):
+        self.queue = queue
+        self.n = n
+        self.airtime_model = airtime_model
+        self.rng = rng
+        #: Transmissions that may still collide with an on-air one.
+        self._recent: List[Transmission] = []
+        #: Delivery callback, set by the network: (receiver, sender, payload).
+        self.deliver: Optional[Callable[[int, int, Any], None]] = None
+        # -- statistics -----------------------------------------------------
+        self.transmissions = 0
+        self.deliveries = 0
+        self.collisions = 0
+
+    def _neighbors(self, i: int) -> Sequence[int]:
+        return ((i - 1) % self.n, (i + 1) % self.n)
+
+    def transmit(self, sender: int, payload: Any) -> Transmission:
+        """Put a payload on the air; returns the transmission record."""
+        now = self.queue.now
+        airtime = self.airtime_model.sample(self.rng)
+        tx = Transmission(sender=sender, payload=payload, start=now,
+                          end=now + airtime)
+        self._recent.append(tx)
+        self.transmissions += 1
+        self.queue.schedule(airtime, lambda: self._complete(tx),
+                            label=f"radio{sender}")
+        return tx
+
+    def _audible_to(self, receiver: int) -> set:
+        """Senders whose transmissions reach (and can jam) ``receiver``."""
+        return {receiver, *self._neighbors(receiver)}
+
+    def _overlaps(self, a: Transmission, b: Transmission) -> bool:
+        return a.start < b.end and b.start < a.end
+
+    def _complete(self, tx: Transmission) -> None:
+        # Prune transmissions that can no longer interfere with anything:
+        # one is dead once it ends before the start of every transmission
+        # still on the air (including tx, which completes this instant).
+        now = self.queue.now
+        active_starts = [t.start for t in self._recent if t.end >= now]
+        cutoff = min(active_starts) if active_starts else now
+        self._recent = [t for t in self._recent if t.end >= cutoff]
+
+        for receiver in self._neighbors(tx.sender):
+            jammers = [
+                other
+                for other in self._recent
+                if other is not tx
+                and other.sender in self._audible_to(receiver)
+                and self._overlaps(other, tx)
+            ]
+            if jammers:
+                self.collisions += 1
+                continue
+            self.deliveries += 1
+            if self.deliver is not None:
+                self.deliver(receiver, tx.sender, tx.payload)
+
+
+class TransmitterAdapter:
+    """Per-node radio front-end speaking the Link ``send`` protocol.
+
+    Half-duplex with coalescing: while a transmission is on the air, newer
+    payloads supersede the pending one; when the air clears, the newest
+    pending payload transmits.
+    """
+
+    def __init__(self, medium: WirelessMedium, sender: int):
+        self.medium = medium
+        self.sender = sender
+        self.busy = False
+        self.pending: Optional[Any] = None
+        self._has_pending = False
+        #: Messages handed to the radio (matches Link.sent semantics).
+        self.sent = 0
+        self.coalesced = 0
+
+    def send(self, payload: Any) -> None:
+        """Transmit now, or coalesce while the radio is busy."""
+        if self.busy:
+            if self._has_pending:
+                self.coalesced += 1
+            self.pending = payload
+            self._has_pending = True
+            return
+        self._transmit(payload)
+
+    def _transmit(self, payload: Any) -> None:
+        self.busy = True
+        self.sent += 1
+        tx = self.medium.transmit(self.sender, payload)
+        self.medium.queue.schedule(
+            tx.end - self.medium.queue.now, self._done, label=f"txdone{self.sender}"
+        )
+
+    def _done(self) -> None:
+        self.busy = False
+        if self._has_pending:
+            payload = self.pending
+            self.pending = None
+            self._has_pending = False
+            self._transmit(payload)
+
+
+class WirelessNetwork(MessagePassingNetwork):
+    """A CST deployment over the shared medium.
+
+    Inherits all observation/fault machinery from
+    :class:`MessagePassingNetwork`; only message statistics differ (the
+    medium counts collisions instead of per-link losses).
+    """
+
+    def __init__(self, *args, medium: WirelessMedium, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.medium = medium
+
+    def message_stats(self) -> Dict[str, int]:
+        """Radio statistics: transmissions, deliveries, collisions."""
+        return {
+            "sent": self.medium.transmissions,
+            "delivered": self.medium.deliveries,
+            "lost": self.medium.collisions,
+            "coalesced": sum(
+                adapter.coalesced
+                for node in self.nodes
+                for adapter in node.links.values()
+            ),
+        }
+
+    def fail_link(self, a: int, b: int, duration: float) -> None:
+        """Point-to-point outages do not exist on a shared medium."""
+        raise NotImplementedError(
+            "the wireless medium has no per-link outages; model node-level "
+            "faults with corrupt_node/corrupt_cache instead"
+        )
+
+
+def build_wireless_network(
+    algorithm: RingAlgorithm,
+    initial_states: Sequence[Any],
+    *,
+    airtime_model: Optional[DelayModel] = None,
+    timer_interval: float = 5.0,
+    timer_jitter: float = 2.0,
+    seed: int = 0,
+    initial_caches: Optional[Dict[int, Dict[int, Any]]] = None,
+    dwell_model: Optional[DelayModel] = None,
+) -> WirelessNetwork:
+    """CST over the shared wireless medium.
+
+    One radio per node; a broadcast reaches both ring neighbours in a single
+    transmission (unlike the wired model's two link sends).  Defaults use a
+    jittered dwell to desynchronize transmissions — with deterministic
+    timing, a symmetric ring would collide forever.
+    """
+    n = algorithm.n
+    if len(initial_states) != n:
+        raise ValueError(f"need {n} initial states, got {len(initial_states)}")
+    airtime_model = airtime_model or UniformDelay(0.5, 1.0)
+    dwell_model = dwell_model or UniformDelay(0.2, 0.8)
+    rng = random.Random(seed)
+    queue = EventQueue()
+    medium = WirelessMedium(queue, n, airtime_model, rng)
+
+    network_ref: List[Optional[WirelessNetwork]] = [None]
+
+    def state_changed(node: CSTNode, old: Any, new: Any) -> None:
+        net = network_ref[0]
+        if net is not None:
+            net.observe()
+
+    nodes: List[CSTNode] = []
+    for i in range(n):
+        cache_init = (initial_caches or {}).get(i)
+        node = CSTNode(
+            index=i,
+            algorithm=algorithm,
+            neighbors=((i - 1) % n, (i + 1) % n),
+            initial_state=initial_states[i],
+            initial_cache=cache_init,
+            on_state_change=state_changed,
+            scheduler=queue.schedule,
+            dwell_model=dwell_model,
+            rng=rng,
+            chatty=False,
+        )
+        # One shared-radio adapter; broadcast_state() sends exactly once.
+        node.links = {"radio": TransmitterAdapter(medium, i)}
+        nodes.append(node)
+
+    def deliver(receiver: int, sender: int, payload: Any) -> None:
+        _, state = payload
+        nodes[receiver].on_receive(sender, state)
+        net = network_ref[0]
+        if net is not None:
+            net.observe()
+
+    medium.deliver = deliver
+
+    net = WirelessNetwork(
+        algorithm,
+        nodes,
+        queue,
+        timer_interval,
+        timer_jitter,
+        rng,
+        lambda node: node.holds_token(),
+        medium=medium,
+    )
+    network_ref[0] = net
+    return net

@@ -1,0 +1,49 @@
+"""Modular process-index arithmetic on rings.
+
+The paper abbreviates ``P_{i+1 mod n}`` as ``P_{i+1}``; these helpers make the
+wrap-around explicit and keep index arithmetic out of algorithm code.
+"""
+
+from __future__ import annotations
+
+
+def succ(i: int, n: int) -> int:
+    """Index of the successor of process ``P_i`` on a ring of ``n`` processes.
+
+    Parameters
+    ----------
+    i:
+        Process index, ``0 <= i < n``.
+    n:
+        Ring size, ``n >= 1``.
+
+    Returns
+    -------
+    int
+        ``(i + 1) mod n``.
+    """
+    if n <= 0:
+        raise ValueError(f"ring size must be positive, got {n}")
+    return (i + 1) % n
+
+
+def pred(i: int, n: int) -> int:
+    """Index of the predecessor of process ``P_i`` on a ring of ``n`` processes.
+
+    Returns ``(i - 1) mod n``; see :func:`succ` for parameter constraints.
+    """
+    if n <= 0:
+        raise ValueError(f"ring size must be positive, got {n}")
+    return (i - 1) % n
+
+
+def ring_distance(i: int, j: int, n: int) -> int:
+    """Hop count from ``P_i`` to ``P_j`` following successor links.
+
+    This is the *directed* distance in the token-circulation direction, so
+    ``ring_distance(i, j, n) + ring_distance(j, i, n) == n`` whenever
+    ``i != j``.
+    """
+    if n <= 0:
+        raise ValueError(f"ring size must be positive, got {n}")
+    return (j - i) % n

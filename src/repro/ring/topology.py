@@ -1,0 +1,154 @@
+"""Topology objects describing who can read (or message) whom.
+
+Two concrete classes are provided:
+
+* :class:`RingTopology` — the paper's network model (section 2.1): ``n``
+  processes on a ring, either *bidirectional* (SSRmin reads both neighbours)
+  or *unidirectional* (Dijkstra's token ring reads only the predecessor).
+* :class:`GeneralTopology` — an arbitrary undirected graph, used by the CST
+  message-passing transform which is defined for any neighbourhood structure.
+
+Topologies are immutable value objects: equality and hashing follow their
+defining parameters so they can key caches and parametrize experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+from repro.ring.addressing import pred, succ
+
+
+@dataclass(frozen=True)
+class RingTopology:
+    """A ring of ``n`` processes ``P_0 .. P_{n-1}``.
+
+    Parameters
+    ----------
+    n:
+        Number of processes; the paper requires ``n >= 3`` for SSRmin but
+        rings of size >= 2 are representable (Dijkstra's ring works for
+        ``n >= 2``).
+    bidirectional:
+        If ``True`` each process can read both ``P_{i-1}`` and ``P_{i+1}``
+        (SSRmin's model); if ``False`` only the predecessor ``P_{i-1}`` is
+        readable (Dijkstra's model).
+    """
+
+    n: int
+    bidirectional: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"a ring needs at least 2 processes, got n={self.n}")
+
+    # -- neighbour queries -------------------------------------------------
+    def successor(self, i: int) -> int:
+        """Successor index ``(i+1) mod n``."""
+        self._check_index(i)
+        return succ(i, self.n)
+
+    def predecessor(self, i: int) -> int:
+        """Predecessor index ``(i-1) mod n``."""
+        self._check_index(i)
+        return pred(i, self.n)
+
+    def readable_neighbors(self, i: int) -> Tuple[int, ...]:
+        """Processes whose local state ``P_i`` may read.
+
+        On a bidirectional ring this is ``(pred, succ)``; on a unidirectional
+        ring only ``(pred,)`` — matching the guard signatures
+        ``G_i(q_i, q_{i-1}, q_{i+1})`` vs ``G_i(q_i, q_{i-1})`` in section 2.1.
+        """
+        self._check_index(i)
+        if self.bidirectional:
+            return (pred(i, self.n), succ(i, self.n))
+        return (pred(i, self.n),)
+
+    def message_neighbors(self, i: int) -> Tuple[int, ...]:
+        """Processes ``P_i`` exchanges messages with under the CST transform.
+
+        CST broadcasts local state to every process that might read it, so on
+        a bidirectional ring this is both neighbours; on a unidirectional ring
+        state only needs to flow forward (``P_i -> P_{i+1}``), but replies are
+        unnecessary — the *recipients* of ``P_i``'s state are returned.
+        """
+        self._check_index(i)
+        if self.bidirectional:
+            return (pred(i, self.n), succ(i, self.n))
+        return (succ(i, self.n),)
+
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Undirected edge list ``((i, i+1 mod n), ...)`` of the ring."""
+        return tuple((i, succ(i, self.n)) for i in range(self.n))
+
+    def processes(self) -> range:
+        """Iterable of process indices ``0 .. n-1``."""
+        return range(self.n)
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise IndexError(f"process index {i} out of range for n={self.n}")
+
+
+@dataclass(frozen=True)
+class GeneralTopology:
+    """An arbitrary undirected graph topology for the CST transform.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes, labelled ``0 .. n-1``.
+    edge_set:
+        Frozen set of undirected edges, each stored as a sorted pair.
+        Use :meth:`from_edges` to build one from any iterable of pairs.
+    """
+
+    n: int
+    edge_set: FrozenSet[Tuple[int, int]]
+    _adj: Dict[int, Tuple[int, ...]] = field(
+        default=None, compare=False, hash=False, repr=False
+    )  # type: ignore[assignment]
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[Tuple[int, int]]) -> "GeneralTopology":
+        """Build a topology from an iterable of undirected edges."""
+        canon = set()
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop ({a},{b}) not allowed")
+            if not (0 <= a < n and 0 <= b < n):
+                raise ValueError(f"edge ({a},{b}) out of range for n={n}")
+            canon.add((min(a, b), max(a, b)))
+        return cls(n=n, edge_set=frozenset(canon))
+
+    @classmethod
+    def ring(cls, n: int) -> "GeneralTopology":
+        """The ring graph — convenience for feeding CST a ring."""
+        return cls.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"topology needs at least 1 node, got n={self.n}")
+        adj: Dict[int, list] = {i: [] for i in range(self.n)}
+        for a, b in sorted(self.edge_set):
+            adj[a].append(b)
+            adj[b].append(a)
+        object.__setattr__(
+            self, "_adj", {i: tuple(sorted(v)) for i, v in adj.items()}
+        )
+
+    def neighbors(self, i: int) -> Tuple[int, ...]:
+        """Sorted tuple of nodes adjacent to ``i``."""
+        if not 0 <= i < self.n:
+            raise IndexError(f"node index {i} out of range for n={self.n}")
+        return self._adj[i]
+
+    def degree(self, i: int) -> int:
+        """Number of neighbours of node ``i``."""
+        return len(self.neighbors(i))
+
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Sorted undirected edge list."""
+        return tuple(sorted(self.edge_set))

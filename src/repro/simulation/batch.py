@@ -1,0 +1,282 @@
+"""Vectorized batch simulation of SSRmin (numpy).
+
+The convergence-scaling study (Theorem 2) runs thousands of independent
+trials; stepping each through the pure-Python engine is the bottleneck.
+Following the scientific-Python optimization workflow (make it work → test
+it → vectorize the measured hotspot), this module re-implements SSRmin's
+step function as array operations over a whole *batch* of configurations at
+once: states live in ``(trials, n)`` integer arrays and every trial advances
+per step with one fused set of numpy expressions.
+
+Semantics: each step applies a **Bernoulli distributed daemon** with
+parameter ``p`` — every enabled process moves independently with probability
+``p``, and trials whose coin flips all miss fall back to one uniformly
+chosen enabled process (matching
+:class:`repro.daemons.distributed.BernoulliDaemon`).  ``p = 1`` is the
+synchronous daemon, reproducing the scalar engine exactly — the equivalence
+the test suite asserts.
+
+The vectorized legitimacy test mirrors :func:`repro.core.legitimacy.is_legitimate`
+and is property-tested against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class BatchResult:
+    """Outcome of a batch convergence run.
+
+    Attributes
+    ----------
+    steps:
+        ``(trials,)`` int array — steps until each trial first became
+        legitimate (``-1`` if it exhausted the budget, which would falsify
+        Lemma 6).
+    converged:
+        Boolean mask of trials that converged within the budget.
+    """
+
+    steps: np.ndarray
+    converged: np.ndarray
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(self.converged.all())
+
+
+class BatchSSRmin:
+    """A batch of independent SSRmin instances advanced in lockstep.
+
+    Parameters
+    ----------
+    n, K:
+        Instance parameters (``K > n`` as usual).
+    trials:
+        Number of independent configurations in the batch.
+    p:
+        Bernoulli daemon parameter in ``(0, 1]``.
+    seed:
+        Seed for the daemon's RNG (numpy Generator).
+    """
+
+    def __init__(self, n: int, K: Optional[int] = None, trials: int = 1,
+                 p: float = 1.0, seed: int = 0):
+        if n < 3:
+            raise ValueError(f"SSRmin requires n >= 3, got {n}")
+        K = n + 1 if K is None else K
+        if K <= n:
+            raise ValueError(f"K must exceed n (got K={K}, n={n})")
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        self.n = n
+        self.K = K
+        self.trials = trials
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+        #: Counter components, shape (trials, n).
+        self.X = np.zeros((trials, n), dtype=np.int64)
+        #: Handshake code per process: 2*rts + tra in {0, 1, 2, 3}.
+        self.H = np.zeros((trials, n), dtype=np.int64)
+
+    # -- state import/export -------------------------------------------------
+    def set_configurations(self, configs) -> None:
+        """Load explicit configurations (iterable of (x, rts, tra) rows)."""
+        X = np.empty((self.trials, self.n), dtype=np.int64)
+        H = np.empty((self.trials, self.n), dtype=np.int64)
+        for t, config in enumerate(configs):
+            for i, (x, rts, tra) in enumerate(config):
+                X[t, i] = x
+                H[t, i] = 2 * rts + tra
+        self.X, self.H = X, H
+
+    def randomize(self, seed: Optional[int] = None) -> None:
+        """Uniformly random configurations for every trial."""
+        rng = np.random.default_rng(self.rng.integers(2 ** 63) if seed is None else seed)
+        self.X = rng.integers(0, self.K, size=(self.trials, self.n))
+        self.H = rng.integers(0, 4, size=(self.trials, self.n))
+
+    def configuration(self, t: int):
+        """Trial ``t`` as a :class:`repro.core.state.Configuration`."""
+        from repro.core.state import Configuration
+
+        return Configuration(
+            (int(self.X[t, i]), int(self.H[t, i]) // 2, int(self.H[t, i]) % 2)
+            for i in range(self.n)
+        )
+
+    # -- vectorized guards ------------------------------------------------------
+    def _guards(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(G, rule)`` arrays; rule in {0 (none), 1..5} after priority."""
+        X, H, n = self.X, self.H, self.n
+        Xp = np.roll(X, 1, axis=1)
+        G = X != Xp
+        G[:, 0] = X[:, 0] == X[:, n - 1]
+
+        Hp = np.roll(H, 1, axis=1)
+        Hs = np.roll(H, -1, axis=1)
+
+        r1 = G & ((H == 0) | (H == 1) | (H == 3))
+        r2 = G & (H == 2) & (Hs == 1)
+        r3 = ~G & (Hp == 2) & ((H == 0) | (H == 2) | (H == 3))
+        r4 = G & ~((Hp == 0) & (H == 2) & (Hs == 0))
+        r5 = ~G & ~((Hp == 2) & (H == 1)) & (H != 0)
+
+        rule = np.select([r1, r2, r3, r4, r5], [1, 2, 3, 4, 5], default=0)
+        return G, rule
+
+    def enabled_counts(self) -> np.ndarray:
+        """Number of enabled processes per trial."""
+        _, rule = self._guards()
+        return (rule > 0).sum(axis=1)
+
+    def privileged_counts(self) -> np.ndarray:
+        """Privileged processes per trial (vectorized token predicates).
+
+        Mirrors :meth:`repro.core.ssrmin.SSRmin.privileged`: a process is
+        privileged iff it holds the primary token (``G_i``) or the secondary
+        token (``tra_i = 1`` or ``rts_i = 1`` with a quiet successor).
+        Theorem 1 puts this in ``[1, 2]`` for legitimate configurations.
+        """
+        X, H, n = self.X, self.H, self.n
+        Xp = np.roll(X, 1, axis=1)
+        G = X != Xp
+        G[:, 0] = X[:, 0] == X[:, n - 1]
+        Hs = np.roll(H, -1, axis=1)
+        rts = H >= 2
+        tra = (H % 2) == 1
+        secondary = tra | (rts & (Hs == 0))
+        return (G | secondary).sum(axis=1)
+
+    # -- vectorized legitimacy ---------------------------------------------
+    def legitimate_mask(self) -> np.ndarray:
+        """Boolean mask of trials currently in a legitimate configuration.
+
+        Mirrors Definition 1: the x-vector is a Dijkstra staircase with
+        token position ``pos`` and the handshake vector is one of the three
+        shapes anchored at ``pos``.
+        """
+        X, H, n, K = self.X, self.H, self.n, self.K
+        trials = self.trials
+
+        interior_diff = X[:, 1:] != X[:, :-1]  # (trials, n-1)
+        nb = interior_diff.sum(axis=1)
+
+        # All-equal: token at position 0.
+        d0 = nb == 0
+
+        # Single interior boundary at b: X[b-1] == X[b] + 1 (mod K) and the
+        # wraparound also steps: X[0] == X[n-1] + 1 (mod K).
+        d1 = nb == 1
+        boundary = np.where(interior_diff, 1, 0).argmax(axis=1) + 1  # first diff
+        rows = np.arange(trials)
+        step_ok = X[rows, boundary - 1] == (X[rows, boundary] + 1) % K
+        wrap_ok = X[:, 0] == (X[:, n - 1] + 1) % K
+        d1 = d1 & step_ok & wrap_ok
+
+        pos = np.where(d1, boundary, 0)
+        dijkstra_ok = d0 | d1
+
+        # Handshake shapes relative to pos.
+        h_pos = H[rows, pos]
+        h_succ = H[rows, (pos + 1) % n]
+        nonzero = (H != 0).sum(axis=1)
+        shape_a = (nonzero == 1) & (h_pos == 1)          # <0.1> at pos
+        shape_b = (nonzero == 1) & (h_pos == 2)          # <1.0> at pos
+        shape_c = (nonzero == 2) & (h_pos == 2) & (h_succ == 1)
+        return dijkstra_ok & (shape_a | shape_b | shape_c)
+
+    # -- stepping -------------------------------------------------------------
+    def step(self, active: Optional[np.ndarray] = None) -> None:
+        """One daemon step for every (active) trial, in place.
+
+        ``active`` masks out trials that should not move (e.g. already
+        converged ones during a convergence run).
+        """
+        X, H, n, K = self.X, self.H, self.n, self.K
+        G, rule = self._guards()
+        enabled = rule > 0
+        if active is not None:
+            enabled &= active[:, None]
+
+        # Bernoulli selection with a non-empty fallback per trial.
+        coins = self.rng.random(size=enabled.shape) < self.p
+        selected = enabled & coins
+        empty = enabled.any(axis=1) & ~selected.any(axis=1)
+        if empty.any():
+            # Pick one uniformly random enabled process for each empty trial.
+            weights = enabled[empty].astype(float)
+            weights /= weights.sum(axis=1, keepdims=True)
+            cum = weights.cumsum(axis=1)
+            draws = self.rng.random(size=(int(empty.sum()), 1))
+            chosen = (draws < cum).argmax(axis=1)
+            sel_rows = np.zeros_like(weights, dtype=bool)
+            sel_rows[np.arange(sel_rows.shape[0]), chosen] = True
+            selected[empty] = sel_rows
+
+        fire = np.where(selected, rule, 0)
+
+        # Commands.  C_i: bottom gets X[n-1]+1, others copy the predecessor —
+        # computed from the OLD X (composite atomicity).
+        Xp = np.roll(X, 1, axis=1)
+        C = Xp.copy()
+        C[:, 0] = (X[:, n - 1] + 1) % K
+
+        new_H = H.copy()
+        new_X = X.copy()
+        new_H[fire == 1] = 2            # <1.0>
+        mask24 = (fire == 2) | (fire == 4)
+        new_H[mask24] = 0               # <0.0>
+        new_X[mask24] = C[mask24]
+        new_H[fire == 3] = 1            # <0.1>
+        new_H[fire == 5] = 0            # <0.0>
+
+        self.X, self.H = new_X, new_H
+
+    def run_until_legitimate(self, max_steps: int) -> BatchResult:
+        """Advance all trials until legitimate (or the budget runs out)."""
+        steps = np.full(self.trials, -1, dtype=np.int64)
+        legit = self.legitimate_mask()
+        steps[legit] = 0
+        active = ~legit
+        for k in range(1, max_steps + 1):
+            if not active.any():
+                break
+            self.step(active=active)
+            legit = self.legitimate_mask()
+            newly = active & legit
+            steps[newly] = k
+            active &= ~legit
+        return BatchResult(steps=steps, converged=steps >= 0)
+
+
+def batch_convergence_steps(
+    n: int,
+    trials: int,
+    K: Optional[int] = None,
+    p: float = 0.5,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> np.ndarray:
+    """Convenience: convergence steps for ``trials`` random starts.
+
+    Raises :class:`RuntimeError` if any trial fails to converge within the
+    budget (default ``60 n^2 + 600``, the Theorem-2 regime with slack).
+    """
+    batch = BatchSSRmin(n, K, trials=trials, p=p, seed=seed)
+    batch.randomize(seed=seed + 1)
+    budget = max_steps if max_steps is not None else 60 * n * n + 600
+    result = batch.run_until_legitimate(budget)
+    if not result.all_converged:
+        raise RuntimeError(
+            f"{int((~result.converged).sum())} of {trials} trials did not "
+            f"converge within {budget} steps"
+        )
+    return result.steps

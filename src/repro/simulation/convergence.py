@@ -1,0 +1,136 @@
+"""Convergence-time measurement (Theorem 2: O(n^2) steps).
+
+:func:`converge` runs a simulation until the configuration is legitimate and
+reports how many steps that took; :func:`convergence_steps` is the batch
+version used by the scaling study (thm2 bench), which feeds its samples to
+:mod:`repro.analysis.scaling` for the log-log exponent fit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.algorithms.base import RingAlgorithm
+from repro.daemons.base import Daemon
+from repro.simulation.engine import SharedMemorySimulator
+
+
+@dataclass
+class ConvergenceResult:
+    """Outcome of a run-until-legitimate simulation.
+
+    Attributes
+    ----------
+    converged:
+        Whether a legitimate configuration was reached within the budget.
+    steps:
+        Steps taken to reach it (meaningless when ``converged`` is False).
+    dijkstra_steps:
+        Steps until the *embedded Dijkstra ring* converged (only populated
+        for SSRmin, where Lemma 8's two-phase analysis applies); ``None``
+        otherwise.
+    final_config:
+        The configuration at stop time.
+    """
+
+    converged: bool
+    steps: int
+    dijkstra_steps: Optional[int]
+    final_config: Any
+
+
+def converge(
+    algorithm: RingAlgorithm,
+    daemon: Daemon,
+    initial: Any,
+    max_steps: Optional[int] = None,
+) -> ConvergenceResult:
+    """Run from ``initial`` until the configuration is legitimate.
+
+    ``max_steps`` defaults to a generous multiple of the proven O(n^2) bound
+    so non-convergence within the budget is strong evidence of a bug, not an
+    unlucky schedule.
+    """
+    n = algorithm.n
+    if max_steps is None:
+        max_steps = 60 * n * n + 600
+
+    # Track the embedded-Dijkstra convergence point when available (SSRmin).
+    projection = getattr(algorithm, "dijkstra_projection", None)
+    proj = projection() if callable(projection) else None
+    dijkstra_steps: Optional[int] = None
+
+    sim = SharedMemorySimulator(algorithm, daemon)
+    config = algorithm.normalize_configuration(initial)
+
+    if proj is not None:
+        # Run step by step so we can observe the first Dijkstra-legitimate
+        # configuration; using stop_when would skip that observation.
+        steps = 0
+        if proj.is_legitimate(config):
+            dijkstra_steps = 0
+        while steps < max_steps and not algorithm.is_legitimate(config):
+            enabled = algorithm.enabled_processes(config)
+            if not enabled:
+                return ConvergenceResult(False, steps, dijkstra_steps, config)
+            selection = daemon.select(enabled, config, steps)
+            config = algorithm.step(config, selection)
+            steps += 1
+            if dijkstra_steps is None and proj.is_legitimate(config):
+                dijkstra_steps = steps
+        converged = algorithm.is_legitimate(config)
+        return ConvergenceResult(converged, steps, dijkstra_steps, config)
+
+    result = sim.run(
+        config, max_steps=max_steps, stop_when=algorithm.is_legitimate, record=False
+    )
+    return ConvergenceResult(
+        result.stopped_by_predicate or algorithm.is_legitimate(result.final_config),
+        result.steps,
+        None,
+        result.final_config,
+    )
+
+
+def convergence_steps(
+    algorithm_factory: Callable[[], RingAlgorithm],
+    daemon_factory: Callable[[RingAlgorithm, int], Daemon],
+    trials: int,
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> List[int]:
+    """Measure convergence steps over ``trials`` random initial configurations.
+
+    Parameters
+    ----------
+    algorithm_factory:
+        Builds a fresh algorithm instance (factories keep trials independent).
+    daemon_factory:
+        ``(algorithm, trial_seed) -> Daemon``.
+    trials:
+        Number of random starts.
+    seed:
+        Master seed; trial ``t`` uses ``seed + t`` for both the initial
+        configuration and the daemon.
+
+    Returns
+    -------
+    list of int
+        Convergence step counts; raises :class:`RuntimeError` if any trial
+        fails to converge within the budget (which would falsify Lemma 6).
+    """
+    samples: List[int] = []
+    for t in range(trials):
+        alg = algorithm_factory()
+        rng = random.Random(seed + t)
+        initial = alg.random_configuration(rng)
+        daemon = daemon_factory(alg, seed + t)
+        res = converge(alg, daemon, initial, max_steps=max_steps)
+        if not res.converged:
+            raise RuntimeError(
+                f"trial {t} did not converge within budget from {initial!r}"
+            )
+        samples.append(res.steps)
+    return samples

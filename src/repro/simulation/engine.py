@@ -1,0 +1,155 @@
+"""The state-reading / composite-atomicity simulation engine.
+
+One step of the loop (paper section 2.1):
+
+1. compute the enabled set; if empty, the system is deadlocked (Lemma 4
+   proves this never happens for SSRmin — the engine still detects it);
+2. ask the daemon for a non-empty subset;
+3. every selected process reads the *current* configuration, computes its
+   single enabled rule's command, and all writes land simultaneously;
+4. monitors observe the transition.
+
+The engine is deterministic given the algorithm, daemon (seeded) and initial
+configuration, and records a full :class:`~repro.simulation.execution.Execution`
+unless asked not to (large sweeps keep memory flat with ``record=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+from repro.daemons.base import Daemon
+from repro.simulation.execution import Execution, Move
+from repro.simulation.monitors import Monitor
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    final_config:
+        The configuration when the run stopped.
+    steps:
+        Number of transitions taken.
+    deadlocked:
+        True if the run stopped because no process was enabled.
+    stopped_by_predicate:
+        True if the ``stop_when`` predicate ended the run.
+    execution:
+        Full recorded execution, or ``None`` when ``record=False``.
+    """
+
+    final_config: Any
+    steps: int
+    deadlocked: bool
+    stopped_by_predicate: bool
+    execution: Optional[Execution]
+
+
+class SharedMemorySimulator:
+    """Drives a :class:`RingAlgorithm` under a :class:`Daemon`.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm to execute.
+    daemon:
+        The scheduler; ``daemon.reset()`` is called at the start of each run.
+    monitors:
+        Observers notified of every configuration and transition.
+    """
+
+    def __init__(
+        self,
+        algorithm: RingAlgorithm,
+        daemon: Daemon,
+        monitors: Sequence[Monitor] = (),
+    ):
+        self.algorithm = algorithm
+        self.daemon = daemon
+        self.monitors: Tuple[Monitor, ...] = tuple(monitors)
+
+    def run(
+        self,
+        initial: Any,
+        max_steps: int,
+        stop_when: Optional[Callable[[Any], bool]] = None,
+        record: bool = True,
+    ) -> SimulationResult:
+        """Run for up to ``max_steps`` transitions.
+
+        Parameters
+        ----------
+        initial:
+            Starting configuration ``gamma_0``.
+        max_steps:
+            Hard step budget (the run also stops on deadlock or predicate).
+        stop_when:
+            Optional predicate on configurations; checked on ``gamma_0`` and
+            after every transition, stopping the run when it first holds.
+        record:
+            Whether to keep the full execution in memory.
+        """
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be >= 0, got {max_steps}")
+        alg = self.algorithm
+        config = alg.normalize_configuration(initial)
+        self.daemon.reset()
+
+        execution = Execution() if record else None
+        if execution is not None:
+            execution.start(config)
+        for mon in self.monitors:
+            mon.on_start(config)
+
+        if stop_when is not None and stop_when(config):
+            for mon in self.monitors:
+                mon.on_finish(config)
+            return SimulationResult(config, 0, False, True, execution)
+
+        steps = 0
+        while steps < max_steps:
+            enabled = alg.enabled_processes(config)
+            if not enabled:
+                for mon in self.monitors:
+                    mon.on_finish(config)
+                return SimulationResult(config, steps, True, False, execution)
+
+            selection = Daemon.validate_selection(
+                self.daemon.select(enabled, config, steps), enabled
+            )
+            moves = tuple(
+                Move(i, alg.enabled_rule(config, i).name) for i in selection
+            )
+            next_config = alg.step(config, selection)
+
+            for mon in self.monitors:
+                mon.on_step(steps, config, moves, next_config)
+            if execution is not None:
+                execution.record(moves, next_config)
+
+            config = next_config
+            steps += 1
+
+            if stop_when is not None and stop_when(config):
+                for mon in self.monitors:
+                    mon.on_finish(config)
+                return SimulationResult(config, steps, False, True, execution)
+
+        for mon in self.monitors:
+            mon.on_finish(config)
+        return SimulationResult(config, steps, False, False, execution)
+
+    def run_legitimate_lap(
+        self, initial: Any, laps: int = 1, record: bool = True
+    ) -> SimulationResult:
+        """Run for ``laps`` full token circulations (``3n`` steps each).
+
+        Only meaningful from a legitimate configuration of SSRmin, where each
+        circulation takes exactly ``3n`` steps (Lemma 1's canonical cycle).
+        """
+        return self.run(initial, max_steps=3 * self.algorithm.n * laps, record=record)

@@ -1,0 +1,113 @@
+"""Recorded executions of state-reading simulations.
+
+An execution ``X = gamma_0, gamma_1, ...`` (paper section 2.1) is stored as
+the list of configurations plus, for each transition, the :class:`Move` set
+that produced it (which processes fired which rules).  Executions replay via
+:class:`repro.daemons.replay.ReplayDaemon` and render via
+:mod:`repro.analysis.tracefmt`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Move:
+    """One process's rule execution within a step.
+
+    Attributes
+    ----------
+    process:
+        Index of the process that moved.
+    rule:
+        Name of the rule it executed (e.g. ``"R1"``, ``"D2"``).
+    """
+
+    process: int
+    rule: str
+
+
+@dataclass
+class Execution:
+    """A recorded execution: ``len(moves) == len(configurations) - 1``.
+
+    ``configurations[t]`` is ``gamma_t``; ``moves[t]`` is the set of
+    simultaneous :class:`Move`\\ s taking ``gamma_t`` to ``gamma_{t+1}``.
+    """
+
+    configurations: List[Any] = field(default_factory=list)
+    moves: List[Tuple[Move, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.configurations and len(self.moves) != len(self.configurations) - 1:
+            raise ValueError(
+                f"{len(self.configurations)} configurations need "
+                f"{len(self.configurations) - 1} move sets, got {len(self.moves)}"
+            )
+
+    # -- construction ----------------------------------------------------------
+    def start(self, initial: Any) -> None:
+        """Record the initial configuration (must be the first call)."""
+        if self.configurations:
+            raise ValueError("execution already started")
+        self.configurations.append(initial)
+
+    def record(self, moves: Sequence[Move], next_config: Any) -> None:
+        """Record one transition."""
+        if not self.configurations:
+            raise ValueError("call start() before record()")
+        self.moves.append(tuple(moves))
+        self.configurations.append(next_config)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def steps(self) -> int:
+        """Number of transitions."""
+        return len(self.moves)
+
+    @property
+    def initial(self) -> Any:
+        """``gamma_0``."""
+        return self.configurations[0]
+
+    @property
+    def final(self) -> Any:
+        """The last recorded configuration."""
+        return self.configurations[-1]
+
+    def selections(self) -> List[Tuple[int, ...]]:
+        """Per-step process selections — feed to a ReplayDaemon."""
+        return [tuple(sorted(m.process for m in step)) for step in self.moves]
+
+    def rule_counts(self) -> dict:
+        """Total executions per rule name over the whole execution."""
+        counts: dict = {}
+        for step in self.moves:
+            for m in step:
+                counts[m.rule] = counts.get(m.rule, 0) + 1
+        return counts
+
+    def moves_by_process(self, i: int) -> List[Tuple[int, str]]:
+        """``(step, rule)`` pairs for every move by process ``i``."""
+        out = []
+        for t, step in enumerate(self.moves):
+            for m in step:
+                if m.process == i:
+                    out.append((t, m.rule))
+        return out
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.configurations)
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "Execution":
+        """Sub-execution covering configurations ``start .. stop``."""
+        stop = len(self.configurations) if stop is None else stop
+        return Execution(
+            configurations=self.configurations[start:stop],
+            moves=self.moves[start : max(stop - 1, start)],
+        )

@@ -1,0 +1,96 @@
+"""Initial-configuration generators.
+
+Self-stabilization quantifies over *every* initial configuration; these
+generators cover the interesting corners:
+
+* :func:`random_configuration` — uniform over the whole configuration space
+  (the canonical "after an arbitrary burst of transient faults" state);
+* :func:`perturbed_legitimate` — a legitimate configuration with ``f``
+  process states corrupted (the single-transient-fault regime that
+  superstabilization cares about; paper section 1.2);
+* :func:`adversarial_patterns` — hand-crafted stress patterns: all-max
+  counters, alternating counters, every handshake flag raised, descending
+  staircases — shapes that maximize Dijkstra-ring disorder.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.core.legitimacy import legitimate_configurations
+from repro.core.ssrmin import SSRmin
+from repro.core.state import Configuration
+
+
+def random_configuration(algorithm: SSRmin, rng: random.Random) -> Configuration:
+    """Uniformly random SSRmin configuration (delegates to the algorithm)."""
+    return algorithm.random_configuration(rng)
+
+
+def random_legitimate(algorithm: SSRmin, rng: random.Random) -> Configuration:
+    """A uniformly random *legitimate* configuration (3nK choices)."""
+    x = rng.randrange(algorithm.K)
+    i = rng.randrange(algorithm.n)
+    shape = rng.randrange(3)
+    n, K = algorithm.n, algorithm.K
+    xs = [(x + 1) % K] * i + [x] * (n - i)
+    hs = [(0, 0)] * n
+    if shape == 0:
+        hs[i] = (0, 1)
+    elif shape == 1:
+        hs[i] = (1, 0)
+    else:
+        hs[i] = (1, 0)
+        hs[(i + 1) % n] = (0, 1)
+    return Configuration((xs[j], hs[j][0], hs[j][1]) for j in range(n))
+
+
+def perturbed_legitimate(
+    algorithm: SSRmin, rng: random.Random, faults: int = 1
+) -> Configuration:
+    """A legitimate configuration with ``faults`` random local states corrupted.
+
+    Each fault picks a process uniformly and replaces its whole local state
+    with a uniform value — the paper's transient-fault model (memory
+    corruption by soft error).
+    """
+    if faults < 0:
+        raise ValueError(f"faults must be >= 0, got {faults}")
+    config = random_legitimate(algorithm, rng)
+    for _ in range(faults):
+        i = rng.randrange(algorithm.n)
+        corrupted = (
+            rng.randrange(algorithm.K),
+            rng.randrange(2),
+            rng.randrange(2),
+        )
+        config = config.replace(i, corrupted)
+    return config
+
+
+def adversarial_patterns(algorithm: SSRmin) -> Iterator[Configuration]:
+    """Deterministic stress configurations for convergence testing.
+
+    Yields a handful of crafted shapes; all are valid configurations (domain-
+    respecting) but typically far from legitimate.
+    """
+    n, K = algorithm.n, algorithm.K
+    # 1. Every counter distinct (maximum Dijkstra disorder), all flags up.
+    yield Configuration(((i % K), 1, 1) for i in range(n))
+    # 2. Descending staircase of counters, rts raised everywhere.
+    yield Configuration((((n - i) % K), 1, 0) for i in range(n))
+    # 3. Alternating two counter values, tra raised everywhere.
+    yield Configuration(((i % 2), 0, 1) for i in range(n))
+    # 4. All processes identical with both flags raised (every process thinks
+    #    it is mid-handshake).
+    yield Configuration(((K - 1), 1, 1) for _ in range(n))
+    # 5. Legitimate x-part but fully scrambled handshake flags.
+    yield Configuration(
+        ((0, 1, 1) if i % 2 == 0 else (0, 1, 0)) for i in range(n)
+    )
+
+
+def all_legitimate(algorithm: SSRmin) -> List[Configuration]:
+    """Every legitimate configuration of this instance (3nK of them)."""
+    return list(legitimate_configurations(algorithm.n, algorithm.K))

@@ -1,0 +1,223 @@
+"""Pluggable observers of state-reading simulations.
+
+Monitors receive every configuration (including the initial one) and every
+transition, and may raise :class:`InvariantViolation` to abort a run — the
+property-based tests use this to assert Theorem 1's bounds over millions of
+steps without post-processing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.execution import Move
+
+#: Rule-name partition used by Lemma 5 / Lemma 8: W24 events are executions of
+#: Dijkstra's embedded step (Rules 2 and 4); everything else is W135.
+W24_RULES = frozenset({"R2", "R4"})
+W135_RULES = frozenset({"R1", "R3", "R5"})
+
+
+class InvariantViolation(AssertionError):
+    """Raised by a monitor when a claimed invariant fails mid-run."""
+
+
+class Monitor:
+    """Base monitor; all hooks are optional overrides."""
+
+    def on_start(self, config: Any) -> None:
+        """Called once with the initial configuration."""
+
+    def on_step(
+        self, step: int, config: Any, moves: Tuple[Move, ...], next_config: Any
+    ) -> None:
+        """Called after every transition ``gamma_step -> gamma_{step+1}``."""
+
+    def on_finish(self, config: Any) -> None:
+        """Called once with the final configuration."""
+
+
+class TokenCountMonitor(Monitor):
+    """Track the number of privileged processes at every configuration.
+
+    Parameters
+    ----------
+    algorithm:
+        Provides ``privileged(config)``.
+    low, high:
+        Optional inclusive bounds asserted *once the configuration is
+        legitimate* (or always, if ``only_when_legitimate=False``).  For
+        SSRmin, Theorem 1 gives ``low=1, high=2``.
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        low: Optional[int] = None,
+        high: Optional[int] = None,
+        only_when_legitimate: bool = True,
+    ):
+        self.algorithm = algorithm
+        self.low = low
+        self.high = high
+        self.only_when_legitimate = only_when_legitimate
+        #: Token count per configuration, aligned with the execution.
+        self.counts: List[int] = []
+
+    def _observe(self, config: Any) -> None:
+        count = len(self.algorithm.privileged(config))
+        self.counts.append(count)
+        applicable = (
+            not self.only_when_legitimate or self.algorithm.is_legitimate(config)
+        )
+        if applicable:
+            if self.low is not None and count < self.low:
+                raise InvariantViolation(
+                    f"token count {count} < {self.low} in {config!r}"
+                )
+            if self.high is not None and count > self.high:
+                raise InvariantViolation(
+                    f"token count {count} > {self.high} in {config!r}"
+                )
+
+    def on_start(self, config: Any) -> None:
+        self.counts.clear()
+        self._observe(config)
+
+    def on_step(self, step, config, moves, next_config) -> None:
+        self._observe(next_config)
+
+    def min_count(self) -> int:
+        """Smallest observed count."""
+        return min(self.counts)
+
+    def max_count(self) -> int:
+        """Largest observed count."""
+        return max(self.counts)
+
+
+class LegitimacyMonitor(Monitor):
+    """Track legitimacy over time and detect closure violations.
+
+    Records the first step at which the configuration became legitimate and
+    raises :class:`InvariantViolation` if a legitimate configuration is ever
+    followed by an illegitimate one (closure, Lemma 1).
+    """
+
+    def __init__(self, algorithm, check_closure: bool = True):
+        self.algorithm = algorithm
+        self.check_closure = check_closure
+        #: Step index (configuration index) of first legitimacy, or None.
+        self.first_legitimate: Optional[int] = None
+        self._index = 0
+        self._was_legitimate = False
+
+    def _observe(self, config: Any) -> None:
+        legit = self.algorithm.is_legitimate(config)
+        if legit and self.first_legitimate is None:
+            self.first_legitimate = self._index
+        if self.check_closure and self._was_legitimate and not legit:
+            raise InvariantViolation(
+                f"closure violated: legitimate configuration followed by "
+                f"illegitimate {config!r} at index {self._index}"
+            )
+        self._was_legitimate = legit
+        self._index += 1
+
+    def on_start(self, config: Any) -> None:
+        self.first_legitimate = None
+        self._index = 0
+        self._was_legitimate = False
+        self._observe(config)
+
+    def on_step(self, step, config, moves, next_config) -> None:
+        self._observe(next_config)
+
+
+class RuleCensusMonitor(Monitor):
+    """Count rule executions, overall and per process.
+
+    Also tracks the longest run of consecutive steps containing **no** W24
+    event (no Rule 2/4 execution) — Lemma 5 bounds this by ``3n``.
+    """
+
+    def __init__(self) -> None:
+        self.total: Dict[str, int] = {}
+        self.per_process: Dict[int, Dict[str, int]] = {}
+        self.longest_w135_run = 0
+        self._current_run = 0
+
+    def on_start(self, config: Any) -> None:
+        self.total.clear()
+        self.per_process.clear()
+        self.longest_w135_run = 0
+        self._current_run = 0
+
+    def on_step(self, step, config, moves, next_config) -> None:
+        saw_w24 = False
+        for m in moves:
+            self.total[m.rule] = self.total.get(m.rule, 0) + 1
+            proc = self.per_process.setdefault(m.process, {})
+            proc[m.rule] = proc.get(m.rule, 0) + 1
+            if m.rule in W24_RULES:
+                saw_w24 = True
+        if saw_w24:
+            self._current_run = 0
+        else:
+            self._current_run += 1
+            self.longest_w135_run = max(self.longest_w135_run, self._current_run)
+
+    def w24_count(self) -> int:
+        """Total executions of Rules 2 and 4 (Dijkstra steps)."""
+        return sum(v for k, v in self.total.items() if k in W24_RULES)
+
+    def w135_count(self) -> int:
+        """Total executions of Rules 1, 3 and 5."""
+        return sum(v for k, v in self.total.items() if k in W135_RULES)
+
+
+class CriticalSectionMonitor(Monitor):
+    """General (l, k)-critical-section monitor (paper reference [9]).
+
+    Asserts at every observed configuration that the number of privileged
+    processes lies in ``[l, k]``; for SSRmin this is the (1, 2)-CS property,
+    for Dijkstra's rings the (0, 1)... strictly (1,1) in legitimate
+    configurations.  Unlike :class:`TokenCountMonitor` this always checks,
+    and additionally records per-process *service*: how often each process was
+    privileged (progress/fairness evidence — each process eventually enters
+    the critical section).
+    """
+
+    def __init__(self, algorithm, l: int, k: int, enforce: bool = True):
+        if not 0 <= l <= k:
+            raise ValueError(f"need 0 <= l <= k, got l={l}, k={k}")
+        self.algorithm = algorithm
+        self.l = l
+        self.k = k
+        self.enforce = enforce
+        self.service: Dict[int, int] = {}
+        self.violations = 0
+
+    def _observe(self, config: Any) -> None:
+        holders = self.algorithm.privileged(config)
+        for h in holders:
+            self.service[h] = self.service.get(h, 0) + 1
+        if not self.l <= len(holders) <= self.k:
+            self.violations += 1
+            if self.enforce:
+                raise InvariantViolation(
+                    f"({self.l},{self.k})-CS violated: {len(holders)} "
+                    f"privileged in {config!r}"
+                )
+
+    def on_start(self, config: Any) -> None:
+        self.service.clear()
+        self.violations = 0
+        self._observe(config)
+
+    def on_step(self, step, config, moves, next_config) -> None:
+        self._observe(next_config)
+
+    def all_served(self, n: int) -> bool:
+        """Whether every process was privileged at least once."""
+        return all(self.service.get(i, 0) > 0 for i in range(n))

@@ -1,0 +1,129 @@
+"""Save and reload recorded executions as JSON.
+
+A recorded :class:`~repro.simulation.execution.Execution` is a valuable
+artifact: a regression trace, a counterexample from a property test, or a
+figure input.  This module round-trips executions through a stable JSON
+schema so they can be committed, shared and replayed bit-exactly (via
+:class:`~repro.daemons.replay.ReplayDaemon`).
+
+Local states serialize as plain lists; SSRmin's ``Configuration`` wrapper is
+restored when the header says so.  The schema carries the algorithm's
+parameters so a loader can rebuild the matching instance.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
+
+from repro.core.state import Configuration
+from repro.simulation.execution import Execution, Move
+
+#: Schema version written into every file.
+SCHEMA_VERSION = 1
+
+
+def _state_to_jsonable(state: Any) -> Any:
+    if isinstance(state, tuple):
+        return [_state_to_jsonable(s) for s in state]
+    return state
+
+
+def _config_to_jsonable(config: Any) -> List[Any]:
+    return [_state_to_jsonable(s) for s in config]
+
+
+def _tuplify(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+def execution_to_dict(
+    execution: Execution,
+    algorithm_name: str = "",
+    parameters: Optional[Dict[str, Any]] = None,
+    configuration_class: str = "tuple",
+) -> Dict[str, Any]:
+    """Serialize an execution to a JSON-compatible dict.
+
+    Parameters
+    ----------
+    execution:
+        The recorded execution.
+    algorithm_name:
+        Free-form identifier (e.g. ``"SSRmin"``).
+    parameters:
+        Algorithm parameters needed to rebuild the instance (e.g.
+        ``{"n": 5, "K": 6}``).
+    configuration_class:
+        ``"tuple"`` or ``"Configuration"`` — how to restore configurations.
+    """
+    if configuration_class not in ("tuple", "Configuration"):
+        raise ValueError(f"unknown configuration_class {configuration_class!r}")
+    return {
+        "schema": SCHEMA_VERSION,
+        "algorithm": algorithm_name,
+        "parameters": dict(parameters or {}),
+        "configuration_class": configuration_class,
+        "configurations": [
+            _config_to_jsonable(c) for c in execution.configurations
+        ],
+        "moves": [
+            [[m.process, m.rule] for m in step] for step in execution.moves
+        ],
+    }
+
+
+def execution_from_dict(data: Dict[str, Any]) -> Tuple[Execution, Dict[str, Any]]:
+    """Inverse of :func:`execution_to_dict`.
+
+    Returns ``(execution, metadata)`` where metadata carries the algorithm
+    name and parameters.
+    """
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema {data.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    cls = data.get("configuration_class", "tuple")
+    configs: List[Any] = []
+    for raw in data["configurations"]:
+        states = _tuplify(raw)
+        configs.append(Configuration(states) if cls == "Configuration" else states)
+    moves = [
+        tuple(Move(process, rule) for process, rule in step)
+        for step in data["moves"]
+    ]
+    execution = Execution(configurations=configs, moves=moves)
+    meta = {
+        "algorithm": data.get("algorithm", ""),
+        "parameters": data.get("parameters", {}),
+    }
+    return execution, meta
+
+
+def save_execution(
+    execution: Execution,
+    path_or_file: Union[str, TextIO],
+    **meta: Any,
+) -> None:
+    """Write an execution to a JSON file (path or open text file)."""
+    payload = execution_to_dict(execution, **meta)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w") as fh:
+            json.dump(payload, fh)
+    else:
+        json.dump(payload, path_or_file)
+
+
+def load_execution(
+    path_or_file: Union[str, TextIO],
+) -> Tuple[Execution, Dict[str, Any]]:
+    """Read an execution written by :func:`save_execution`."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file) as fh:
+            data = json.load(fh)
+    else:
+        data = json.load(path_or_file)
+    return execution_from_dict(data)

@@ -1,0 +1,267 @@
+"""Model checking self-stabilization on explicit transition systems.
+
+:func:`check_self_stabilization` verifies, by exhaustive enumeration:
+
+* **no deadlock** (Lemma 4): every configuration has a successor;
+* **closure** (Lemma 1): successors of legitimate configurations are
+  legitimate;
+* **convergence** (Lemma 6): the *illegitimate* subgraph is acyclic — i.e.
+  there is no infinite execution avoiding the legitimate set, no matter what
+  the (unfair, distributed) daemon chooses;
+* **worst-case convergence steps** (Theorem 2's quantity, exactly): the
+  longest path through the illegitimate region, which equals the value of
+  the game where the daemon maximizes time-to-Lambda.
+
+Convergence + the longest path are computed together by an iterative DFS
+with 3-colouring over illegitimate states: a back edge to a grey state means
+an illegitimate cycle (convergence fails); otherwise each state's value is
+``1 + max(successor values)`` with legitimate successors contributing 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.verification.transition_system import TransitionSystem
+
+
+@dataclass
+class StabilizationReport:
+    """Result of an exhaustive self-stabilization check.
+
+    Attributes
+    ----------
+    state_count:
+        Number of configurations examined.
+    legitimate_count:
+        Size of the legitimate set Lambda.
+    deadlocks:
+        Configurations with no enabled process (empty for a correct ring).
+    closure_violations:
+        ``(legitimate config, illegitimate successor)`` pairs (empty = Lemma 1
+        holds).
+    illegitimate_cycle:
+        A cycle through illegitimate configurations if one exists (None =
+        Lemma 6 holds).
+    worst_case_steps:
+        Exact maximum steps-to-Lambda over all configurations and daemon
+        strategies; ``None`` if convergence fails.
+    convergence_checked:
+        Whether the cycle/longest-path analysis actually ran
+        (``compute_worst_case=True``); without it, convergence is unknown
+        and :attr:`self_stabilizing` refuses to claim success.
+    """
+
+    state_count: int
+    legitimate_count: int
+    deadlocks: List[Any]
+    closure_violations: List[Tuple[Any, Any]]
+    illegitimate_cycle: Optional[List[Any]]
+    worst_case_steps: Optional[int]
+    convergence_checked: bool = True
+
+    @property
+    def self_stabilizing(self) -> bool:
+        """True iff no deadlocks, closure holds, convergence verified to hold.
+
+        Also requires a non-empty legitimate set — an algorithm whose Lambda
+        is empty vacuously satisfies closure but cannot converge to it.
+        """
+        return (
+            self.convergence_checked
+            and self.legitimate_count > 0
+            and not self.deadlocks
+            and not self.closure_violations
+            and self.illegitimate_cycle is None
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        verdict = "SELF-STABILIZING" if self.self_stabilizing else "NOT self-stabilizing"
+        lines = [
+            f"{verdict}: {self.state_count} configurations, "
+            f"{self.legitimate_count} legitimate",
+            f"  deadlocks: {len(self.deadlocks)}",
+            f"  closure violations: {len(self.closure_violations)}",
+            f"  illegitimate cycle: "
+            f"{'none' if self.illegitimate_cycle is None else len(self.illegitimate_cycle)}",
+        ]
+        if self.worst_case_steps is not None:
+            lines.append(f"  worst-case convergence steps: {self.worst_case_steps}")
+        return "\n".join(lines)
+
+
+def _longest_path_to_lambda(
+    ts: TransitionSystem,
+) -> Tuple[Optional[int], Optional[List[Any]]]:
+    """Longest illegitimate path; detects illegitimate cycles.
+
+    Returns ``(worst_case_steps, None)`` when convergence holds, or
+    ``(None, cycle)`` when an illegitimate cycle exists.
+    """
+    alg = ts.algorithm
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {}
+    value = {}
+    best = 0
+
+    for start in ts.states():
+        k0 = ts._key(start)
+        if colour.get(k0, WHITE) != WHITE:
+            continue
+        if alg.is_legitimate(start):
+            continue
+        # Iterative DFS from this illegitimate configuration.
+        stack: List[Tuple[Any, Any, int]] = [(start, ts.successors(start), 0)]
+        colour[k0] = GREY
+        path = [start]
+        while stack:
+            node, succs, idx = stack[-1]
+            nk = ts._key(node)
+            if idx < len(succs):
+                stack[-1] = (node, succs, idx + 1)
+                child = succs[idx]
+                if alg.is_legitimate(child):
+                    value[nk] = max(value.get(nk, 1), 1)
+                    continue
+                ck = ts._key(child)
+                c = colour.get(ck, WHITE)
+                if c == GREY:
+                    # Illegitimate cycle found; extract it from the path.
+                    cyc_start = next(
+                        i for i, p in enumerate(path) if ts._key(p) == ck
+                    )
+                    return None, path[cyc_start:] + [child]
+                if c == WHITE:
+                    colour[ck] = GREY
+                    path.append(child)
+                    stack.append((child, ts.successors(child), 0))
+                else:  # BLACK
+                    value[nk] = max(value.get(nk, 1), 1 + value[ck])
+            else:
+                colour[nk] = BLACK
+                v = value.get(nk, 1)
+                value[nk] = v
+                best = max(best, v)
+                stack.pop()
+                path.pop()
+                if stack:
+                    pk = ts._key(stack[-1][0])
+                    value[pk] = max(value.get(pk, 1), 1 + v)
+    return best, None
+
+
+def check_self_stabilization(
+    ts: TransitionSystem, compute_worst_case: bool = True
+) -> StabilizationReport:
+    """Run the full exhaustive check on a transition system.
+
+    Enumerates every configuration once for deadlock/closure and (optionally)
+    runs the longest-path analysis for convergence + worst case.
+    """
+    alg = ts.algorithm
+    deadlocks: List[Any] = []
+    closure_violations: List[Tuple[Any, Any]] = []
+    state_count = 0
+    legit_count = 0
+
+    for config in ts.states():
+        state_count += 1
+        legit = alg.is_legitimate(config)
+        if legit:
+            legit_count += 1
+        succs = ts.successors(config)
+        if not succs and not ts.is_deadlocked(config):
+            raise AssertionError("successor computation inconsistent with enabledness")
+        if ts.is_deadlocked(config):
+            deadlocks.append(config)
+            continue
+        if legit:
+            for s in succs:
+                if not alg.is_legitimate(s):
+                    closure_violations.append((config, s))
+
+    worst: Optional[int] = None
+    cycle: Optional[List[Any]] = None
+    if compute_worst_case:
+        worst, cycle = _longest_path_to_lambda(ts)
+
+    return StabilizationReport(
+        state_count=state_count,
+        legitimate_count=legit_count,
+        deadlocks=deadlocks,
+        closure_violations=closure_violations,
+        illegitimate_cycle=cycle,
+        worst_case_steps=worst,
+        convergence_checked=compute_worst_case,
+    )
+
+
+def worst_case_convergence_steps(ts: TransitionSystem) -> int:
+    """Exact adversarial convergence time; raises if convergence fails."""
+    worst, cycle = _longest_path_to_lambda(ts)
+    if cycle is not None:
+        raise AssertionError(
+            f"algorithm does not converge: illegitimate cycle of length {len(cycle)}"
+        )
+    assert worst is not None
+    return worst
+
+
+def worst_case_witness(ts: TransitionSystem) -> List[Any]:
+    """An exact worst-case execution: the longest path into Lambda.
+
+    Returns the configuration sequence ``[gamma_0, ..., gamma_T]`` where
+    ``gamma_0`` maximizes the adversarial steps-to-Lambda, every transition
+    is a legal daemon choice, and ``gamma_T`` is the first legitimate
+    configuration.  This is the *ground truth* the heuristic
+    :class:`~repro.daemons.adversarial.AdversarialDaemon` approximates.
+
+    Computed by valuing every illegitimate configuration (memoized greedy
+    over the acyclic illegitimate region — well-defined once convergence
+    holds) and then walking value-maximizing successors.
+    """
+    alg = ts.algorithm
+
+    # Value function: steps-to-Lambda under the adversarial daemon.
+    value: Dict[Any, int] = {}
+
+    def val(config: Any) -> int:
+        if alg.is_legitimate(config):
+            return 0
+        k = ts._key(config)
+        if k in value:
+            return value[k]
+        # Sentinel to catch cycles (would mean non-convergence).
+        value[k] = -1
+        best = 0
+        for s in ts.successors(config):
+            v = val(s)
+            if v < 0:
+                raise AssertionError("illegitimate cycle: no worst case exists")
+            best = max(best, 1 + v)
+        value[k] = best
+        return best
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10 * ts.state_count() + 1000))
+    try:
+        worst_start = None
+        worst_val = -1
+        for config in ts.states():
+            v = val(config)
+            if v > worst_val:
+                worst_val, worst_start = v, config
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    assert worst_start is not None
+    path = [worst_start]
+    config = worst_start
+    while not alg.is_legitimate(config):
+        config = max(ts.successors(config), key=val)
+        path.append(config)
+    return path

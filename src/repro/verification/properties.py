@@ -1,0 +1,154 @@
+"""Temporal properties over recorded executions.
+
+A lightweight LTL-flavoured toolkit for stating the paper's guarantees as
+checkable properties of finite executions:
+
+* :func:`always` — a state predicate holds at every configuration;
+* :func:`eventually` — it holds at some configuration;
+* :func:`eventually_always` — from some point on it holds forever
+  (convergence: ``eventually_always(is_legitimate)``);
+* :func:`leads_to` — whenever ``p`` holds, ``q`` holds at that or a later
+  configuration (progress: "enabled leads to served");
+* :func:`until` — ``p`` holds at least until ``q`` first holds.
+
+All functions take a sequence of configurations (an
+:class:`~repro.simulation.execution.Execution` iterates its configurations)
+and return a :class:`PropertyResult` that localizes the first
+counterexample, which makes failing tests actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+Predicate = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Outcome of a temporal-property check.
+
+    Attributes
+    ----------
+    holds:
+        Whether the property holds on the execution.
+    counterexample_index:
+        Index of the configuration witnessing failure, when applicable.
+    note:
+        Human-readable explanation.
+    """
+
+    holds: bool
+    counterexample_index: Optional[int] = None
+    note: str = ""
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def _materialize(execution: Iterable[Any]) -> List[Any]:
+    return list(execution)
+
+
+def always(execution: Iterable[Any], p: Predicate) -> PropertyResult:
+    """``G p``: the predicate holds at every configuration."""
+    for t, config in enumerate(execution):
+        if not p(config):
+            return PropertyResult(False, t, f"predicate false at index {t}")
+    return PropertyResult(True)
+
+
+def eventually(execution: Iterable[Any], p: Predicate) -> PropertyResult:
+    """``F p``: the predicate holds at some configuration."""
+    count = 0
+    for t, config in enumerate(execution):
+        count += 1
+        if p(config):
+            return PropertyResult(True, note=f"first satisfied at index {t}")
+    return PropertyResult(
+        False, max(count - 1, 0), "predicate never satisfied"
+    )
+
+
+def eventually_always(execution: Iterable[Any], p: Predicate) -> PropertyResult:
+    """``F G p``: from some index on the predicate holds forever.
+
+    On finite executions: the suffix starting at the last falsifying index
+    plus one must be non-empty.
+    """
+    configs = _materialize(execution)
+    last_bad = -1
+    for t, config in enumerate(configs):
+        if not p(config):
+            last_bad = t
+    if last_bad == len(configs) - 1:
+        return PropertyResult(
+            False, last_bad, "predicate false at the final configuration"
+        )
+    return PropertyResult(
+        True, note=f"stable from index {last_bad + 1}"
+    )
+
+
+def leads_to(execution: Iterable[Any], p: Predicate, q: Predicate) -> PropertyResult:
+    """``G (p -> F q)``: every ``p``-state is followed (inclusively) by ``q``.
+
+    On finite executions, a ``p``-state with no subsequent ``q`` is a
+    counterexample.
+    """
+    configs = _materialize(execution)
+    # Compute, for each index, whether q holds at or after it.
+    q_later = [False] * (len(configs) + 1)
+    for t in range(len(configs) - 1, -1, -1):
+        q_later[t] = q(configs[t]) or q_later[t + 1]
+    for t, config in enumerate(configs):
+        if p(config) and not q_later[t]:
+            return PropertyResult(
+                False, t, f"p at index {t} never followed by q"
+            )
+    return PropertyResult(True)
+
+
+def until(execution: Iterable[Any], p: Predicate, q: Predicate) -> PropertyResult:
+    """``p U q``: ``p`` holds at every configuration before the first ``q``.
+
+    Requires ``q`` to eventually hold (strong until).
+    """
+    for t, config in enumerate(_materialize(execution)):
+        if q(config):
+            return PropertyResult(True, note=f"q first at index {t}")
+        if not p(config):
+            return PropertyResult(False, t, f"p false at {t} before any q")
+    return PropertyResult(False, None, "q never holds (strong until)")
+
+
+# -- paper-specific property bundles -----------------------------------------
+
+def check_convergence_property(execution: Sequence[Any], algorithm) -> PropertyResult:
+    """Lemma 6 as ``F G legitimate`` on a recorded execution."""
+    return eventually_always(execution, algorithm.is_legitimate)
+
+
+def check_mutual_inclusion_property(
+    execution: Sequence[Any], algorithm, after_convergence: bool = True
+) -> PropertyResult:
+    """Theorem 1's band as a temporal property.
+
+    With ``after_convergence`` the band ``1 <= |privileged| <= 2`` is
+    required only from the first legitimate configuration on.
+    """
+    def band(config) -> bool:
+        return 1 <= len(algorithm.privileged(config)) <= 2
+
+    configs = _materialize(execution)
+    if not after_convergence:
+        return always(configs, band)
+    start = next(
+        (t for t, c in enumerate(configs) if algorithm.is_legitimate(c)),
+        None,
+    )
+    if start is None:
+        return PropertyResult(False, len(configs) - 1,
+                              "never reached legitimacy")
+    return always(configs[start:], band)

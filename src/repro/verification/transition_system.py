@@ -1,0 +1,126 @@
+"""Explicit-state transition systems over an algorithm's full state space.
+
+For small instances the configuration space ``|Q|^n`` is enumerable (e.g.
+SSRmin with ``n=4, K=5`` has ``(4*5)^4 = 160,000`` configurations).  A
+:class:`TransitionSystem` materializes successors on demand and memoizes
+them, supporting both daemon semantics:
+
+* ``"central"`` — successors via each single enabled process;
+* ``"distributed"`` — successors via every non-empty subset of enabled
+  processes (optionally capped at ``max_selection`` to bound fan-out; the cap
+  is reported so callers know when coverage is partial).
+
+Configurations are identified by their hashable normal forms (tuples of local
+states, or :class:`~repro.core.state.Configuration` which hashes likewise).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+
+
+def nonempty_subsets(
+    items: Tuple[int, ...], max_size: Optional[int] = None
+) -> Iterator[Tuple[int, ...]]:
+    """All non-empty subsets of ``items``, optionally size-capped."""
+    top = len(items) if max_size is None else min(max_size, len(items))
+    for r in range(1, top + 1):
+        yield from itertools.combinations(items, r)
+
+
+class TransitionSystem:
+    """Lazy explicit-state transition system for one algorithm instance.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm; must have finite :meth:`local_state_space`.
+    daemon:
+        ``"central"`` or ``"distributed"``.
+    max_selection:
+        For the distributed daemon, the largest selection size explored;
+        ``None`` explores all subsets (exponential in the enabled count —
+        fine here because self-stabilizing ring algorithms rarely have many
+        simultaneously enabled processes in small instances).
+    """
+
+    def __init__(
+        self,
+        algorithm: RingAlgorithm,
+        daemon: str = "distributed",
+        max_selection: Optional[int] = None,
+    ):
+        if daemon not in ("central", "distributed"):
+            raise ValueError(f"daemon must be 'central' or 'distributed', got {daemon!r}")
+        self.algorithm = algorithm
+        self.daemon = daemon
+        self.max_selection = 1 if daemon == "central" else max_selection
+        self._succ_cache: Dict[Any, Tuple[Any, ...]] = {}
+
+    # -- state enumeration ----------------------------------------------------
+    def states(self) -> Iterator[Any]:
+        """Every configuration in the space (|Q|^n values)."""
+        return self.algorithm.configuration_space()
+
+    def state_count(self) -> int:
+        """|Q|^n for the default configuration space.
+
+        Algorithms overriding :meth:`configuration_space` (e.g. the 4-state
+        ring with frozen bits) are counted by iteration.
+        """
+        try:
+            q = self.algorithm.state_count_per_process()
+            # Trust the product form only for the default space.
+            if type(self.algorithm).configuration_space is RingAlgorithm.configuration_space:
+                return q ** self.algorithm.n
+        except Exception:
+            pass
+        return sum(1 for _ in self.states())
+
+    # -- successors -------------------------------------------------------------
+    def successors(self, config: Any) -> Tuple[Any, ...]:
+        """Distinct successor configurations under the chosen daemon."""
+        key = self._key(config)
+        cached = self._succ_cache.get(key)
+        if cached is not None:
+            return cached
+        enabled = self.algorithm.enabled_processes(config)
+        succs: List[Any] = []
+        seen = set()
+        for sel in nonempty_subsets(enabled, self.max_selection):
+            nxt = self.algorithm.step(config, sel)
+            k = self._key(nxt)
+            if k not in seen:
+                seen.add(k)
+                succs.append(nxt)
+        out = tuple(succs)
+        self._succ_cache[key] = out
+        return out
+
+    def is_deadlocked(self, config: Any) -> bool:
+        """True iff no process is enabled."""
+        return not self.algorithm.enabled_processes(config)
+
+    @staticmethod
+    def _key(config: Any) -> Any:
+        states = getattr(config, "states", None)
+        return states if states is not None else config
+
+    # -- reachability -----------------------------------------------------------
+    def reachable_from(self, initial: Iterable[Any]) -> Dict[Any, Any]:
+        """BFS closure: map ``key -> configuration`` reachable from ``initial``."""
+        frontier = list(initial)
+        seen: Dict[Any, Any] = {self._key(c): c for c in frontier}
+        while frontier:
+            nxt_frontier = []
+            for c in frontier:
+                for s in self.successors(c):
+                    k = self._key(s)
+                    if k not in seen:
+                        seen[k] = s
+                        nxt_frontier.append(s)
+            frontier = nxt_frontier
+        return seen

@@ -1,0 +1,13 @@
+"""ASCII rendering of rings and timelines (terminal-friendly figures).
+
+* :func:`render_ring` — a one-line ring snapshot marking token holders;
+* :func:`render_timeline` — a Figure-13-style strip chart of token holding
+  over continuous time per node;
+* :func:`render_histogram` — horizontal bar histograms for step/time
+  distributions.
+"""
+
+from repro.viz.ascii import render_ring, render_timeline
+from repro.viz.histogram import render_histogram
+
+__all__ = ["render_ring", "render_timeline", "render_histogram"]

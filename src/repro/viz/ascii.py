@@ -1,0 +1,73 @@
+"""ASCII visualizations.
+
+These renderings exist for the examples and the CLI: a quick way to *see*
+the inchworm walk the ring and the message-passing transient periods without
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.messagepassing.timeline import TokenTimeline
+
+
+def render_ring(
+    n: int,
+    primary: Sequence[int] = (),
+    secondary: Sequence[int] = (),
+    width: int = 4,
+) -> str:
+    """One-line ring snapshot.
+
+    Each process renders as ``[i:PS]`` where ``P``/``S`` mark the primary /
+    secondary token; e.g. ``[0:PS] [1:--] [2:--]``.
+    """
+    cells = []
+    pset, sset = set(primary), set(secondary)
+    for i in range(n):
+        mark = ("P" if i in pset else "-") + ("S" if i in sset else "-")
+        cells.append(f"[{i}:{mark}]")
+    return " ".join(cells)
+
+
+def render_timeline(
+    timeline: TokenTimeline,
+    n: int,
+    t_start: float = 0.0,
+    t_end: Optional[float] = None,
+    columns: int = 80,
+) -> str:
+    """Strip chart: one row per node, ``#`` while holding a token.
+
+    Continuous time ``[t_start, t_end]`` is quantized into ``columns`` cells;
+    a cell shows ``#`` if the node holds a token at the cell's midpoint.  A
+    final ``count`` row prints the holder count per cell (``0`` cells are the
+    token-extinction windows of Figures 11-12).
+    """
+    t_end = timeline.end_time if t_end is None else t_end
+    if t_end <= t_start:
+        raise ValueError("need t_end > t_start")
+    intervals = timeline.intervals()
+
+    def holders_at(t: float):
+        for a, b, h in intervals:
+            if a <= t < b:
+                return h
+        return intervals[-1][2] if intervals and t >= intervals[-1][1] else ()
+
+    dt = (t_end - t_start) / columns
+    grid: List[List[str]] = [["." for _ in range(columns)] for _ in range(n)]
+    counts: List[str] = []
+    for c in range(columns):
+        mid = t_start + (c + 0.5) * dt
+        h = holders_at(mid)
+        for i in h:
+            grid[i][c] = "#"
+        counts.append(str(min(len(h), 9)))
+    lines = [f"node {i:2d} |{''.join(row)}|" for i, row in enumerate(grid)]
+    lines.append(f"count   |{''.join(counts)}|")
+    lines.append(
+        f"         t={t_start:.1f}{' ' * max(columns - 18, 0)}t={t_end:.1f}"
+    )
+    return "\n".join(lines)

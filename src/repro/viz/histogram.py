@@ -1,0 +1,54 @@
+"""ASCII histograms for convergence-time distributions.
+
+The scaling studies produce per-n step distributions; an inline histogram
+makes their shape visible in a terminal without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def render_histogram(
+    samples: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar histogram.
+
+    Parameters
+    ----------
+    samples:
+        The observations (non-empty).
+    bins:
+        Number of equal-width bins over ``[min, max]``.
+    width:
+        Character width of the longest bar.
+    title:
+        Optional caption printed above the bars.
+    """
+    if len(samples) == 0:
+        raise ValueError("cannot histogram an empty sample")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    arr = np.asarray(samples, dtype=float)
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    label_width = max(
+        len(f"{edges[i]:.1f}-{edges[i + 1]:.1f}") for i in range(bins)
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i in range(bins):
+        label = f"{edges[i]:.1f}-{edges[i + 1]:.1f}".rjust(label_width)
+        bar = "#" * int(round(counts[i] / peak * width))
+        lines.append(f"{label} |{bar.ljust(width)}| {counts[i]}")
+    lines.append(
+        f"{'':>{label_width}}  n={arr.size} mean={arr.mean():.1f} "
+        f"max={arr.max():.0f}"
+    )
+    return "\n".join(lines)

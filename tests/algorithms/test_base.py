@@ -1,0 +1,64 @@
+"""Unit tests for the shared RingAlgorithm machinery."""
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+
+
+class TestStepSemantics:
+    def test_execute_rejects_disabled_process(self):
+        alg = DijkstraKState(4, 5)
+        config = alg.initial_configuration()  # only P0 enabled
+        with pytest.raises(ValueError):
+            alg.execute(config, 1)
+
+    def test_step_rejects_empty_selection(self):
+        alg = DijkstraKState(4, 5)
+        with pytest.raises(ValueError):
+            alg.step(alg.initial_configuration(), [])
+
+    def test_composite_atomicity_reads_old_configuration(self):
+        """All selected processes must read gamma_t, not partial updates.
+
+        With x = (1, 0, 1, 1): P1 copies x0=1, and P2 copies x1's OLD value
+        0 simultaneously — sequential application would give P2 the new 1.
+        """
+        alg = DijkstraKState(4, 5)
+        config = (1, 0, 1, 1)
+        nxt = alg.step(config, [1, 2])
+        assert nxt == (1, 1, 0, 1)
+
+    def test_step_deduplicates_selection(self):
+        alg = DijkstraKState(4, 5)
+        config = alg.initial_configuration()
+        assert alg.step(config, [0, 0]) == alg.step(config, [0])
+
+    def test_enabled_processes_sorted(self):
+        alg = SSRmin(5, 6)
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            c = alg.random_configuration(rng)
+            enabled = alg.enabled_processes(c)
+            assert list(enabled) == sorted(enabled)
+
+    def test_configuration_space_size_matches_state_count(self):
+        alg = DijkstraKState(3, 4)
+        count = sum(1 for _ in alg.configuration_space())
+        assert count == 4 ** 3
+        assert alg.state_count_per_process() == 4
+
+    def test_normalize_configuration_default_tuple(self):
+        alg = DijkstraKState(3, 4)
+        assert alg.normalize_configuration([1, 2, 3]) == (1, 2, 3)
+
+    def test_ssrmin_normalize_wraps(self):
+        from repro.core.state import Configuration
+
+        alg = SSRmin(3, 4)
+        raw = [(0, 0, 0), (1, 0, 1), (2, 1, 0)]
+        norm = alg.normalize_configuration(raw)
+        assert isinstance(norm, Configuration)
+        assert norm.states == tuple(raw)

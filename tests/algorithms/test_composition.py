@@ -1,0 +1,112 @@
+"""Unit tests for the independent parallel composition."""
+
+import random
+
+import pytest
+
+from repro.algorithms.composition import IndependentComposition
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.daemons.distributed import RandomSubsetDaemon
+
+
+def two_layer(n=4, K=5):
+    return IndependentComposition([DijkstraKState(n, K), DijkstraKState(n, K)])
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IndependentComposition([])
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            IndependentComposition([DijkstraKState(3, 4), DijkstraKState(4, 5)])
+
+    def test_k_property(self):
+        assert two_layer().k == 2
+
+
+class TestConfigurations:
+    def test_compose_and_project_roundtrip(self):
+        comp = two_layer()
+        a = (0, 1, 2, 3)
+        b = (4, 4, 4, 4)
+        composed = comp.compose_configurations([a, b])
+        assert comp.layer_config(composed, 0) == a
+        assert comp.layer_config(composed, 1) == b
+
+    def test_compose_validates_lengths(self):
+        comp = two_layer()
+        with pytest.raises(ValueError):
+            comp.compose_configurations([(0, 0, 0, 0)])
+        with pytest.raises(ValueError):
+            comp.compose_configurations([(0, 0, 0), (0, 0, 0, 0)])
+
+    def test_layer_config_passes_none_through(self):
+        comp = two_layer()
+        view = [None, ((1, 2)), None, None]
+        view[1] = (1, 2)
+        assert comp.layer_config(view, 0) == (None, 1, None, None)
+
+    def test_state_space_is_product(self):
+        comp = two_layer(3, 4)
+        assert comp.state_count_per_process() == 16
+
+
+class TestSemantics:
+    def test_privileged_is_union(self):
+        comp = two_layer()
+        composed = comp.compose_configurations([(0, 0, 0, 0), (1, 1, 0, 0)])
+        # Layer 0 token at P0 (all equal); layer 1 token at P2 (boundary).
+        assert comp.privileged(composed) == (0, 2)
+        by_layer = comp.privileged_by_layer(composed)
+        assert by_layer[0] == (0,)
+        assert by_layer[1] == (2,)
+
+    def test_legitimate_requires_all_layers(self):
+        comp = two_layer()
+        good = comp.compose_configurations([(0, 0, 0, 0), (1, 1, 0, 0)])
+        bad = comp.compose_configurations([(0, 0, 0, 0), (0, 2, 1, 3)])
+        assert comp.is_legitimate(good)
+        assert not comp.is_legitimate(bad)
+
+    def test_selected_process_executes_all_enabled_layers(self):
+        comp = two_layer()
+        # P1 enabled in both layers.
+        composed = comp.compose_configurations([(1, 0, 0, 0), (2, 0, 0, 0)])
+        nxt = comp.step(composed, [1])
+        assert comp.layer_config(nxt, 0) == (1, 1, 0, 0)
+        assert comp.layer_config(nxt, 1) == (2, 2, 0, 0)
+
+    def test_selected_process_skips_disabled_layer(self):
+        comp = two_layer()
+        # P1 enabled only in layer 0.
+        composed = comp.compose_configurations([(1, 0, 0, 0), (2, 2, 0, 0)])
+        nxt = comp.step(composed, [1])
+        assert comp.layer_config(nxt, 0) == (1, 1, 0, 0)
+        assert comp.layer_config(nxt, 1) == (2, 2, 0, 0)  # unchanged
+
+    def test_both_layers_converge_under_composition(self):
+        comp = two_layer(5, 6)
+        rng = random.Random(7)
+        config = comp.random_configuration(rng)
+        daemon = RandomSubsetDaemon(seed=7)
+        for step in range(2000):
+            if comp.is_legitimate(config):
+                break
+            enabled = comp.enabled_processes(config)
+            assert enabled, "composition deadlocked"
+            config = comp.step(config, daemon.select(enabled, config, step))
+        assert comp.is_legitimate(config)
+
+    def test_state_reading_mutual_inclusion(self):
+        """In the state-reading model the composition ALWAYS has >= 1 token
+        (each layer has >= 1) — the property that breaks under messages."""
+        comp = two_layer(5, 6)
+        rng = random.Random(8)
+        config = comp.random_configuration(rng)
+        daemon = RandomSubsetDaemon(seed=8)
+        for step in range(500):
+            assert len(comp.privileged(config)) >= 1
+            enabled = comp.enabled_processes(config)
+            config = comp.step(config, daemon.select(enabled, config, step))

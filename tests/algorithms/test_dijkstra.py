@@ -1,0 +1,127 @@
+"""Unit tests for Dijkstra's K-state token ring (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import (
+    DijkstraKState,
+    dijkstra_command,
+    dijkstra_guard,
+    is_dijkstra_legitimate,
+)
+from repro.daemons.distributed import RandomSubsetDaemon
+from repro.simulation.convergence import converge
+
+
+class TestConstruction:
+    def test_rejects_small_ring(self):
+        with pytest.raises(ValueError):
+            DijkstraKState(1)
+
+    def test_rejects_small_k(self):
+        with pytest.raises(ValueError):
+            DijkstraKState(5, 5)
+
+    def test_allow_small_k(self):
+        assert DijkstraKState(5, 3, allow_small_k=True).K == 3
+
+    def test_default_k(self):
+        assert DijkstraKState(6).K == 7
+
+
+class TestMacros:
+    def test_guard_bottom(self):
+        assert dijkstra_guard(3, 3, is_bottom=True)
+        assert not dijkstra_guard(3, 4, is_bottom=True)
+
+    def test_guard_other(self):
+        assert dijkstra_guard(3, 4, is_bottom=False)
+        assert not dijkstra_guard(3, 3, is_bottom=False)
+
+    def test_command_bottom_wraps(self):
+        assert dijkstra_command(5, is_bottom=True, K=6) == 0
+
+    def test_command_other_copies(self):
+        assert dijkstra_command(4, is_bottom=False, K=6) == 4
+
+
+class TestLegitimacy:
+    def test_all_equal_is_legitimate(self):
+        assert is_dijkstra_legitimate((3, 3, 3, 3), 5)
+
+    def test_single_step_is_legitimate(self):
+        assert is_dijkstra_legitimate((4, 4, 3, 3), 5)
+        assert is_dijkstra_legitimate((4, 3, 3, 3), 5)
+        assert is_dijkstra_legitimate((4, 4, 4, 3), 5)
+
+    def test_modular_step(self):
+        assert is_dijkstra_legitimate((0, 0, 4, 4), 5)
+
+    def test_two_steps_illegitimate(self):
+        assert not is_dijkstra_legitimate((5, 4, 3, 3), 6)
+
+    def test_wrong_direction_step_illegitimate(self):
+        assert not is_dijkstra_legitimate((3, 3, 4, 4), 6)
+
+    def test_legitimate_implies_exactly_one_token(self):
+        # Note the converse fails: e.g. (0, 0, 2, 2) has exactly one token
+        # but is not of the staircase form; the staircase set is the paper's
+        # (smaller) Lambda, and one-token configs converge into it.
+        alg = DijkstraKState(4, 5)
+        rng = random.Random(0)
+        for _ in range(500):
+            c = alg.random_configuration(rng)
+            if alg.is_legitimate(c):
+                assert len(alg.privileged(c)) == 1
+
+    def test_one_token_set_is_closed_and_reaches_staircase(self):
+        alg = DijkstraKState(4, 5)
+        config = (0, 0, 2, 2)  # one token, not a staircase
+        assert not alg.is_legitimate(config)
+        assert len(alg.privileged(config)) == 1
+        for _ in range(20):
+            holders = alg.privileged(config)
+            assert len(holders) == 1
+            config = alg.step(config, holders)
+        assert alg.is_legitimate(config)
+
+
+class TestExecution:
+    def test_token_circulates(self):
+        alg = DijkstraKState(4, 5)
+        config = alg.initial_configuration()
+        positions = []
+        for _ in range(8):
+            holders = alg.privileged(config)
+            assert len(holders) == 1
+            positions.append(holders[0])
+            config = alg.step(config, holders)
+        assert positions == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_token_position_requires_legitimacy(self):
+        alg = DijkstraKState(4, 5)
+        with pytest.raises(ValueError):
+            alg.token_position((0, 3, 1, 2))
+
+    def test_initial_configuration_bounds(self):
+        alg = DijkstraKState(4, 5)
+        with pytest.raises(ValueError):
+            alg.initial_configuration(x=5)
+
+    def test_converges_from_random_under_distributed_daemon(self):
+        for seed in range(10):
+            alg = DijkstraKState(6, 7)
+            rng = random.Random(seed)
+            init = alg.random_configuration(rng)
+            res = converge(alg, RandomSubsetDaemon(seed=seed), init)
+            assert res.converged
+
+    def test_closure_once_legitimate(self):
+        alg = DijkstraKState(5, 6)
+        config = alg.initial_configuration(2)
+        daemon = RandomSubsetDaemon(seed=1)
+        for step in range(100):
+            enabled = alg.enabled_processes(config)
+            config = alg.step(config, daemon.select(enabled, config, step))
+            assert alg.is_legitimate(config)

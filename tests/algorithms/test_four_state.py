@@ -1,0 +1,90 @@
+"""Unit tests for the Dijkstra four-state reconstruction.
+
+The critical test is the exhaustive model-check: this algorithm is a
+literature reconstruction, so it earns its place by proof, not provenance.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra_four_state import DijkstraFourState
+from repro.daemons.central import RandomCentralDaemon
+from repro.simulation.convergence import converge
+from repro.verification.model_checker import check_self_stabilization
+from repro.verification.transition_system import TransitionSystem
+
+
+class TestConstruction:
+    def test_rejects_small_ring(self):
+        with pytest.raises(ValueError):
+            DijkstraFourState(2)
+
+    def test_initial_configuration_is_legitimate(self):
+        for n in (3, 4, 6):
+            alg = DijkstraFourState(n)
+            assert alg.is_legitimate(alg.initial_configuration())
+
+
+class TestFrozenBits:
+    def test_random_configuration_respects_frozen_bits(self):
+        alg = DijkstraFourState(5)
+        rng = random.Random(1)
+        for _ in range(50):
+            c = alg.random_configuration(rng)
+            assert c[0][1] is True
+            assert c[-1][1] is False
+
+    def test_configuration_space_respects_frozen_bits(self):
+        alg = DijkstraFourState(3)
+        for c in alg.configuration_space():
+            assert c[0][1] is True and c[-1][1] is False
+
+    def test_configuration_space_size(self):
+        # 2 bottom x 4^(n-2) middle x 2 top
+        alg = DijkstraFourState(4)
+        assert sum(1 for _ in alg.configuration_space()) == 2 * 16 * 2
+
+
+class TestSelfStabilization:
+    @pytest.mark.parametrize("n", [3, 4])
+    def test_exhaustive_distributed_daemon(self, n):
+        alg = DijkstraFourState(n)
+        report = check_self_stabilization(TransitionSystem(alg, "distributed"))
+        assert report.self_stabilizing, report.summary()
+
+    def test_exhaustive_central_daemon(self):
+        alg = DijkstraFourState(4)
+        report = check_self_stabilization(TransitionSystem(alg, "central"))
+        assert report.self_stabilizing, report.summary()
+
+    def test_worst_case_grows_with_n(self):
+        worst = []
+        for n in (3, 4, 5):
+            alg = DijkstraFourState(n)
+            report = check_self_stabilization(TransitionSystem(alg, "distributed"))
+            worst.append(report.worst_case_steps)
+        assert worst[0] < worst[1] < worst[2]
+
+
+class TestExecution:
+    def test_mutual_exclusion_in_legitimate_regime(self):
+        alg = DijkstraFourState(5)
+        config = alg.initial_configuration()
+        daemon = RandomCentralDaemon(seed=2)
+        served = set()
+        for step in range(100):
+            holders = alg.privileged(config)
+            assert len(holders) == 1
+            served.update(holders)
+            enabled = alg.enabled_processes(config)
+            config = alg.step(config, daemon.select(enabled, config, step))
+        assert served == set(range(5))  # everyone got the privilege
+
+    def test_converges_from_random(self):
+        for seed in range(10):
+            alg = DijkstraFourState(5)
+            rng = random.Random(seed)
+            res = converge(alg, RandomCentralDaemon(seed=seed),
+                           alg.random_configuration(rng))
+            assert res.converged

@@ -1,0 +1,84 @@
+"""Unit tests for the rule-execution census (Lemma 5/8 bookkeeping)."""
+
+import random
+
+from repro.analysis.census import census_execution
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import RandomSubsetDaemon, SynchronousDaemon
+from repro.simulation.engine import SharedMemorySimulator
+from repro.simulation.execution import Execution, Move
+
+
+def synthetic_execution(rule_steps):
+    """Build an execution from a list of per-step rule-name lists."""
+    e = Execution()
+    e.start("c0")
+    for t, rules in enumerate(rule_steps):
+        e.record([Move(j, r) for j, r in enumerate(rules)], f"c{t + 1}")
+    return e
+
+
+class TestSyntheticCensus:
+    def test_counts(self):
+        e = synthetic_execution([["R1"], ["R3"], ["R2"], ["R1"], ["R4"]])
+        c = census_execution(e, n=5)
+        assert c.rule_counts == {"R1": 2, "R3": 1, "R2": 1, "R4": 1}
+        assert c.w24 == 2 and c.w135 == 3
+
+    def test_longest_run_resets_on_w24(self):
+        e = synthetic_execution([["R1"], ["R3"], ["R2"], ["R1"], ["R5"],
+                                 ["R3"], ["R4"]])
+        c = census_execution(e, n=5)
+        assert c.longest_w135_run == 3
+
+    def test_mixed_step_with_w24_breaks_run(self):
+        e = synthetic_execution([["R1"], ["R1", "R2"], ["R3"]])
+        c = census_execution(e, n=5)
+        assert c.longest_w135_run == 1
+
+    def test_domination_ratio(self):
+        e = synthetic_execution([["R1"], ["R3"], ["R2"]])
+        assert census_execution(e, n=5).domination_ratio == 2.0
+
+    def test_no_w24_gives_infinite_ratio(self):
+        e = synthetic_execution([["R1"], ["R3"]])
+        c = census_execution(e, n=5)
+        assert c.domination_ratio == float("inf")
+        assert c.lemma5_holds  # 2 <= 15
+
+    def test_lemma5_bound(self):
+        c = census_execution(synthetic_execution([["R1"]]), n=4)
+        assert c.lemma5_bound == 12
+
+
+class TestRealExecutions:
+    def test_lemma5_on_legitimate_lap(self, ssrmin5):
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon())
+        res = sim.run(ssrmin5.initial_configuration(), max_steps=45)
+        c = census_execution(res.execution, ssrmin5.n)
+        assert c.lemma5_holds
+        # One lap = n each of R1/R3/R2; three laps here.
+        assert c.w24 == 15 and c.w135 == 30
+
+    def test_lemma5_from_chaos_many_seeds(self):
+        for seed in range(15):
+            alg = SSRmin(6, 7)
+            rng = random.Random(seed)
+            sim = SharedMemorySimulator(alg, RandomSubsetDaemon(seed=seed))
+            res = sim.run(alg.random_configuration(rng), max_steps=500,
+                          stop_when=alg.is_legitimate)
+            c = census_execution(res.execution, alg.n)
+            assert c.lemma5_holds, f"seed {seed}: run {c.longest_w135_run}"
+
+    def test_domination_bounded_by_lemma8_constant(self):
+        """|W135| <= L * |W24| with L = 9 (paper's constant) plus the
+        bounded pre-first-W24 prefix — checked with slack."""
+        for seed in range(10):
+            alg = SSRmin(6, 7)
+            rng = random.Random(100 + seed)
+            sim = SharedMemorySimulator(alg, RandomSubsetDaemon(seed=seed))
+            res = sim.run(alg.random_configuration(rng), max_steps=1500,
+                          record=True)
+            c = census_execution(res.execution, alg.n)
+            assert c.w24 > 0
+            assert c.w135 <= 9 * c.w24 + 3 * alg.n

@@ -1,0 +1,76 @@
+"""Unit tests for the daemon-fairness analyzer."""
+
+import random
+
+from repro.analysis.fairness import starvation_report
+from repro.core.ssrmin import SSRmin
+from repro.daemons.central import FixedPriorityDaemon, RoundRobinDaemon
+from repro.daemons.distributed import SynchronousDaemon
+from repro.simulation.engine import SharedMemorySimulator
+from repro.simulation.execution import Execution, Move
+
+
+class TestSyntheticSchedules:
+    def build(self, alg, configs, moves):
+        e = Execution()
+        e.start(configs[0])
+        for m, c in zip(moves, configs[1:]):
+            e.record(m, c)
+        return e
+
+    def test_selection_counts(self, ssrmin5):
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon())
+        res = sim.run(ssrmin5.initial_configuration(), max_steps=15)
+        report = starvation_report(res.execution, ssrmin5)
+        assert sum(report.selections.values()) == 15
+
+    def test_synchronous_daemon_never_starves(self, ssrmin5):
+        """Every enabled process moves immediately: zero streaks."""
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon())
+        res = sim.run(ssrmin5.initial_configuration(), max_steps=30)
+        report = starvation_report(res.execution, ssrmin5)
+        assert report.worst_starvation == 0
+        assert report.weakly_fair
+
+
+class TestDaemonTaxonomy:
+    def test_round_robin_is_fair(self, ssrmin5):
+        import random as _r
+
+        init = ssrmin5.random_configuration(_r.Random(0))
+        sim = SharedMemorySimulator(ssrmin5, RoundRobinDaemon())
+        res = sim.run(init, max_steps=200)
+        report = starvation_report(res.execution, ssrmin5)
+        # In the legitimate regime only one process is enabled at a time, so
+        # streaks are short; round-robin never builds long ones.
+        assert report.worst_starvation <= 2 * ssrmin5.n
+
+    def test_fixed_priority_starves_during_convergence(self):
+        """With many simultaneously enabled processes, the lowest index
+        hogs the schedule — measurable starvation of the others."""
+        alg = SSRmin(8, 9)
+        # A chaotic start keeps several processes enabled at once.
+        init = alg.random_configuration(random.Random(3))
+        sim = SharedMemorySimulator(alg, FixedPriorityDaemon())
+        res = sim.run(init, max_steps=300)
+        report = starvation_report(res.execution, alg)
+        assert report.worst_starvation >= 2
+
+    def test_streak_resets_on_disable(self, ssrmin5):
+        """A process whose guard is falsified by neighbours stops counting
+        as starved."""
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon())
+        res = sim.run(ssrmin5.initial_configuration(), max_steps=3 * 5)
+        report = starvation_report(res.execution, ssrmin5)
+        assert all(v == 0 for v in report.final_streak.values())
+
+    def test_starved_threshold_query(self):
+        alg = SSRmin(8, 9)
+        init = alg.random_configuration(random.Random(4))
+        sim = SharedMemorySimulator(alg, FixedPriorityDaemon())
+        res = sim.run(init, max_steps=300)
+        report = starvation_report(res.execution, alg)
+        t = max(report.max_streak.values())
+        if t > 0:
+            assert report.starved(t)
+            assert not report.starved(t + 1)

@@ -1,0 +1,78 @@
+"""Unit tests for the measurement utilities."""
+
+import time
+
+import pytest
+
+from repro.analysis.profiling import (
+    Hotspot,
+    Stopwatch,
+    compare_engines,
+    profile_callable,
+    time_callable,
+)
+
+
+class TestStopwatch:
+    def test_elapsed_positive(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+        assert sw.elapsed > 0
+
+    def test_splits_accumulate(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+            a = sw.split("first")
+            sum(range(1000))
+            b = sw.split("second")
+        assert [label for label, _ in sw.splits] == ["first", "second"]
+        assert a >= 0 and b >= 0
+        assert sw.elapsed >= a + b
+
+    def test_unstarted_raises(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            _ = sw.elapsed
+        with pytest.raises(RuntimeError):
+            sw.split("x")
+
+
+class TestTimeCallable:
+    def test_summary_shape(self):
+        summary = time_callable(lambda: sum(range(100)), repeats=5)
+        assert summary.n == 5
+        assert summary.mean > 0
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_warmup_runs_excluded(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5  # warmup + repeats all execute
+
+
+class TestProfileCallable:
+    def test_returns_hotspots(self):
+        def workload():
+            return sorted(range(10_000), key=lambda x: -x)
+
+        rows = profile_callable(workload, top=5)
+        assert 1 <= len(rows) <= 5
+        assert all(isinstance(r, Hotspot) for r in rows)
+        assert rows[0].cumulative_seconds >= rows[-1].cumulative_seconds
+
+    def test_rejects_bad_top(self):
+        with pytest.raises(ValueError):
+            profile_callable(lambda: None, top=0)
+
+
+class TestCompareEngines:
+    def test_batch_is_faster(self):
+        """The vectorized engine must beat the scalar one on this workload
+        — the justification for its existence."""
+        result = compare_engines(n=8, trials=40, seed=0)
+        assert result["scalar_seconds"] > 0
+        assert result["batch_seconds"] > 0
+        assert result["speedup"] > 1.0

@@ -1,0 +1,75 @@
+"""Unit tests for round-complexity accounting."""
+
+import random
+
+import pytest
+
+from repro.analysis.rounds import RoundCounter, measure_rounds
+from repro.core.ssrmin import SSRmin
+from repro.daemons.central import FixedPriorityDaemon, RandomCentralDaemon
+from repro.daemons.distributed import RandomSubsetDaemon, SynchronousDaemon
+from repro.simulation.engine import SharedMemorySimulator
+
+
+class TestRoundCounter:
+    def test_synchronous_daemon_one_step_per_round(self, ssrmin5):
+        """Under the synchronous daemon every enabled process moves each
+        step, so every round is exactly one step long."""
+        counter = RoundCounter(ssrmin5)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(),
+                                    monitors=[counter])
+        sim.run(ssrmin5.initial_configuration(), max_steps=12, record=False)
+        assert counter.rounds == 12
+        assert all(length == 1 for length in counter.round_lengths)
+
+    def test_central_daemon_rounds_no_longer_than_steps(self, ssrmin5):
+        counter = RoundCounter(ssrmin5)
+        sim = SharedMemorySimulator(ssrmin5, RandomCentralDaemon(seed=0),
+                                    monitors=[counter])
+        sim.run(ssrmin5.initial_configuration(), max_steps=30, record=False)
+        assert counter.rounds <= 30
+        assert sum(counter.round_lengths) <= 30
+
+    def test_reset_between_runs(self, ssrmin5):
+        counter = RoundCounter(ssrmin5)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(),
+                                    monitors=[counter])
+        sim.run(ssrmin5.initial_configuration(), max_steps=5, record=False)
+        sim.run(ssrmin5.initial_configuration(), max_steps=5, record=False)
+        assert counter.rounds == 5
+
+
+class TestMeasureRounds:
+    def test_rounds_at_most_steps(self):
+        for seed in range(8):
+            alg = SSRmin(6, 7)
+            init = alg.random_configuration(random.Random(seed))
+            steps, rounds = measure_rounds(
+                alg, RandomSubsetDaemon(seed=seed), init
+            )
+            assert rounds <= steps or steps == 0
+
+    def test_budget_exhaustion_raises(self):
+        alg = SSRmin(6, 7)
+        init = alg.random_configuration(random.Random(1))
+        if alg.is_legitimate(init):  # pragma: no cover - seed-dependent
+            pytest.skip("start happened to be legitimate")
+        with pytest.raises(RuntimeError):
+            measure_rounds(alg, RandomSubsetDaemon(seed=1), init, max_steps=1)
+
+    def test_rounds_scale_sublinearly_vs_steps_under_unfair_daemon(self):
+        """The unfair central daemon inflates steps but rounds stay small
+        relative to them — the point of round complexity."""
+        alg = SSRmin(8, 9)
+        totals = []
+        for seed in range(5):
+            init = alg.random_configuration(random.Random(seed))
+            steps, rounds = measure_rounds(alg, FixedPriorityDaemon(), init)
+            totals.append((steps, rounds))
+        assert all(r <= s for s, r in totals if s > 0)
+
+    def test_legitimate_start_zero(self, ssrmin5):
+        steps, rounds = measure_rounds(
+            ssrmin5, SynchronousDaemon(), ssrmin5.initial_configuration()
+        )
+        assert steps == 0 and rounds == 0

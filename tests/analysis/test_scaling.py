@@ -1,0 +1,52 @@
+"""Unit tests for power-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        xs = [2, 4, 8, 16]
+        ys = [3 * x ** 2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.prefactor == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-12)
+
+    def test_exact_linear(self):
+        xs = [1, 2, 3, 4, 5]
+        fit = fit_power_law(xs, [7.0 * x for x in xs])
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+
+    def test_noisy_quadratic_recovers_exponent(self):
+        rng = np.random.default_rng(0)
+        xs = np.array([5, 8, 12, 17, 24, 32], dtype=float)
+        ys = 2.0 * xs ** 2 * np.exp(rng.normal(0, 0.05, xs.size))
+        fit = fit_power_law(xs, ys)
+        assert 1.8 <= fit.exponent <= 2.2
+        assert fit.r_squared > 0.98
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 8, 32])
+        assert fit.predict(8) == pytest.approx(128.0, rel=1e-9)
+
+    def test_rejects_mismatched_or_tiny(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [-1, 2])
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3, 3], [1, 2, 3])
+
+    def test_str_renders(self):
+        assert "x^" in str(fit_power_law([1, 2, 4], [2, 8, 32]))

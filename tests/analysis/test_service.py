@@ -1,0 +1,66 @@
+"""Unit tests for service-fairness analysis."""
+
+import pytest
+
+from repro.analysis.service import (
+    ServiceMonitor,
+    jain_fairness,
+    service_report,
+)
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import SynchronousDaemon
+from repro.simulation.engine import SharedMemorySimulator
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([3, 3, 3, 3]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jain_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_or_zero(self):
+        assert jain_fairness([]) == 0.0
+        assert jain_fairness([0, 0]) == 0.0
+
+
+class TestServiceReport:
+    def test_counts_maximal_runs(self):
+        history = [(0,), (0,), (1,), (0,), ()]
+        report = service_report(history, n=2)
+        assert report.service_counts[0] == 2  # two separate runs
+        assert report.service_counts[1] == 1
+        assert report.all_served
+
+    def test_never_served_process(self):
+        history = [(0,), (0,)]
+        report = service_report(history, n=3)
+        assert not report.all_served
+        assert report.max_gap == 2  # waited the whole history
+
+    def test_gap_measurement(self):
+        # Process 1 first served at index 3 -> gap 3.
+        history = [(0,), (0,), (0,), (1,)]
+        report = service_report(history, n=2)
+        assert report.max_gap == 3
+
+
+class TestServiceMonitorIntegration:
+    def test_legitimate_regime_is_fair(self):
+        """One lap serves everyone exactly once: Jain index 1."""
+        alg = SSRmin(6, 7)
+        mon = ServiceMonitor(alg)
+        sim = SharedMemorySimulator(alg, SynchronousDaemon(), monitors=[mon])
+        sim.run(alg.initial_configuration(), max_steps=3 * 6, record=False)
+        report = service_report(mon.history, n=6)
+        assert report.all_served
+        assert report.jain_index > 0.9
+
+    def test_service_gap_bounded_by_lap_length(self):
+        """Nobody waits more than ~one circulation (3n steps) plus slack."""
+        alg = SSRmin(5, 6)
+        mon = ServiceMonitor(alg)
+        sim = SharedMemorySimulator(alg, SynchronousDaemon(), monitors=[mon])
+        sim.run(alg.initial_configuration(), max_steps=9 * 5, record=False)
+        report = service_report(mon.history, n=5)
+        assert report.max_gap <= 3 * 5 + 2

@@ -1,0 +1,43 @@
+"""Unit tests for summary statistics."""
+
+import pytest
+
+from repro.analysis.statistics import Summary, summarize
+
+
+class TestSummarize:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.n == 1
+        assert s.mean == 5.0
+        assert s.std == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+
+    def test_basic_moments(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.std == pytest.approx(1.5811, abs=1e-3)
+
+    def test_ci_contains_mean(self):
+        s = summarize([10, 12, 14, 16])
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_ci_shrinks_with_sample_size(self):
+        small = summarize([1, 3] * 5)
+        large = summarize([1, 3] * 500)
+        assert large.ci_half < small.ci_half
+
+    def test_custom_z(self):
+        narrow = summarize([1, 2, 3, 4], z=1.0)
+        wide = summarize([1, 2, 3, 4], z=2.58)
+        assert narrow.ci_half < wide.ci_half
+
+    def test_str_renders(self):
+        text = str(summarize([1, 2, 3]))
+        assert "mean=2.00" in text and "n=3" in text

@@ -1,0 +1,72 @@
+"""Unit tests for the single-fault (superstabilization-style) study."""
+
+import pytest
+
+from repro.analysis.superstabilization import (
+    SuperstabilizationReport,
+    SingleFaultRecord,
+    study_single_fault,
+)
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import RandomSubsetDaemon
+
+
+class TestStudySingleFault:
+    def test_trials_recorded(self):
+        alg = SSRmin(5, 6)
+        report = study_single_fault(
+            alg, lambda a, s: RandomSubsetDaemon(seed=s), trials=15, seed=0
+        )
+        assert report.trials == 15
+        assert 0.0 <= report.safety_fraction <= 1.0
+
+    def test_recoveries_within_quadratic_budget(self):
+        alg = SSRmin(6, 7)
+        report = study_single_fault(
+            alg, lambda a, s: RandomSubsetDaemon(seed=s), trials=10, seed=1
+        )
+        assert report.max_recovery <= 60 * 36 + 600
+        assert report.mean_recovery <= report.max_recovery
+
+    def test_token_burst_bounded(self):
+        """A single fault can add at most a couple of spurious tokens."""
+        alg = SSRmin(6, 7)
+        report = study_single_fault(
+            alg, lambda a, s: RandomSubsetDaemon(seed=s), trials=20, seed=2
+        )
+        assert report.worst_burst <= 4
+
+    def test_safety_mostly_holds(self):
+        """Empirically, >= 1 token survives most single faults (not claimed
+        as a theorem; the study quantifies it)."""
+        alg = SSRmin(6, 7)
+        report = study_single_fault(
+            alg, lambda a, s: RandomSubsetDaemon(seed=s), trials=30, seed=3
+        )
+        assert report.safety_fraction >= 0.5
+
+    def test_deterministic_under_seed(self):
+        alg = SSRmin(5, 6)
+        a = study_single_fault(
+            alg, lambda al, s: RandomSubsetDaemon(seed=s), trials=8, seed=4
+        )
+        b = study_single_fault(
+            alg, lambda al, s: RandomSubsetDaemon(seed=s), trials=8, seed=4
+        )
+        assert [r.recovery_steps for r in a.records] == [
+            r.recovery_steps for r in b.records
+        ]
+
+
+class TestReportProperties:
+    def test_aggregates(self):
+        records = [
+            SingleFaultRecord(5, True, 2, 1),
+            SingleFaultRecord(9, False, 3, 0),
+        ]
+        report = SuperstabilizationReport(records)
+        assert report.trials == 2
+        assert report.safety_fraction == 0.5
+        assert report.max_recovery == 9
+        assert report.mean_recovery == 7.0
+        assert report.worst_burst == 3

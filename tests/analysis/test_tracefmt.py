@@ -1,0 +1,64 @@
+"""Unit tests for Figure-1/4 style trace formatting."""
+
+from repro.analysis.tracefmt import (
+    annotate_process,
+    format_token_movement,
+    format_trace,
+)
+from repro.core.ssrmin import SSRmin
+from repro.core.state import Configuration
+from repro.daemons.distributed import SynchronousDaemon
+from repro.simulation.engine import SharedMemorySimulator
+
+
+class TestAnnotate:
+    def test_both_tokens_and_rule(self):
+        alg = SSRmin(5, 6)
+        c = Configuration.parse("3.0.1 3.0.0 3.0.0 3.0.0 3.0.0")
+        assert annotate_process(alg, c, 0) == "3.0.1PS/1"
+
+    def test_primary_only_with_rule2(self):
+        alg = SSRmin(5, 6)
+        c = Configuration.parse("3.1.0 3.0.1 3.0.0 3.0.0 3.0.0")
+        assert annotate_process(alg, c, 0) == "3.1.0P/2"
+
+    def test_secondary_only(self):
+        alg = SSRmin(5, 6)
+        c = Configuration.parse("3.1.0 3.0.1 3.0.0 3.0.0 3.0.0")
+        assert annotate_process(alg, c, 1) == "3.0.1S"
+
+    def test_quiet_process(self):
+        alg = SSRmin(5, 6)
+        c = Configuration.parse("3.0.1 3.0.0 3.0.0 3.0.0 3.0.0")
+        assert annotate_process(alg, c, 2) == "3.0.0"
+
+
+class TestFormatters:
+    def run_lap(self, alg):
+        sim = SharedMemorySimulator(alg, SynchronousDaemon())
+        return sim.run(alg.initial_configuration(3), max_steps=6)
+
+    def test_format_trace_has_header_and_rows(self):
+        alg = SSRmin(5, 6)
+        text = format_trace(alg, self.run_lap(alg).execution)
+        lines = text.splitlines()
+        assert lines[0].startswith("Step")
+        assert "P4" in lines[0]
+        assert len(lines) == 2 + 7  # header + rule + 7 configs
+
+    def test_format_trace_first_row_matches_figure4(self):
+        alg = SSRmin(5, 6)
+        text = format_trace(alg, self.run_lap(alg).execution)
+        assert "3.0.1PS/1" in text.splitlines()[2]
+
+    def test_format_token_movement_marks(self):
+        alg = SSRmin(5, 6)
+        text = format_token_movement(alg, self.run_lap(alg).execution)
+        first = text.splitlines()[2]
+        assert "PS" in first
+        assert first.count("-") >= 4  # quiet processes
+
+    def test_start_step_offset(self):
+        alg = SSRmin(5, 6)
+        text = format_trace(alg, self.run_lap(alg).execution, start_step=10)
+        assert text.splitlines()[2].startswith("10")

@@ -1,0 +1,83 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.apps.energy import EnergyModel, integrate_energy
+from repro.messagepassing.timeline import TokenTimeline
+
+
+def timeline(points, end):
+    tl = TokenTimeline()
+    for t, h in points:
+        tl.record(t, h)
+    tl.finish(end)
+    return tl
+
+
+class TestEnergyModel:
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            EnergyModel(active_power=-1)
+
+    def test_rejects_overfull_battery(self):
+        with pytest.raises(ValueError):
+            EnergyModel(capacity=10, initial_charge=20)
+
+
+class TestIntegrateEnergy:
+    def test_requires_intervals(self):
+        tl = TokenTimeline()
+        tl.finish(0.0)
+        with pytest.raises(ValueError):
+            integrate_energy(EnergyModel(), tl, 3)
+
+    def test_active_node_drains_idle_node_charges(self):
+        model = EnergyModel(active_power=10, idle_power=0, harvest_rate=2,
+                            capacity=100, initial_charge=50)
+        tl = timeline([(0.0, [0])], end=5.0)
+        report = integrate_energy(model, tl, 2)
+        # Node 0: 50 + (2 - 10) * 5 = 10; node 1: 50 + 2*5 = 60.
+        assert report.final_charge[0] == pytest.approx(10.0)
+        assert report.final_charge[1] == pytest.approx(60.0)
+
+    def test_charge_clamped_to_capacity(self):
+        model = EnergyModel(active_power=10, idle_power=0, harvest_rate=5,
+                            capacity=60, initial_charge=50)
+        tl = timeline([(0.0, [0])], end=10.0)
+        report = integrate_energy(model, tl, 2)
+        assert report.final_charge[1] == 60.0  # clamped
+
+    def test_charge_clamped_at_zero(self):
+        model = EnergyModel(active_power=100, idle_power=0, harvest_rate=0,
+                            capacity=50, initial_charge=10)
+        tl = timeline([(0.0, [0])], end=10.0)
+        report = integrate_energy(model, tl, 1)
+        assert report.final_charge[0] == 0.0
+        assert report.min_charge[0] == 0.0
+        assert not report.sustainable
+
+    def test_duty_cycle_and_active_time(self):
+        model = EnergyModel()
+        tl = timeline([(0.0, [0]), (4.0, [1])], end=10.0)
+        report = integrate_energy(model, tl, 2)
+        assert report.active_time[0] == pytest.approx(4.0)
+        assert report.active_time[1] == pytest.approx(6.0)
+        assert report.duty_cycle[0] == pytest.approx(0.4)
+
+    def test_saving_factor(self):
+        model = EnergyModel(active_power=10, idle_power=0, harvest_rate=0,
+                            capacity=1000, initial_charge=500)
+        tl = timeline([(0.0, [0])], end=10.0)
+        report = integrate_energy(model, tl, 4)
+        # Baseline: 4 nodes * 10 * 10 = 400; actual: 1 active * 10 * 10.
+        assert report.baseline_energy == pytest.approx(400.0)
+        assert report.actual_energy == pytest.approx(100.0)
+        assert report.saving_factor == pytest.approx(4.0)
+
+    def test_overlap_counts_both_nodes(self):
+        model = EnergyModel(active_power=10, idle_power=0, harvest_rate=0,
+                            capacity=1000, initial_charge=500)
+        tl = timeline([(0.0, [0, 1])], end=5.0)
+        report = integrate_energy(model, tl, 3)
+        assert report.active_time[0] == report.active_time[1] == 5.0
+        assert report.actual_energy == pytest.approx(100.0)

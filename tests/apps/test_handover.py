@@ -1,0 +1,69 @@
+"""Unit tests for handover extraction and gracefulness."""
+
+from repro.apps.handover import all_graceful, extract_handovers, handover_stats
+from repro.messagepassing.timeline import TokenTimeline
+
+
+def timeline(points, end):
+    tl = TokenTimeline()
+    for t, h in points:
+        tl.record(t, h)
+    tl.finish(end)
+    return tl
+
+
+class TestExtractHandovers:
+    def test_graceful_overlap(self):
+        tl = timeline([(0.0, [0]), (2.0, [0, 1]), (3.0, [1])], end=5.0)
+        events = extract_handovers(tl)
+        assert len(events) == 2  # {0} -> {0,1} -> {1}, both transfers covered
+        assert all(e.graceful for e in events)
+        assert all_graceful(tl)
+
+    def test_abrupt_gap(self):
+        tl = timeline([(0.0, [0]), (2.0, []), (3.0, [1])], end=5.0)
+        events = extract_handovers(tl)
+        assert len(events) == 1
+        assert not events[0].graceful
+        assert events[0].gap == 1.0
+        assert events[0].from_holders == (0,)
+        assert events[0].to_holders == (1,)
+        assert not all_graceful(tl)
+
+    def test_no_handover_single_holder(self):
+        tl = timeline([(0.0, [2])], end=10.0)
+        assert extract_handovers(tl) == []
+
+    def test_empty_timeline(self):
+        tl = TokenTimeline()
+        tl.finish(1.0)
+        assert extract_handovers(tl) == []
+
+    def test_multiple_cycles(self):
+        tl = timeline(
+            [(0.0, [0]), (1.0, [0, 1]), (2.0, [1]), (3.0, [1, 2]), (4.0, [2])],
+            end=5.0,
+        )
+        events = extract_handovers(tl)
+        assert len(events) == 4
+        assert all(e.graceful for e in events)
+
+
+class TestHandoverStats:
+    def test_counts(self):
+        tl = timeline(
+            [(0.0, [0]), (1.0, []), (2.0, [1]), (3.0, [1, 2]), (4.0, [2])],
+            end=5.0,
+        )
+        stats = handover_stats(tl)
+        assert stats["handovers"] == 3
+        assert stats["abrupt"] == 1
+        assert stats["graceful"] == 2
+        assert stats["total_gap"] == 1.0
+        assert stats["max_gap"] == 1.0
+
+    def test_empty(self):
+        tl = timeline([(0.0, [0])], end=1.0)
+        stats = handover_stats(tl)
+        assert stats["handovers"] == 0
+        assert stats["max_gap"] == 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for the camera-network application layer."""
+
+import pytest
+
+from repro.apps.energy import EnergyModel
+from repro.apps.monitoring import CameraNetwork
+
+
+class TestCleanBoot:
+    def test_continuous_observation(self):
+        cam = CameraNetwork(5, seed=0)
+        report = cam.run(150.0)
+        assert report.coverage == 1.0
+        assert report.min_active >= 1
+        assert report.max_active <= 2
+        assert report.continuous_observation
+
+    def test_all_handovers_graceful(self):
+        cam = CameraNetwork(5, seed=1)
+        report = cam.run(200.0)
+        assert report.handovers > 0
+        assert report.graceful_handovers == report.handovers
+
+    def test_energy_report_optional(self):
+        cam = CameraNetwork(5, seed=2)
+        assert cam.run(50.0).energy is None
+
+    def test_energy_report_present(self):
+        cam = CameraNetwork(5, seed=3)
+        report = cam.run(100.0, energy_model=EnergyModel())
+        assert report.energy is not None
+        assert len(report.energy.duty_cycle) == 5
+
+    def test_duty_cycle_near_two_over_n(self):
+        """Two tokens shared by n nodes: each is active ~2/n of the time
+        (counting the overlap periods)."""
+        n = 6
+        cam = CameraNetwork(n, seed=4)
+        report = cam.run(400.0, energy_model=EnergyModel())
+        for duty in report.energy.duty_cycle:
+            assert 0.5 / n < duty < 4.0 / n
+
+    def test_active_cameras_query(self):
+        cam = CameraNetwork(5, seed=5)
+        cam.network.start()
+        assert len(cam.active_cameras()) >= 1
+
+
+class TestDirtyBoot:
+    def test_start_unclean_eventually_covers(self):
+        cam = CameraNetwork(5, seed=6, start_clean=False)
+        cam.network.run(200.0)  # stabilization warmup
+        report = cam.run(200.0, warmup=200.0)
+        assert report.coverage == 1.0
+        assert report.min_active >= 1
+
+    def test_rejects_small_ring(self):
+        with pytest.raises(ValueError):
+            CameraNetwork(2)

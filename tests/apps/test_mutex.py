@@ -1,0 +1,77 @@
+"""Unit tests for the critical-section service API."""
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.apps.mutex import CriticalSectionService, Session
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+
+
+class TestSession:
+    def test_duration(self):
+        s = Session(node=0, start=1.0, end=3.5)
+        assert s.duration == 2.5
+        assert not s.open
+
+    def test_open_session_has_no_duration(self):
+        s = Session(node=0, start=1.0)
+        assert s.open
+        with pytest.raises(ValueError):
+            _ = s.duration
+
+
+class TestServiceOverSSRmin:
+    def make(self, seed=0, duration=150.0):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=seed, delay_model=UniformDelay(0.5, 1.5))
+        service = CriticalSectionService(net)
+        net.run(duration)
+        return service
+
+    def test_sessions_recorded_for_every_node(self):
+        service = self.make()
+        counts = service.session_counts()
+        assert all(counts[i] > 0 for i in range(5))
+
+    def test_sessions_are_well_formed(self):
+        service = self.make(seed=1)
+        for s in service.closed_sessions():
+            assert s.end is not None and s.end >= s.start
+
+    def test_callbacks_fire_in_pairs(self):
+        events = []
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=2, delay_model=UniformDelay(0.5, 1.5))
+        CriticalSectionService(
+            net,
+            on_enter=lambda i, t: events.append(("enter", i, t)),
+            on_exit=lambda i, t: events.append(("exit", i, t)),
+        )
+        net.run(100.0)
+        # Per node: enters and exits alternate, starting with enter.
+        for i in range(5):
+            mine = [(kind, t) for kind, j, t in events if j == i]
+            for k, (kind, _) in enumerate(mine):
+                assert kind == ("enter" if k % 2 == 0 else "exit")
+
+    def test_graceful_handover_overlap_is_total(self):
+        service = self.make(seed=3, duration=200.0)
+        assert service.overlapping_handover_fraction() == 1.0
+
+    def test_occupancy_positive_and_balanced(self):
+        service = self.make(seed=4, duration=300.0)
+        occ = [service.occupancy(i) for i in range(5)]
+        assert all(o > 0 for o in occ)
+        assert max(occ) < 3 * min(occ)  # roughly fair rotation
+
+
+class TestServiceOverSSToken:
+    def test_sstoken_handover_never_overlaps(self):
+        alg = DijkstraKState(5, 6)
+        net = transformed(alg, seed=5, delay_model=UniformDelay(0.5, 1.5))
+        service = CriticalSectionService(net)
+        net.run(200.0)
+        assert service.closed_sessions()
+        assert service.overlapping_handover_fraction() == 0.0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.algorithms.dijkstra import DijkstraKState
+
+
+@pytest.fixture
+def ssrmin5() -> SSRmin:
+    """The paper's worked instance: n=5, K=6."""
+    return SSRmin(5, 6)
+
+
+@pytest.fixture
+def ssrmin3() -> SSRmin:
+    """Smallest legal instance: n=3, K=4 (used for exhaustive checks)."""
+    return SSRmin(3, 4)
+
+
+@pytest.fixture
+def dijkstra5() -> DijkstraKState:
+    """Dijkstra's SSToken, n=5, K=6."""
+    return DijkstraKState(5, 6)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG for tests."""
+    return random.Random(12345)

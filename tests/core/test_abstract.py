@@ -1,0 +1,71 @@
+"""Unit tests for the abstract inchworm reference model (section 3.1)."""
+
+import pytest
+
+from repro.core.abstract import AbstractInchworm, Phase
+
+
+class TestConstruction:
+    def test_rejects_small_ring(self):
+        with pytest.raises(ValueError):
+            AbstractInchworm(2)
+
+    def test_rejects_inconsistent_positions(self):
+        with pytest.raises(ValueError):
+            AbstractInchworm(5, primary=0, secondary=2, phase=Phase.SPLIT)
+        with pytest.raises(ValueError):
+            AbstractInchworm(5, primary=0, secondary=1, phase=Phase.TOGETHER)
+
+    def test_rejects_out_of_range_primary(self):
+        with pytest.raises(ValueError):
+            AbstractInchworm(5, primary=5, secondary=5)
+
+
+class TestAdvance:
+    def test_alpha1_raises_rts(self):
+        w = AbstractInchworm(5)
+        w2 = w.advance()
+        assert w2.phase is Phase.READY
+        assert w2.holders() == (0,)
+
+    def test_beta_moves_secondary(self):
+        w = AbstractInchworm(5).advance().advance()
+        assert w.phase is Phase.SPLIT
+        assert w.primary == 0 and w.secondary == 1
+        assert w.holders() == (0, 1)
+
+    def test_alpha2_moves_primary(self):
+        w = AbstractInchworm(5).advance().advance().advance()
+        assert w.phase is Phase.TOGETHER
+        assert w.holders() == (1,)
+
+    def test_full_lap_returns_home(self):
+        w = AbstractInchworm(4)
+        for _ in range(w.steps_per_lap()):
+            w = w.advance()
+        assert w.primary == 0 and w.secondary == 0
+        assert w.phase is Phase.TOGETHER
+
+    def test_wraparound(self):
+        w = AbstractInchworm(3, primary=2, secondary=2)
+        w = w.advance().advance()  # alpha_1 then beta
+        assert w.secondary == 0 and w.primary == 2
+        w = w.advance()  # alpha_2
+        assert w.primary == 0
+
+    def test_acting_process(self):
+        w = AbstractInchworm(5)
+        assert w.acting_process() == 0  # alpha_1 by holder
+        w = w.advance()
+        assert w.acting_process() == 1  # beta by successor
+        w = w.advance()
+        assert w.acting_process() == 0  # alpha_2 by holder
+
+    def test_holders_always_one_or_two_adjacent(self):
+        w = AbstractInchworm(6)
+        for _ in range(3 * 6 * 2):
+            h = w.holders()
+            assert 1 <= len(h) <= 2
+            if len(h) == 2:
+                assert (h[0] + 1) % 6 == h[1] or (h[1] + 1) % 6 == h[0]
+            w = w.advance()

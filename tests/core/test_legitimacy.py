@@ -1,0 +1,115 @@
+"""Unit tests for Definition 1's legitimate configurations and Lemma 1."""
+
+import pytest
+
+from repro.core.legitimacy import (
+    canonical_cycle,
+    is_legitimate,
+    legitimate_configurations,
+)
+from repro.core.ssrmin import SSRmin
+from repro.core.state import Configuration
+
+
+def cfg(text):
+    return Configuration.parse(text)
+
+
+class TestClosedForm:
+    def test_shape_both_tokens_tra(self):
+        assert is_legitimate(cfg("3.0.1 3.0.0 3.0.0 3.0.0 3.0.0"), 6)
+
+    def test_shape_both_tokens_rts(self):
+        assert is_legitimate(cfg("3.1.0 3.0.0 3.0.0 3.0.0 3.0.0"), 6)
+
+    def test_shape_split(self):
+        assert is_legitimate(cfg("3.1.0 3.0.1 3.0.0 3.0.0 3.0.0"), 6)
+
+    def test_shape_interior(self):
+        assert is_legitimate(cfg("4.0.0 4.0.0 3.0.1 3.0.0 3.0.0"), 6)
+        assert is_legitimate(cfg("4.0.0 4.0.0 3.1.0 3.0.1 3.0.0"), 6)
+
+    def test_shape_wraparound(self):
+        assert is_legitimate(cfg("4.0.1 4.0.0 4.0.0 4.0.0 3.1.0"), 6)
+
+    def test_modular_wraparound_of_x(self):
+        # x = 5, x+1 = 0 (mod 6).
+        assert is_legitimate(cfg("0.0.0 5.0.1 5.0.0 5.0.0 5.0.0"), 6)
+
+    def test_rejects_illegitimate_x_vector(self):
+        assert not is_legitimate(cfg("4.0.1 3.0.0 5.0.0 3.0.0 3.0.0"), 6)
+
+    def test_rejects_stray_flags(self):
+        assert not is_legitimate(cfg("3.0.1 3.0.1 3.0.0 3.0.0 3.0.0"), 6)
+        assert not is_legitimate(cfg("3.1.1 3.0.0 3.0.0 3.0.0 3.0.0"), 6)
+
+    def test_rejects_flags_away_from_token(self):
+        assert not is_legitimate(cfg("4.0.0 4.0.0 3.0.0 3.0.0 3.0.1"), 6)
+
+    def test_rejects_two_x_steps(self):
+        assert not is_legitimate(cfg("5.0.1 4.0.0 3.0.0 3.0.0 3.0.0"), 6)
+
+    def test_rejects_all_quiet(self):
+        assert not is_legitimate(cfg("3.0.0 3.0.0 3.0.0 3.0.0 3.0.0"), 6)
+
+
+class TestEnumeration:
+    def test_count_is_3nk(self):
+        assert len(list(legitimate_configurations(5, 6))) == 3 * 5 * 6
+        assert len(list(legitimate_configurations(3, 4))) == 3 * 3 * 4
+
+    def test_every_enumerated_config_passes_checker(self):
+        for c in legitimate_configurations(4, 5):
+            assert is_legitimate(c, 5), c
+
+    def test_no_duplicates(self):
+        configs = [c.states for c in legitimate_configurations(5, 6)]
+        assert len(configs) == len(set(configs))
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            list(legitimate_configurations(2, 4))
+
+    def test_exhaustive_equivalence_small_instance(self):
+        """The closed-form checker accepts EXACTLY the enumerated set."""
+        alg = SSRmin(3, 4)
+        enumerated = {c.states for c in legitimate_configurations(3, 4)}
+        accepted = {
+            tuple(c) for c in alg.configuration_space() if alg.is_legitimate(c)
+        }
+        assert accepted == enumerated
+
+
+class TestCanonicalCycle:
+    def test_cycle_length(self):
+        cyc = canonical_cycle(5, 6, x=0)
+        assert len(cyc) == 3 * 5 + 1
+
+    def test_cycle_advances_x_by_one(self):
+        cyc = canonical_cycle(5, 6, x=3)
+        assert cyc[-1].x_vector() == (4, 4, 4, 4, 4)
+        assert cyc[-1].states == SSRmin(5, 6).initial_configuration(4).states
+
+    def test_cycle_visits_only_legitimate(self):
+        for c in canonical_cycle(5, 6, x=2):
+            assert is_legitimate(c, 6)
+
+    def test_full_rotation_returns_to_start(self):
+        cyc = canonical_cycle(3, 4, x=0, cycles=4)  # K laps
+        assert cyc[0].states == cyc[-1].states
+
+    def test_cycle_union_equals_closed_form(self):
+        union = set()
+        for x in range(4):
+            union.update(c.states for c in canonical_cycle(3, 4, x=x)[:-1])
+        closed = {c.states for c in legitimate_configurations(3, 4)}
+        assert union == closed
+
+    def test_exactly_one_token_holder_or_two_adjacent(self):
+        alg = SSRmin(5, 6)
+        for c in canonical_cycle(5, 6):
+            holders = alg.privileged(c)
+            assert 1 <= len(holders) <= 2
+            if len(holders) == 2:
+                i, j = holders
+                assert (i + 1) % 5 == j or (j + 1) % 5 == i

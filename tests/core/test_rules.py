@@ -1,0 +1,59 @@
+"""Unit tests for the guarded-command rule abstraction."""
+
+import pytest
+
+from repro.core.rules import Rule, RuleSet
+
+
+def _rule(name, number, fires, value):
+    return Rule(
+        name=name,
+        number=number,
+        guard=lambda config, i: fires,
+        command=lambda config, i: value,
+    )
+
+
+class TestRule:
+    def test_enabled_delegates_to_guard(self):
+        assert _rule("A", 1, True, 0).enabled((), 0)
+        assert not _rule("A", 1, False, 0).enabled((), 0)
+
+    def test_execute_returns_command_value(self):
+        assert _rule("A", 1, True, 42).execute((), 0) == 42
+
+
+class TestRuleSet:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RuleSet([])
+
+    def test_rejects_duplicate_numbers(self):
+        with pytest.raises(ValueError):
+            RuleSet([_rule("A", 1, True, 0), _rule("B", 1, True, 0)])
+
+    def test_priority_lowest_number_wins(self):
+        rs = RuleSet([_rule("LOW", 5, True, 5), _rule("HIGH", 1, True, 1)])
+        assert rs.enabled_rule((), 0).name == "HIGH"
+
+    def test_priority_skips_disabled(self):
+        rs = RuleSet([_rule("HIGH", 1, False, 1), _rule("LOW", 5, True, 5)])
+        assert rs.enabled_rule((), 0).name == "LOW"
+
+    def test_none_when_no_guard_holds(self):
+        rs = RuleSet([_rule("A", 1, False, 0)])
+        assert rs.enabled_rule((), 0) is None
+
+    def test_rules_sorted_by_number(self):
+        rs = RuleSet([_rule("B", 2, True, 0), _rule("A", 1, True, 0)])
+        assert [r.name for r in rs.rules] == ["A", "B"]
+
+    def test_all_enabled_guards_ignores_priority(self):
+        rs = RuleSet([_rule("A", 1, True, 0), _rule("B", 2, True, 0)])
+        assert [r.name for r in rs.all_enabled_guards((), 0)] == ["A", "B"]
+
+    def test_by_name(self):
+        rs = RuleSet([_rule("A", 1, True, 0)])
+        assert rs.by_name("A").number == 1
+        with pytest.raises(KeyError):
+            rs.by_name("Z")

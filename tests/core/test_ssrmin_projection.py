@@ -1,0 +1,59 @@
+"""Unit tests for the embedded-Dijkstra projection view (Lemmas 7-8)."""
+
+import random
+
+from repro.algorithms.dijkstra import is_dijkstra_legitimate
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import RandomSubsetDaemon
+
+
+class TestProjection:
+    def test_dimensions(self, ssrmin5):
+        proj = ssrmin5.dijkstra_projection()
+        assert proj.n == 5
+        assert proj.K == 6
+
+    def test_x_vector_extraction(self, ssrmin5):
+        config = ssrmin5.initial_configuration(3)
+        proj = ssrmin5.dijkstra_projection()
+        assert proj.x_vector(config) == (3, 3, 3, 3, 3)
+
+    def test_legitimacy_matches_dijkstra_checker(self, ssrmin5, rng):
+        proj = ssrmin5.dijkstra_projection()
+        for _ in range(200):
+            config = ssrmin5.random_configuration(rng)
+            assert proj.is_legitimate(config) == is_dijkstra_legitimate(
+                proj.x_vector(config), ssrmin5.K
+            )
+
+    def test_token_holders_are_guard_true_processes(self, ssrmin5, rng):
+        proj = ssrmin5.dijkstra_projection()
+        for _ in range(100):
+            config = ssrmin5.random_configuration(rng)
+            holders = proj.token_holders(config)
+            for i in range(5):
+                assert (i in holders) == ssrmin5.G(config, i)
+
+    def test_ssrmin_legitimate_implies_projection_legitimate(self, ssrmin5):
+        from repro.core.legitimacy import legitimate_configurations
+
+        proj = ssrmin5.dijkstra_projection()
+        for config in legitimate_configurations(5, 6):
+            assert proj.is_legitimate(config)
+
+    def test_projection_stays_legitimate_once_converged(self, ssrmin5):
+        """The x-part's legitimacy is closed under SSRmin steps — the
+        foundation of the two-phase convergence argument."""
+        rng = random.Random(5)
+        daemon = RandomSubsetDaemon(seed=5)
+        proj = ssrmin5.dijkstra_projection()
+        config = ssrmin5.random_configuration(rng)
+        seen_legit = False
+        for step in range(400):
+            if proj.is_legitimate(config):
+                seen_legit = True
+            if seen_legit:
+                assert proj.is_legitimate(config)
+            enabled = ssrmin5.enabled_processes(config)
+            config = ssrmin5.step(config, daemon.select(enabled, config, step))
+        assert seen_legit

@@ -1,0 +1,209 @@
+"""Unit tests for SSRmin's five rules (Algorithm 3), guard by guard."""
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.core.state import Configuration
+
+
+@pytest.fixture
+def alg():
+    return SSRmin(5, 6)
+
+
+def cfg(*states):
+    return Configuration(states)
+
+
+class TestConstruction:
+    def test_rejects_n_below_3(self):
+        with pytest.raises(ValueError):
+            SSRmin(2, 5)
+
+    def test_rejects_k_not_exceeding_n(self):
+        with pytest.raises(ValueError):
+            SSRmin(5, 5)
+
+    def test_allow_small_k_escape_hatch(self):
+        assert SSRmin(5, 4, allow_small_k=True).K == 4
+
+    def test_default_k_is_n_plus_1(self):
+        assert SSRmin(7).K == 8
+
+    def test_rejects_k_below_2(self):
+        with pytest.raises(ValueError):
+            SSRmin(3, 1, allow_small_k=True)
+
+
+class TestDijkstraMacros:
+    def test_bottom_guard_true_when_equal(self, alg):
+        c = cfg((3, 0, 0), (0, 0, 0), (0, 0, 0), (0, 0, 0), (3, 0, 0))
+        assert alg.G(c, 0)
+
+    def test_bottom_guard_false_when_distinct(self, alg):
+        c = cfg((3, 0, 0), (0, 0, 0), (0, 0, 0), (0, 0, 0), (4, 0, 0))
+        assert not alg.G(c, 0)
+
+    def test_other_guard_true_when_distinct(self, alg):
+        c = cfg((3, 0, 0), (4, 0, 0), (0, 0, 0), (0, 0, 0), (0, 0, 0))
+        assert alg.G(c, 1)
+
+    def test_bottom_command_increments_mod_k(self, alg):
+        c = cfg((5, 0, 0), (0, 0, 0), (0, 0, 0), (0, 0, 0), (5, 0, 0))
+        assert alg.C(c, 0) == 0  # (5 + 1) mod 6
+
+    def test_other_command_copies_predecessor(self, alg):
+        c = cfg((3, 0, 0), (4, 0, 0), (0, 0, 0), (0, 0, 0), (0, 0, 0))
+        assert alg.C(c, 1) == 3
+
+
+class TestRule1:
+    """R1: G_i and own handshake in {00, 01, 11} -> 1.0."""
+
+    @pytest.mark.parametrize("own", [(0, 0), (0, 1), (1, 1)])
+    def test_fires_for_eligible_handshakes(self, alg, own):
+        c = cfg((3, *own), (3, 0, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        rule = alg.enabled_rule(c, 0)
+        assert rule is not None and rule.name == "R1"
+        assert rule.execute(c, 0) == (3, 1, 0)
+
+    def test_does_not_fire_on_10(self, alg):
+        c = cfg((3, 1, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        rule = alg.enabled_rule(c, 0)
+        assert rule is None or rule.name != "R1"
+
+    def test_requires_g_true(self, alg):
+        c = cfg((3, 0, 1), (3, 0, 0), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        # G_0 false (x0 != x4): R1 must not fire.
+        rule = alg.enabled_rule(c, 0)
+        assert rule is None or rule.name != "R1"
+
+    def test_preserves_x(self, alg):
+        c = cfg((5, 0, 1), (5, 0, 0), (5, 0, 0), (5, 0, 0), (5, 0, 0))
+        assert alg.enabled_rule(c, 0).execute(c, 0)[0] == 5
+
+
+class TestRule2:
+    """R2: G_i, own 1.0, successor 0.1 -> 0.0 and C_i."""
+
+    def test_fires_and_advances_counter(self, alg):
+        c = cfg((3, 1, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        rule = alg.enabled_rule(c, 0)
+        assert rule.name == "R2"
+        assert rule.execute(c, 0) == (4, 0, 0)
+
+    def test_non_bottom_copies_predecessor(self, alg):
+        c = cfg((4, 0, 0), (3, 1, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0))
+        rule = alg.enabled_rule(c, 1)
+        assert rule.name == "R2"
+        assert rule.execute(c, 1) == (4, 0, 0)
+
+    def test_waits_for_successor_acknowledgement(self, alg):
+        # Successor still 0.0: P_i must wait (no rule fires; R4's triple
+        # exception covers exactly this stable waiting state).
+        c = cfg((3, 1, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        assert alg.enabled_rule(c, 0) is None
+
+
+class TestRule3:
+    """R3: not G_i, predecessor 1.0, own in {00, 10, 11} -> 0.1."""
+
+    @pytest.mark.parametrize("own", [(0, 0), (1, 0), (1, 1)])
+    def test_fires_for_eligible_handshakes(self, alg, own):
+        c = cfg((3, 1, 0), (3, *own), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        rule = alg.enabled_rule(c, 1)
+        assert rule.name == "R3"
+        assert rule.execute(c, 1) == (3, 0, 1)
+
+    def test_does_not_fire_when_own_01(self, alg):
+        c = cfg((3, 1, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        rule = alg.enabled_rule(c, 1)
+        assert rule is None or rule.name != "R3"
+
+    def test_requires_predecessor_ready(self, alg):
+        c = cfg((3, 0, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        assert alg.enabled_rule(c, 1) is None
+
+
+class TestRule4:
+    """R4: G_i and the triple differs from <00, 10, 00> -> fix and C_i."""
+
+    def test_fires_on_inconsistent_neighbourhood(self, alg):
+        # Own 1.0 with predecessor also 1.0 while G_1 holds.
+        c = cfg((4, 1, 0), (3, 1, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        rule = alg.enabled_rule(c, 1)
+        assert rule.name == "R4"
+        assert rule.execute(c, 1) == (4, 0, 0)
+
+    def test_quiescent_waiting_state_excluded(self, alg):
+        # The exact triple <00, 10, 00> with G true is the legitimate
+        # "waiting for the handshake" state and must NOT trigger R4.
+        c = cfg((4, 0, 0), (3, 1, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        assert alg.enabled_rule(c, 1) is None
+
+    def test_lower_priority_than_r2(self, alg):
+        # Both R2 and R4 guards hold; R2 must win.
+        c = cfg((4, 1, 0), (3, 1, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0))
+        assert alg.enabled_rule(c, 1).name == "R2"
+
+
+class TestRule5:
+    """R5: not G_i, own not 00, not (pred 10 and own 01) -> reset."""
+
+    def test_fires_on_stray_tra(self, alg):
+        c = cfg((3, 0, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        rule = alg.enabled_rule(c, 1)
+        assert rule.name == "R5"
+        assert rule.execute(c, 1) == (3, 0, 0)
+
+    def test_secondary_holder_state_excluded(self, alg):
+        # pred 1.0 and own 0.1 is the legitimate secondary-holder state.
+        c = cfg((3, 1, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        assert alg.enabled_rule(c, 1) is None
+
+    def test_own_00_excluded(self, alg):
+        c = cfg((3, 0, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        assert alg.enabled_rule(c, 1) is None
+
+    def test_lower_priority_than_r3(self, alg):
+        # pred 1.0 and own 1.0: both R3 and R5 raw guards hold; R3 wins.
+        c = cfg((3, 1, 0), (3, 1, 0), (3, 0, 0), (3, 0, 0), (4, 0, 0))
+        assert alg.enabled_rule(c, 1).name == "R3"
+
+
+class TestAtMostOneRule:
+    """Algorithm 3: each process is enabled by at most one rule."""
+
+    def test_priority_makes_rule_unique_everywhere(self, alg):
+        import itertools
+
+        hs = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        for own_hs, pred_hs, succ_hs in itertools.product(hs, repeat=3):
+            for g_true in (True, False):
+                x1 = 1 if g_true else 0
+                c = cfg((0, *pred_hs), (x1, *own_hs), (0, *succ_hs),
+                        (0, 0, 0), (0, 0, 0))
+                rule = alg.enabled_rule(c, 1)
+                # enabled_rule already applies priority; just confirm it is
+                # deterministic and never raises.
+                if rule is not None:
+                    assert rule.name in {"R1", "R2", "R3", "R4", "R5"}
+
+
+class TestStateSpace:
+    def test_4k_states_per_process(self, alg):
+        assert alg.state_count_per_process() == 4 * alg.K
+
+    def test_local_state_space_is_exact(self, alg):
+        space = set(alg.local_state_space())
+        assert (0, 0, 0) in space and (5, 1, 1) in space
+        assert (6, 0, 0) not in space
+
+    def test_random_configuration_in_domain(self, alg, ):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(50):
+            c = alg.random_configuration(rng)
+            for x, rts, tra in c:
+                assert 0 <= x < alg.K and rts in (0, 1) and tra in (0, 1)

@@ -1,0 +1,84 @@
+"""Unit tests for local states and configurations."""
+
+import pytest
+
+from repro.core.state import Configuration, SSRminState
+
+
+class TestSSRminState:
+    def test_roundtrip_tuple(self):
+        s = SSRminState(3, 1, 0)
+        assert SSRminState.from_tuple(s.as_tuple()) == s
+
+    def test_parse_dotted_notation(self):
+        assert SSRminState.parse("4.0.1") == SSRminState(4, 0, 1)
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            SSRminState.parse("4.0")
+
+    def test_str_matches_paper_notation(self):
+        assert str(SSRminState(3, 1, 0)) == "3.1.0"
+
+    def test_rejects_invalid_flags(self):
+        with pytest.raises(ValueError):
+            SSRminState(0, 2, 0)
+        with pytest.raises(ValueError):
+            SSRminState(0, 0, -1)
+
+    def test_rejects_negative_x(self):
+        with pytest.raises(ValueError):
+            SSRminState(-1, 0, 0)
+
+    def test_ordering_is_lexicographic(self):
+        assert SSRminState(1, 0, 0) < SSRminState(2, 0, 0)
+        assert SSRminState(1, 0, 1) < SSRminState(1, 1, 0)
+
+
+class TestConfiguration:
+    def test_parse_and_str(self):
+        c = Configuration.parse("3.0.1 3.0.0 3.0.0")
+        assert str(c) == "(3.0.1, 3.0.0, 3.0.0)"
+        assert c.n == 3
+
+    def test_accessors(self):
+        c = Configuration.parse("3.0.1, 2.1.0, 0.0.0")
+        assert c.x(1) == 2
+        assert c.rts(1) == 1
+        assert c.tra(0) == 1
+        assert c.x_vector() == (3, 2, 0)
+        assert c.handshake_vector() == ((0, 1), (1, 0), (0, 0))
+
+    def test_accepts_ssrmin_states(self):
+        c = Configuration([SSRminState(1, 0, 0), (2, 1, 1), (0, 0, 1)])
+        assert c[0] == (1, 0, 0)
+        assert c[1] == (2, 1, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Configuration([])
+
+    def test_rejects_bad_flags(self):
+        with pytest.raises(ValueError):
+            Configuration([(0, 3, 0)])
+
+    def test_hash_equality_with_tuple(self):
+        c = Configuration([(1, 0, 0), (2, 0, 1)])
+        assert c == ((1, 0, 0), (2, 0, 1))
+        assert hash(c) == hash(((1, 0, 0), (2, 0, 1)))
+
+    def test_replace_is_pure(self):
+        c = Configuration([(1, 0, 0), (2, 0, 1)])
+        c2 = c.replace(0, (5, 1, 0))
+        assert c.x(0) == 1
+        assert c2.x(0) == 5
+
+    def test_replace_many_atomic(self):
+        c = Configuration([(1, 0, 0), (2, 0, 1), (3, 1, 0)])
+        c2 = c.replace_many({0: (9, 0, 0), 2: (8, 0, 0)})
+        assert c2.x_vector() == (9, 2, 8)
+
+    def test_sequence_protocol(self):
+        c = Configuration([(1, 0, 0), (2, 0, 1)])
+        assert len(c) == 2
+        assert list(c) == [(1, 0, 0), (2, 0, 1)]

@@ -1,0 +1,96 @@
+"""Unit tests for the token predicates (Algorithm 3, lines 36-41)."""
+
+import pytest
+
+from repro.core.state import Configuration
+from repro.core.tokens import (
+    holds_primary,
+    holds_secondary,
+    primary_condition,
+    primary_holders,
+    secondary_condition,
+    secondary_holders,
+    token_count,
+    token_holders,
+    weak_secondary_condition,
+)
+
+
+def cfg(*states):
+    return Configuration(states)
+
+
+class TestPrimaryCondition:
+    def test_bottom_holds_when_equal(self):
+        assert primary_condition(3, 3, is_bottom=True)
+
+    def test_bottom_releases_when_distinct(self):
+        assert not primary_condition(4, 3, is_bottom=True)
+
+    def test_other_holds_when_distinct(self):
+        assert primary_condition(3, 4, is_bottom=False)
+
+    def test_other_releases_when_equal(self):
+        assert not primary_condition(3, 3, is_bottom=False)
+
+
+class TestSecondaryCondition:
+    def test_tra_set_holds(self):
+        assert secondary_condition((0, 1), (1, 1))
+
+    def test_rts_with_quiet_successor_holds(self):
+        assert secondary_condition((1, 0), (0, 0))
+
+    def test_rts_with_busy_successor_releases(self):
+        assert not secondary_condition((1, 0), (0, 1))
+        assert not secondary_condition((1, 0), (1, 0))
+
+    def test_idle_holds_nothing(self):
+        assert not secondary_condition((0, 0), (0, 0))
+
+    def test_weak_condition_is_tra_only(self):
+        assert weak_secondary_condition((0, 1), (0, 0))
+        assert not weak_secondary_condition((1, 0), (0, 0))
+
+
+class TestGlobalPredicates:
+    """Token placement on the legitimate shapes of Definition 1."""
+
+    def test_both_tokens_via_tra(self):
+        c = cfg((3, 0, 1), (3, 0, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        assert holds_primary(c, 0) and holds_secondary(c, 0)
+        assert token_holders(c) == (0,)
+
+    def test_both_tokens_via_rts(self):
+        c = cfg((3, 1, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        assert holds_primary(c, 0) and holds_secondary(c, 0)
+        assert token_holders(c) == (0,)
+
+    def test_split_tokens(self):
+        c = cfg((3, 1, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0), (3, 0, 0))
+        assert primary_holders(c) == (0,)
+        assert secondary_holders(c) == (1,)
+        assert token_holders(c) == (0, 1)
+        assert token_count(c) == 2
+
+    def test_interior_holder(self):
+        c = cfg((4, 0, 0), (4, 0, 0), (3, 0, 1), (3, 0, 0), (3, 0, 0))
+        assert primary_holders(c) == (2,)
+        assert secondary_holders(c) == (2,)
+
+    def test_wraparound_split(self):
+        # P4 primary, P0 secondary (the gamma_{3n-1} shape of Lemma 1).
+        c = cfg((4, 0, 1), (4, 0, 0), (4, 0, 0), (4, 0, 0), (3, 1, 0))
+        assert primary_holders(c) == (4,)
+        assert secondary_holders(c) == (0,)
+        assert token_holders(c) == (0, 4)
+
+    def test_matches_algorithm_methods(self, ssrmin5):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(200):
+            c = ssrmin5.random_configuration(rng)
+            assert token_holders(c) == ssrmin5.privileged(c)
+            assert primary_holders(c) == ssrmin5.primary_holders(c)
+            assert secondary_holders(c) == ssrmin5.secondary_holders(c)

@@ -1,0 +1,82 @@
+"""Unit tests for the adversarial lookahead daemon."""
+
+import random
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.adversarial import AdversarialDaemon
+from repro.daemons.distributed import RandomSubsetDaemon
+from repro.simulation.convergence import converge
+
+
+class TestConstruction:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            AdversarialDaemon(SSRmin(3, 4), depth=0)
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            AdversarialDaemon(SSRmin(3, 4), max_subsets=0)
+
+
+class TestSelection:
+    def test_selects_subset_of_enabled(self):
+        alg = SSRmin(4, 5)
+        d = AdversarialDaemon(alg, depth=1, seed=0)
+        rng = random.Random(0)
+        for step in range(20):
+            config = alg.random_configuration(rng)
+            enabled = alg.enabled_processes(config)
+            if not enabled:
+                continue
+            sel = d.select(enabled, config, step)
+            assert sel and set(sel) <= set(enabled)
+
+    def test_deterministic_under_seed(self):
+        alg = SSRmin(4, 5)
+        rng = random.Random(1)
+        config = alg.random_configuration(rng)
+        enabled = alg.enabled_processes(config)
+        a = AdversarialDaemon(alg, depth=1, seed=7).select(enabled, config, 0)
+        b = AdversarialDaemon(alg, depth=1, seed=7).select(enabled, config, 0)
+        assert a == b
+
+    def test_cannot_prevent_convergence(self):
+        """Lemma 6 under adversarial pressure: still converges."""
+        for seed in range(5):
+            alg = SSRmin(4, 5)
+            rng = random.Random(seed)
+            d = AdversarialDaemon(alg, depth=2, seed=seed)
+            res = converge(alg, d, alg.random_configuration(rng))
+            assert res.converged
+
+    def test_adversary_slows_convergence_vs_random(self):
+        """On average the adversary should need at least as many steps."""
+        alg_n, trials = 5, 15
+        adv_total = rnd_total = 0
+        for seed in range(trials):
+            alg = SSRmin(alg_n, alg_n + 1)
+            rng = random.Random(seed)
+            init = alg.random_configuration(rng)
+            adv = converge(alg, AdversarialDaemon(alg, depth=1, seed=seed), init)
+            rnd = converge(alg, RandomSubsetDaemon(seed=seed), init)
+            assert adv.converged and rnd.converged
+            adv_total += adv.steps
+            rnd_total += rnd.steps
+        assert adv_total >= rnd_total
+
+
+class TestCandidates:
+    def test_candidates_include_singletons_and_full_set(self):
+        alg = SSRmin(4, 5)
+        d = AdversarialDaemon(alg, depth=1, seed=0)
+        cands = d._candidates((0, 1, 2))
+        assert (0,) in cands and (1,) in cands and (2,) in cands
+        assert (0, 1, 2) in cands
+
+    def test_candidates_deduplicated(self):
+        alg = SSRmin(4, 5)
+        d = AdversarialDaemon(alg, depth=1, seed=0, max_subsets=20)
+        cands = d._candidates((0, 1, 2, 3, 4))
+        assert len(cands) == len(set(cands))

@@ -1,0 +1,85 @@
+"""Unit tests for central daemons."""
+
+import pytest
+
+from repro.daemons.base import Daemon
+from repro.daemons.central import (
+    FixedPriorityDaemon,
+    RandomCentralDaemon,
+    RoundRobinDaemon,
+)
+
+
+class TestValidation:
+    def test_rejects_empty_selection(self):
+        with pytest.raises(ValueError):
+            Daemon.validate_selection([], [0, 1])
+
+    def test_rejects_disabled_process(self):
+        with pytest.raises(ValueError):
+            Daemon.validate_selection([2], [0, 1])
+
+    def test_sorts_and_dedupes(self):
+        assert Daemon.validate_selection([1, 0, 1], [0, 1, 2]) == (0, 1)
+
+
+class TestRandomCentral:
+    def test_selects_exactly_one_enabled(self):
+        d = RandomCentralDaemon(seed=0)
+        for step in range(50):
+            sel = d.select([1, 3, 5], None, step)
+            assert len(sel) == 1 and sel[0] in (1, 3, 5)
+
+    def test_deterministic_under_seed(self):
+        a = [RandomCentralDaemon(seed=9).select([0, 1, 2], None, s) for s in range(20)]
+        b = [RandomCentralDaemon(seed=9).select([0, 1, 2], None, s) for s in range(20)]
+        assert a == b
+
+    def test_reset_restores_sequence(self):
+        d = RandomCentralDaemon(seed=4)
+        first = [d.select([0, 1, 2, 3], None, s) for s in range(10)]
+        d.reset()
+        second = [d.select([0, 1, 2, 3], None, s) for s in range(10)]
+        assert first == second
+
+    def test_is_central(self):
+        assert RandomCentralDaemon().distributed is False
+
+
+class TestRoundRobin:
+    def test_cycles_through_enabled(self):
+        d = RoundRobinDaemon()
+        picks = [d.select([0, 1, 2], None, s)[0] for s in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_disabled(self):
+        d = RoundRobinDaemon()
+        assert d.select([1, 3], None, 0) == (1,)
+        assert d.select([1, 3], None, 1) == (3,)
+        assert d.select([1, 3], None, 2) == (1,)
+
+    def test_fairness_every_enabled_eventually_selected(self):
+        d = RoundRobinDaemon()
+        seen = set()
+        for step in range(10):
+            seen.add(d.select([0, 2, 4], None, step)[0])
+        assert seen == {0, 2, 4}
+
+    def test_reset(self):
+        d = RoundRobinDaemon()
+        d.select([0, 1], None, 0)
+        d.reset()
+        assert d.select([0, 1], None, 0) == (0,)
+
+
+class TestFixedPriority:
+    def test_picks_lowest(self):
+        assert FixedPriorityDaemon().select([3, 1, 4], None, 0) == (1,)
+
+    def test_reverse_picks_highest(self):
+        assert FixedPriorityDaemon(reverse=True).select([3, 1, 4], None, 0) == (4,)
+
+    def test_is_unfair_starves_high_indices(self):
+        d = FixedPriorityDaemon()
+        picks = {d.select([0, 5], None, s)[0] for s in range(20)}
+        assert picks == {0}

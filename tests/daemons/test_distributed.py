@@ -1,0 +1,80 @@
+"""Unit tests for distributed daemons."""
+
+import pytest
+
+from repro.daemons.distributed import (
+    BernoulliDaemon,
+    RandomSubsetDaemon,
+    SynchronousDaemon,
+)
+
+
+class TestSynchronous:
+    def test_selects_everything(self):
+        d = SynchronousDaemon()
+        assert d.select([0, 2, 4], None, 0) == (0, 2, 4)
+
+    def test_single_enabled(self):
+        assert SynchronousDaemon().select([3], None, 0) == (3,)
+
+
+class TestRandomSubset:
+    def test_never_empty(self):
+        d = RandomSubsetDaemon(seed=0)
+        for step in range(200):
+            assert len(d.select([0, 1, 2, 3], None, step)) >= 1
+
+    def test_subset_of_enabled(self):
+        d = RandomSubsetDaemon(seed=1)
+        enabled = [1, 4, 7]
+        for step in range(100):
+            assert set(d.select(enabled, None, step)) <= set(enabled)
+
+    def test_eventually_selects_all_subset_sizes(self):
+        d = RandomSubsetDaemon(seed=2)
+        sizes = {len(d.select([0, 1, 2], None, s)) for s in range(200)}
+        assert sizes == {1, 2, 3}
+
+    def test_deterministic_under_seed(self):
+        a = RandomSubsetDaemon(seed=5)
+        b = RandomSubsetDaemon(seed=5)
+        for step in range(50):
+            assert a.select([0, 1, 2, 3], None, step) == b.select(
+                [0, 1, 2, 3], None, step
+            )
+
+    def test_reset(self):
+        d = RandomSubsetDaemon(seed=3)
+        first = [d.select([0, 1, 2], None, s) for s in range(10)]
+        d.reset()
+        assert [d.select([0, 1, 2], None, s) for s in range(10)] == first
+
+
+class TestBernoulli:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliDaemon(0.0)
+        with pytest.raises(ValueError):
+            BernoulliDaemon(1.5)
+
+    def test_never_empty_even_with_tiny_p(self):
+        d = BernoulliDaemon(0.01, seed=0)
+        for step in range(100):
+            assert len(d.select([0, 1], None, step)) >= 1
+
+    def test_p_one_is_synchronous(self):
+        d = BernoulliDaemon(1.0, seed=0)
+        assert d.select([0, 1, 2], None, 0) == (0, 1, 2)
+
+    def test_small_p_mostly_singletons(self):
+        d = BernoulliDaemon(0.05, seed=1)
+        singletons = sum(
+            1 for s in range(200) if len(d.select(list(range(8)), None, s)) == 1
+        )
+        assert singletons > 100
+
+    def test_reset(self):
+        d = BernoulliDaemon(0.5, seed=2)
+        first = [d.select([0, 1, 2, 3], None, s) for s in range(20)]
+        d.reset()
+        assert [d.select([0, 1, 2, 3], None, s) for s in range(20)] == first

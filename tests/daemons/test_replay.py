@@ -1,0 +1,60 @@
+"""Unit tests for the replay daemon."""
+
+import pytest
+
+from repro.daemons.replay import ReplayDaemon
+
+
+class TestReplay:
+    def test_replays_int_schedule(self):
+        d = ReplayDaemon([0, 1, 2])
+        assert d.select([0, 1, 2], None, 0) == (0,)
+        assert d.select([0, 1, 2], None, 1) == (1,)
+
+    def test_replays_set_schedule(self):
+        d = ReplayDaemon([(0, 2), (1,)])
+        assert d.select([0, 1, 2], None, 0) == (0, 2)
+        assert d.select([0, 1, 2], None, 1) == (1,)
+
+    def test_exhaustion_raises(self):
+        d = ReplayDaemon([0])
+        d.select([0], None, 0)
+        with pytest.raises(IndexError):
+            d.select([0], None, 1)
+
+    def test_divergence_detected(self):
+        d = ReplayDaemon([3])
+        with pytest.raises(ValueError):
+            d.select([0, 1], None, 0)
+
+    def test_reset_rewinds(self):
+        d = ReplayDaemon([0, 1])
+        d.select([0, 1], None, 0)
+        d.reset()
+        assert d.select([0, 1], None, 0) == (0,)
+        assert d.remaining == 1
+
+    def test_len_and_remaining(self):
+        d = ReplayDaemon([0, 1, 2])
+        assert len(d) == 3
+        d.select([0, 1, 2], None, 0)
+        assert d.remaining == 2
+
+    def test_roundtrip_with_execution(self, ssrmin5):
+        """An execution's recorded selections replay to the same trace."""
+        from repro.daemons.distributed import RandomSubsetDaemon
+        from repro.simulation.engine import SharedMemorySimulator
+
+        sim = SharedMemorySimulator(ssrmin5, RandomSubsetDaemon(seed=6))
+        import random
+
+        init = ssrmin5.random_configuration(random.Random(6))
+        first = sim.run(init, max_steps=40)
+
+        replay = SharedMemorySimulator(
+            ssrmin5, ReplayDaemon(first.execution.selections())
+        )
+        second = replay.run(init, max_steps=40)
+        assert [c.states for c in first.execution.configurations] == [
+            c.states for c in second.execution.configurations
+        ]

@@ -1,0 +1,39 @@
+"""Unit tests for the parallel experiment runner."""
+
+import pytest
+
+from repro.experiments.parallel import results_by_id, run_experiments_parallel
+
+
+class TestRunParallel:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            run_experiments_parallel(["lem1"], workers=0)
+
+    def test_sequential_degenerate_case(self):
+        results = run_experiments_parallel(["lem1", "fig02"], fast=True,
+                                           workers=1)
+        assert [r.experiment_id for r in results] == ["lem1", "fig02"]
+        assert all(r.match for r in results)
+
+    def test_two_workers_match_sequential(self):
+        seq = run_experiments_parallel(["lem1", "fig02", "fig03"], fast=True,
+                                       workers=1)
+        par = run_experiments_parallel(["lem1", "fig02", "fig03"], fast=True,
+                                       workers=2)
+        assert [r.experiment_id for r in par] == [r.experiment_id for r in seq]
+        for a, b in zip(par, seq):
+            assert a.match == b.match
+            assert a.rows == b.rows  # experiments are seeded: bit-identical
+
+    def test_results_by_id(self):
+        results = run_experiments_parallel(["lem1"], fast=True, workers=1)
+        indexed = results_by_id(results)
+        assert set(indexed) == {"lem1"}
+
+    def test_default_runs_whole_registry_ids(self):
+        from repro.experiments import list_experiments
+
+        # Only check the id plumbing (don't actually run everything here).
+        ids = list_experiments()
+        assert len(ids) >= 29

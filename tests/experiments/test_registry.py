@@ -1,0 +1,68 @@
+"""Unit tests for the experiment registry and result rendering."""
+
+import pytest
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    REGISTRY,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_index_ids_registered(self):
+        expected = {
+            "fig01", "fig02", "fig03", "fig04", "fig11", "fig12", "fig13",
+            "thm1", "thm2", "lem1", "lem2", "lem3", "lem4", "lem5", "thm4",
+            "abl1", "abl2", "abl3", "abl4", "abl5", "app1",
+            "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext9",
+        }
+        assert set(list_experiments()) == expected
+        assert set(REGISTRY) == expected
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_runners_resolve(self):
+        for eid in list_experiments():
+            assert callable(get_experiment(eid))
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment("lem1", fast=True)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "lem1"
+
+
+class TestExperimentResult:
+    def make(self, match=True):
+        return ExperimentResult(
+            experiment_id="x",
+            title="Title",
+            paper_claim="claim",
+            measured="measured",
+            match=match,
+            header=["a", "b"],
+            rows=[["1", "22"], ["333", "4"]],
+            notes="note",
+        )
+
+    def test_table_alignment(self):
+        table = self.make().table()
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_table_empty_without_header(self):
+        r = ExperimentResult("x", "t", "c", "m", True)
+        assert r.table() == ""
+
+    def test_render_verdicts(self):
+        assert "[REPRODUCED]" in self.make(True).render()
+        assert "[MISMATCH]" in self.make(False).render()
+
+    def test_render_includes_notes_and_claim(self):
+        text = self.make().render()
+        assert "claim" in text and "note" in text

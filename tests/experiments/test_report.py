@@ -1,0 +1,56 @@
+"""Unit tests for the EXPERIMENTS.md report generator."""
+
+from repro.experiments.registry import ExperimentResult
+from repro.experiments.report import generate_report, render_markdown
+
+
+def make_result(eid="x1", match=True):
+    return ExperimentResult(
+        experiment_id=eid,
+        title=f"Title {eid}",
+        paper_claim="the claim",
+        measured="the measurement",
+        match=match,
+        header=["a", "b"],
+        rows=[["1", "2"]],
+        notes="a note",
+    )
+
+
+class TestRenderMarkdown:
+    def test_summary_counts(self):
+        text = render_markdown([make_result("a"), make_result("b", False)])
+        assert "1/2 experiments reproduced" in text
+
+    def test_sections_per_experiment(self):
+        text = render_markdown([make_result("a"), make_result("b")])
+        assert "## a — Title a" in text
+        assert "## b — Title b" in text
+
+    def test_verdict_rendering(self):
+        text = render_markdown([make_result(match=False)])
+        assert "MISMATCH" in text
+
+    def test_claim_measured_notes_present(self):
+        text = render_markdown([make_result()])
+        assert "**Paper claim:** the claim" in text
+        assert "**Measured:** the measurement" in text
+        assert "**Notes:** a note" in text
+
+    def test_table_in_code_fence(self):
+        text = render_markdown([make_result()])
+        assert "```" in text
+        assert "a  b" in text
+
+
+class TestGenerateReport:
+    def test_subset_generation(self, tmp_path):
+        path = tmp_path / "out.md"
+        text = generate_report(path=str(path), fast=True,
+                               experiment_ids=["fig02"])
+        assert "fig02" in text
+        assert path.read_text() == text
+
+    def test_no_path_returns_text_only(self):
+        text = generate_report(path=None, fast=True, experiment_ids=["fig02"])
+        assert text.startswith("# EXPERIMENTS")

@@ -1,0 +1,35 @@
+"""Every registered experiment must reproduce its paper claim (fast mode).
+
+This is the suite-level statement of deliverable (d): all figures, theorems
+and ablations regenerate with the paper's shape.
+"""
+
+import pytest
+
+from repro.experiments.registry import list_experiments, run_experiment
+
+# thm2/thm4/abl2 take a few seconds even in fast mode; still worth running.
+ALL_IDS = list_experiments()
+
+
+@pytest.mark.parametrize("eid", ALL_IDS)
+def test_experiment_reproduces(eid):
+    result = run_experiment(eid, fast=True)
+    assert result.match, result.render()
+
+
+def test_fig04_trace_is_exact():
+    """The strictest check: Figure 4 byte-for-byte (cells)."""
+    from repro.experiments.runners_figures import FIG4_EXPECTED, run_fig04
+
+    result = run_fig04(fast=True)
+    assert result.match
+    assert len(FIG4_EXPECTED) == 16
+    assert [row[1:] for row in result.rows] == FIG4_EXPECTED
+
+
+def test_results_have_tables():
+    for eid in ("fig01", "thm1", "abl3"):
+        result = run_experiment(eid, fast=True)
+        assert result.rows, f"{eid} produced no table rows"
+        assert result.header

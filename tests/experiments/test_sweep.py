@@ -1,0 +1,75 @@
+"""Unit tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.experiments.sweep import Sweep, SweepPoint, table
+
+
+class TestSweep:
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            Sweep(lambda p, s: 0.0, trials=0)
+
+    def test_runs_all_points(self):
+        sweep = Sweep(lambda p, s: float(p), trials=3, seed=0)
+        results = sweep.run([1, 2, 3])
+        assert [sp.point for sp in results] == [1, 2, 3]
+        assert [sp.summary.mean for sp in results] == [1.0, 2.0, 3.0]
+
+    def test_seeds_are_deterministic_and_distinct(self):
+        seen = []
+        sweep = Sweep(lambda p, s: seen.append(s) or 0.0, trials=2, seed=100)
+        sweep.run(["a", "b"])
+        assert seen == [100, 101, 10_100, 10_101]
+        seen2 = []
+        Sweep(lambda p, s: seen2.append(s) or 0.0, trials=2, seed=100).run(
+            ["a", "b"]
+        )
+        assert seen == seen2
+
+    def test_adding_points_keeps_earlier_seeds(self):
+        """Stable seeding: extending the sweep must not reshuffle existing
+        measurements."""
+        record = {}
+
+        def trial(p, s):
+            record.setdefault(p, []).append(s)
+            return 0.0
+
+        Sweep(trial, trials=2, seed=7).run([10])
+        first = list(record[10])
+        record.clear()
+        Sweep(trial, trials=2, seed=7).run([10, 20])
+        assert record[10] == first
+
+    def test_run_dict(self):
+        sweep = Sweep(lambda p, s: p * 2.0, trials=2, seed=0)
+        d = sweep.run_dict([1, 4])
+        assert d[1].mean == 2.0
+        assert d[4].mean == 8.0
+
+    def test_real_convergence_trial(self):
+        """End-to-end: sweep SSRmin convergence steps over ring sizes."""
+        from repro.core.ssrmin import SSRmin
+        from repro.daemons.distributed import RandomSubsetDaemon
+        from repro.simulation.convergence import converge
+        import random
+
+        def trial(n, seed):
+            alg = SSRmin(n, n + 1)
+            init = alg.random_configuration(random.Random(seed))
+            res = converge(alg, RandomSubsetDaemon(seed=seed), init)
+            assert res.converged
+            return float(res.steps)
+
+        results = Sweep(trial, trials=5, seed=1).run([4, 8])
+        assert all(sp.summary.mean >= 0 for sp in results)
+
+
+class TestTable:
+    def test_header_and_rows(self):
+        sweep = Sweep(lambda p, s: float(p), trials=2, seed=0)
+        header, rows = table(sweep.run([3, 5]), header_label="n")
+        assert header == ["n", "mean", "max", "std"]
+        assert rows[0][0] == "3"
+        assert rows[1][1] == "5.0"

@@ -1,0 +1,71 @@
+"""Unit tests for fault injectors."""
+
+import random
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.faults.injection import FaultInjector, corrupt_process, corrupt_processes
+from repro.messagepassing.cst import transformed
+
+
+class TestCorruptProcess:
+    def test_stays_in_domain(self, ssrmin5, rng):
+        config = ssrmin5.initial_configuration()
+        for _ in range(50):
+            config = corrupt_process(ssrmin5, config, 2, rng)
+            x, rts, tra = config[2]
+            assert 0 <= x < ssrmin5.K and rts in (0, 1) and tra in (0, 1)
+
+    def test_only_target_changes(self, ssrmin5, rng):
+        config = ssrmin5.initial_configuration()
+        corrupted = corrupt_process(ssrmin5, config, 3, rng)
+        for i in range(5):
+            if i != 3:
+                assert corrupted[i] == config[i]
+
+    def test_works_on_plain_tuple_configs(self, rng):
+        from repro.algorithms.dijkstra import DijkstraKState
+
+        alg = DijkstraKState(4, 5)
+        config = alg.initial_configuration()
+        corrupted = corrupt_process(alg, config, 1, rng)
+        assert isinstance(corrupted, tuple)
+        assert 0 <= corrupted[1] < 5
+
+    def test_corrupt_many(self, ssrmin5, rng):
+        config = ssrmin5.initial_configuration()
+        corrupted = corrupt_processes(ssrmin5, config, [0, 1, 2], rng)
+        assert corrupted.n == 5
+
+
+class TestFaultInjector:
+    def test_hit_config_logs(self, ssrmin5):
+        inj = FaultInjector(ssrmin5, seed=0)
+        inj.hit_config(ssrmin5.initial_configuration(), count=3)
+        assert len(inj.log) == 3
+        assert all(kind == "state" for kind, _ in inj.log)
+
+    def test_deterministic_under_seed(self, ssrmin5):
+        a = FaultInjector(ssrmin5, seed=1)
+        b = FaultInjector(ssrmin5, seed=1)
+        ca = a.hit_config(ssrmin5.initial_configuration(), count=5)
+        cb = b.hit_config(ssrmin5.initial_configuration(), count=5)
+        assert ca.states == cb.states
+
+    def test_hit_network_state(self, ssrmin5):
+        net = transformed(ssrmin5, seed=2)
+        net.start()
+        inj = FaultInjector(ssrmin5, seed=2)
+        inj.hit_network_state(net, count=2)
+        assert sum(1 for kind, _ in inj.log if kind == "node-state") == 2
+
+    def test_hit_network_cache(self, ssrmin5):
+        net = transformed(ssrmin5, seed=3)
+        net.start()
+        inj = FaultInjector(ssrmin5, seed=3)
+        inj.hit_network_cache(net, count=2)
+        targets = [t for kind, t in inj.log if kind == "cache"]
+        assert len(targets) == 2
+        for node, neighbor in targets:
+            assert neighbor in ((node - 1) % 5, (node + 1) % 5)

@@ -1,0 +1,55 @@
+"""Cross-validation: concrete SSRmin vs. the abstract inchworm (section 3.1).
+
+Co-simulates Algorithm 3 with the abstract alpha_1/beta/alpha_2 reference on
+legitimate executions: at every step the token positions derived from the
+concrete predicates must match the abstract model's explicit positions, and
+the acting process/rule must correspond to the expected abstract action.
+"""
+
+import pytest
+
+from repro.core.abstract import AbstractInchworm, Phase
+from repro.core.ssrmin import SSRmin
+
+#: Concrete rule implementing each abstract action.
+ACTION_RULE = {
+    Phase.TOGETHER: "R1",  # alpha_1
+    Phase.READY: "R3",     # beta
+    Phase.SPLIT: "R2",     # alpha_2
+}
+
+
+@pytest.mark.parametrize("n,K", [(3, 4), (5, 6), (8, 9)])
+def test_concrete_matches_abstract_over_two_laps(n, K):
+    alg = SSRmin(n, K)
+    config = alg.initial_configuration(0)
+    worm = AbstractInchworm(n)
+
+    for step in range(2 * worm.steps_per_lap()):
+        # Token placement must agree.
+        assert alg.primary_holders(config) == (worm.primary,)
+        assert set(alg.secondary_holders(config)) >= {worm.secondary}
+        assert alg.privileged(config) == worm.holders()
+
+        # The unique enabled process performs the expected abstract action.
+        enabled = alg.enabled_processes(config)
+        assert enabled == (worm.acting_process(),)
+        rule = alg.enabled_rule(config, enabled[0])
+        assert rule.name == ACTION_RULE[worm.phase]
+
+        config = alg.step(config, enabled)
+        worm = worm.advance()
+
+    # Both return to their anchors (x advanced by 2 in the concrete model).
+    assert worm.primary == 0 and worm.phase is Phase.TOGETHER
+    assert config.states == alg.initial_configuration(2 % K).states
+
+
+def test_abstract_lap_length_matches_concrete_cycle():
+    """3n abstract actions = 3n concrete steps per circulation (Lemma 1)."""
+    n = 6
+    alg = SSRmin(n, 7)
+    assert AbstractInchworm(n).steps_per_lap() == 3 * n
+    from repro.core.legitimacy import canonical_cycle
+
+    assert len(canonical_cycle(n, 7)) == 3 * n + 1

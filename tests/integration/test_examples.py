@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs to completion and says what it
+promises.  Run as subprocesses so they exercise the installed package the
+way a user would."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "converged in" in out
+        assert "token holders always in [1, 2]" in out
+        assert "graceful handover" in out
+
+    def test_camera_network(self):
+        out = run_example("camera_network.py")
+        assert "coverage:            100.00%" in out
+        assert "healed itself" in out
+
+    def test_fault_recovery(self):
+        out = run_example("fault_recovery.py")
+        assert "recovered in" in out
+        assert "legitimate + cache-coherent again" in out
+        assert "[1, 2]" in out
+
+    def test_model_gap_study(self):
+        out = run_example("model_gap_study.py")
+        assert "Dijkstra SSToken (Figure 11)" in out
+        assert "SSRmin (Figure 13)" in out
+        assert "zero-token time 0.0" in out  # the SSRmin line
+
+    @pytest.mark.slow
+    def test_convergence_study(self):
+        out = run_example("convergence_study.py", timeout=600)
+        assert "alpha" in out
+        assert "consistent with O(n^2)" in out
+
+    def test_multi_inclusion(self):
+        out = run_example("multi_inclusion.py")
+        assert "guaranteed layer-token band (2, 4)" in out
+        assert "handover overlap fraction: 100%" in out
+
+    def test_verify_instance(self):
+        out = run_example("verify_instance.py")
+        assert "SELF-STABILIZING" in out
+        assert "a provably worst execution" in out
+
+    def test_wireless_sensor_net(self):
+        out = run_example("wireless_sensor_net.py")
+        assert "collision rate" in out
+        assert "coverage:" in out

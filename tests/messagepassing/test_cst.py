@@ -1,0 +1,63 @@
+"""Unit tests for the CST convenience builders."""
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.coherence import is_cache_coherent
+from repro.messagepassing.cst import (
+    coherent_caches,
+    legitimate_initial_states,
+    transformed,
+    transformed_from_chaos,
+)
+
+
+class TestLegitimateInitialStates:
+    def test_ssrmin(self):
+        alg = SSRmin(5, 6)
+        states = legitimate_initial_states(alg)
+        assert len(states) == 5
+        assert alg.is_legitimate(alg.normalize_configuration(states))
+
+    def test_dijkstra(self):
+        alg = DijkstraKState(4, 5)
+        states = legitimate_initial_states(alg)
+        assert alg.is_legitimate(tuple(states))
+
+
+class TestTransformed:
+    def test_starts_coherent_and_legitimate(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=0)
+        assert is_cache_coherent(net)
+        cfg = alg.normalize_configuration(net.true_configuration())
+        assert alg.is_legitimate(cfg)
+
+    def test_explicit_initial_states(self):
+        alg = SSRmin(5, 6)
+        states = list(alg.initial_configuration(2))
+        net = transformed(alg, initial_states=states, seed=0)
+        assert net.true_configuration() == tuple(states)
+
+
+class TestTransformedFromChaos:
+    def test_random_states_and_caches(self):
+        alg = SSRmin(5, 6)
+        net = transformed_from_chaos(alg, seed=1)
+        # With overwhelming probability the chaos start is incoherent.
+        assert not is_cache_coherent(net)
+
+    def test_deterministic_under_seed(self):
+        a = transformed_from_chaos(SSRmin(5, 6), seed=2)
+        b = transformed_from_chaos(SSRmin(5, 6), seed=2)
+        assert a.true_configuration() == b.true_configuration()
+        assert [n.cache for n in a.nodes] == [n.cache for n in b.nodes]
+
+    def test_different_seeds_differ(self):
+        a = transformed_from_chaos(SSRmin(5, 6), seed=3)
+        b = transformed_from_chaos(SSRmin(5, 6), seed=4)
+        assert (
+            a.true_configuration() != b.true_configuration()
+            or [n.cache for n in a.nodes] != [n.cache for n in b.nodes]
+        )

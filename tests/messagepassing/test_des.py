@@ -1,0 +1,90 @@
+"""Unit tests for the discrete-event core."""
+
+import pytest
+
+from repro.messagepassing.des import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        order = []
+        q.schedule(2.0, lambda: order.append("b"))
+        q.schedule(1.0, lambda: order.append("a"))
+        q.schedule(3.0, lambda: order.append("c"))
+        q.run_until(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_tie_break_by_insertion(self):
+        q = EventQueue()
+        order = []
+        q.schedule(1.0, lambda: order.append(1))
+        q.schedule(1.0, lambda: order.append(2))
+        q.run_until(10.0)
+        assert order == [1, 2]
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        times = []
+        q.schedule(1.5, lambda: times.append(q.now))
+        q.schedule(4.0, lambda: times.append(q.now))
+        q.run_until(10.0)
+        assert times == [1.5, 4.0]
+        assert q.now == 10.0
+
+    def test_run_until_stops_at_boundary(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.schedule(5.0, lambda: fired.append(5))
+        n = q.run_until(2.0)
+        assert n == 1 and fired == [1]
+        assert not q.empty()
+
+    def test_events_can_schedule_events(self):
+        q = EventQueue()
+        fired = []
+
+        def cascade():
+            fired.append(q.now)
+            if q.now < 5:
+                q.schedule(1.0, cascade)
+
+        q.schedule(1.0, cascade)
+        q.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda: None)
+        q.run_until(2.0)
+        with pytest.raises(ValueError):
+            q.schedule_at(1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def loop():
+            q.schedule(0.001, loop)
+
+        q.schedule(0.001, loop)
+        with pytest.raises(RuntimeError):
+            q.run_until(100.0, max_events=50)
+
+    def test_step_returns_event(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None, label="x")
+        ev = q.step()
+        assert isinstance(ev, Event) and ev.label == "x"
+        assert q.step() is None
+
+    def test_executed_counter(self):
+        q = EventQueue()
+        for d in (1.0, 2.0, 3.0):
+            q.schedule(d, lambda: None)
+        q.run_until(10.0)
+        assert q.executed == 3

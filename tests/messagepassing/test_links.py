@@ -1,0 +1,129 @@
+"""Unit tests for links: delay, loss, capacity-one, coalescing."""
+
+import random
+
+import pytest
+
+from repro.messagepassing.des import EventQueue
+from repro.messagepassing.links import (
+    ExponentialDelay,
+    FixedDelay,
+    Link,
+    UniformDelay,
+)
+
+
+class TestDelayModels:
+    def test_fixed(self):
+        assert FixedDelay(2.5).sample(random.Random(0)) == 2.5
+
+    def test_fixed_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedDelay(0.0)
+
+    def test_uniform_in_range(self):
+        m = UniformDelay(0.5, 1.5)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0.5 <= m.sample(rng) <= 1.5
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformDelay(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformDelay(0.0, 1.0)
+
+    def test_exponential_positive(self):
+        m = ExponentialDelay(1.0)
+        rng = random.Random(2)
+        assert all(m.sample(rng) > 0 for _ in range(100))
+
+    def test_exponential_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            ExponentialDelay(0.0)
+
+
+def make_link(queue, inbox, loss=0.0, delay=1.0, seed=0):
+    return Link(
+        queue=queue,
+        deliver=inbox.append,
+        delay_model=FixedDelay(delay),
+        loss_probability=loss,
+        rng=random.Random(seed),
+    )
+
+
+class TestLink:
+    def test_delivers_after_delay(self):
+        q = EventQueue()
+        inbox = []
+        link = make_link(q, inbox, delay=2.0)
+        link.send("m1")
+        q.run_until(1.0)
+        assert inbox == []
+        q.run_until(2.0)
+        assert inbox == ["m1"]
+
+    def test_capacity_one_coalesces_newest(self):
+        q = EventQueue()
+        inbox = []
+        link = make_link(q, inbox, delay=1.0)
+        link.send("old")
+        link.send("newer")
+        link.send("newest")  # supersedes "newer" while in flight
+        q.run_until(10.0)
+        assert inbox == ["old", "newest"]
+        assert link.coalesced == 1
+
+    def test_busy_flag_lifecycle(self):
+        q = EventQueue()
+        link = make_link(q, [], delay=1.0)
+        assert not link.busy
+        link.send("m")
+        assert link.busy
+        q.run_until(1.0)
+        assert not link.busy
+
+    def test_loss_drops_but_occupies_link(self):
+        q = EventQueue()
+        inbox = []
+        link = Link(
+            queue=q,
+            deliver=inbox.append,
+            delay_model=FixedDelay(1.0),
+            loss_probability=0.999999,
+            rng=random.Random(0),
+        )
+        link.send("m")
+        assert link.busy
+        q.run_until(5.0)
+        assert inbox == [] and link.lost == 1
+
+    def test_loss_rate_statistics(self):
+        q = EventQueue()
+        inbox = []
+        link = Link(
+            queue=q,
+            deliver=inbox.append,
+            delay_model=FixedDelay(0.1),
+            loss_probability=0.3,
+            rng=random.Random(7),
+        )
+        for k in range(500):
+            link.send(k)
+            q.run_until(q.now + 0.2)
+        assert link.sent == 500
+        assert 0.2 < link.lost / link.sent < 0.4
+
+    def test_rejects_invalid_loss(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            Link(q, lambda m: None, FixedDelay(1.0), loss_probability=1.0)
+
+    def test_stats_counters(self):
+        q = EventQueue()
+        inbox = []
+        link = make_link(q, inbox)
+        link.send("a")
+        q.run_until(10.0)
+        assert (link.sent, link.delivered, link.lost) == (1, 1, 0)

@@ -1,0 +1,144 @@
+"""Unit tests for the CST network wiring and run loop."""
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import (
+    coherent_caches,
+    legitimate_initial_states,
+    transformed,
+)
+from repro.messagepassing.links import FixedDelay, UniformDelay
+from repro.messagepassing.network import build_cst_network
+
+
+class TestBuild:
+    def test_rejects_wrong_state_count(self):
+        alg = SSRmin(5, 6)
+        with pytest.raises(ValueError):
+            build_cst_network(alg, [(0, 0, 0)] * 4)
+
+    def test_nodes_and_links_wired(self):
+        alg = SSRmin(5, 6)
+        net = build_cst_network(alg, legitimate_initial_states(alg))
+        assert len(net.nodes) == 5
+        for i, node in enumerate(net.nodes):
+            assert set(node.links) == {(i - 1) % 5, (i + 1) % 5}
+
+    def test_coherent_caches_helper(self):
+        states = [10, 20, 30]
+        caches = coherent_caches(states, 3)
+        assert caches[0] == {2: 30, 1: 20}
+        assert caches[1] == {0: 10, 2: 30}
+
+    def test_legitimate_initial_states(self):
+        alg = SSRmin(5, 6)
+        states = legitimate_initial_states(alg)
+        assert alg.is_legitimate(alg.normalize_configuration(states))
+
+
+class TestRun:
+    def test_start_only_once(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=0)
+        net.start()
+        with pytest.raises(RuntimeError):
+            net.start()
+
+    def test_run_advances_clock(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=0)
+        net.run(25.0)
+        assert net.queue.now >= 25.0
+
+    def test_token_circulates_across_nodes(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=1)
+        holders_seen = set()
+        net.start()
+        for _ in range(40):
+            net.run(5.0)
+            holders_seen.update(net.token_holders())
+        assert holders_seen == set(range(5))
+
+    def test_true_vs_cached_holders_differ_for_sstoken(self):
+        """The model gap is real: during transit the receiver's cached view
+        lags its true state, so SSToken's cached holder set goes empty while
+        the true-state evaluation already moved the token."""
+        alg = DijkstraKState(5, 6)
+        net = transformed(alg, seed=2)
+        differences = []
+        # Check at every state/cache change via the observer hook, so the
+        # fleeting transient periods cannot be missed.
+        net.observers.append(
+            lambda n: differences.append(
+                set(n.token_holders()) != set(n.true_token_holders())
+            )
+        )
+        net.run(100.0)
+        assert any(differences)
+
+    def test_ssrmin_holder_sets_coincide_from_legitimate_start(self):
+        """Stronger than Theorem 3: along legitimate executions SSRmin's
+        cached-view holder set *equals* the true-state holder set at every
+        observation — individual predicate evaluations differ transiently,
+        but only ever at nodes already covered by their other token."""
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=2)
+        mismatches = []
+        net.observers.append(
+            lambda n: mismatches.append(
+                set(n.token_holders()) != set(n.true_token_holders())
+            )
+        )
+        net.run(100.0)
+        assert not any(mismatches)
+
+    def test_message_stats_accumulate(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=3)
+        net.run(50.0)
+        stats = net.message_stats()
+        assert stats["sent"] > 0
+        assert stats["delivered"] <= stats["sent"]
+        assert stats["lost"] == 0  # no loss configured
+
+    def test_loss_appears_in_stats(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=4, loss_probability=0.3)
+        net.run(100.0)
+        assert net.message_stats()["lost"] > 0
+
+    def test_deterministic_under_seed(self):
+        alg = SSRmin(5, 6)
+        a = transformed(alg, seed=5, delay_model=UniformDelay(0.5, 1.5))
+        b = transformed(alg, seed=5, delay_model=UniformDelay(0.5, 1.5))
+        a.run(60.0)
+        b.run(60.0)
+        assert a.timeline.points == b.timeline.points
+
+    def test_timer_keeps_system_alive_with_dwell(self):
+        """Even a quiet network makes progress via periodic timers."""
+        alg = DijkstraKState(5, 6)
+        net = transformed(alg, seed=6, timer_interval=2.0)
+        net.run(100.0)
+        assert sum(n.rules_executed for n in net.nodes) > 0
+
+
+class TestFaultHooks:
+    def test_corrupt_node_changes_state(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=7)
+        net.start()
+        net.corrupt_node(2, (0, 1, 1))
+        assert net.nodes[2].state == (0, 1, 1)
+
+    def test_corrupt_cache_validates_neighbour(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=8)
+        net.start()
+        with pytest.raises(ValueError):
+            net.corrupt_cache(0, 2, (0, 0, 0))
+        net.corrupt_cache(0, 1, (0, 1, 1))
+        assert net.nodes[0].cache[1] == (0, 1, 1)

@@ -1,0 +1,148 @@
+"""Edge-case tests for the CST network layer."""
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import ExponentialDelay, FixedDelay, UniformDelay
+from repro.messagepassing.network import build_cst_network
+
+
+class TestTimerBehaviour:
+    def test_timer_fires_repeatedly(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=0, timer_interval=2.0, timer_jitter=0.5)
+        net.run(50.0)
+        fires = [node.timer_fires for node in net.nodes]
+        # ~50 / ~2.25 per node, with scheduling slack.
+        assert all(15 <= f <= 26 for f in fires), fires
+
+    def test_jitter_desynchronizes_timers(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=1, timer_interval=5.0, timer_jitter=3.0)
+        net.run(100.0)
+        fires = {node.timer_fires for node in net.nodes}
+        # With jitter the per-node counts should not all coincide.
+        assert len(fires) >= 2
+
+    def test_zero_jitter_allowed(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=2, timer_interval=4.0, timer_jitter=0.0)
+        net.run(30.0)  # must simply not crash and make progress
+        assert net.queue.executed > 0
+
+
+class TestDelayModels:
+    @pytest.mark.parametrize("delay", [
+        FixedDelay(0.2),
+        FixedDelay(3.0),
+        UniformDelay(0.1, 0.3),
+        ExponentialDelay(0.7),
+    ])
+    def test_tolerance_robust_to_delay_scale(self, delay):
+        """Theorem 3 does not depend on the delay magnitude."""
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=3, delay_model=delay)
+        net.run(120.0)
+        net.timeline.finish(net.queue.now)
+        assert net.timeline.zero_time() == 0.0
+
+    def test_slow_links_slow_circulation(self):
+        alg = SSRmin(5, 6)
+        fast = transformed(alg, seed=4, delay_model=FixedDelay(0.2))
+        slow = transformed(alg, seed=4, delay_model=FixedDelay(3.0))
+        fast.run(150.0)
+        slow.run(150.0)
+        assert fast.timeline.holder_changes() > slow.timeline.holder_changes()
+
+
+class TestRunGuards:
+    def test_max_events_guard_trips_on_tiny_budget(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=5)
+        with pytest.raises(RuntimeError):
+            net.run(1000.0, max_events=10)
+
+    def test_run_starts_network_implicitly(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=6)
+        assert not net._started
+        net.run(5.0)
+        assert net._started
+
+
+class TestBuilderValidation:
+    def test_initial_caches_partial_dict_ok(self):
+        """Caches may be specified for only some nodes/neighbours."""
+        alg = SSRmin(5, 6)
+        states = list(alg.initial_configuration())
+        net = build_cst_network(
+            alg, states, initial_caches={0: {1: (0, 1, 1)}}, seed=7
+        )
+        assert net.nodes[0].cache[1] == (0, 1, 1)
+        # Unspecified entries default to the node's own state.
+        assert net.nodes[0].cache[4] == states[0]
+
+    def test_token_predicate_override(self):
+        alg = SSRmin(5, 6)
+        states = list(alg.initial_configuration())
+        net = build_cst_network(
+            alg, states, token_predicate=lambda node: node.index == 2, seed=8
+        )
+        net.start()
+        assert net.token_holders() == (2,)
+
+
+class TestHeterogeneousDelays:
+    def test_override_applies_to_named_direction(self):
+        from repro.messagepassing.cst import legitimate_initial_states
+
+        alg = SSRmin(5, 6)
+        slow = FixedDelay(5.0)
+        net = build_cst_network(
+            alg, legitimate_initial_states(alg), seed=9,
+            link_delay_overrides={(0, 1): slow},
+        )
+        assert net.nodes[0].links[1].delay_model is slow
+        assert net.nodes[1].links[0].delay_model is not slow
+
+    def test_tolerance_with_one_slow_link(self):
+        """One 10x-slower direction stretches handovers across that edge
+        but cannot break the >= 1-token guarantee."""
+        from repro.messagepassing.cst import coherent_caches, legitimate_initial_states
+
+        alg = SSRmin(5, 6)
+        states = legitimate_initial_states(alg)
+        net = build_cst_network(
+            alg, states, seed=10,
+            delay_model=UniformDelay(0.5, 1.5),
+            initial_caches=coherent_caches(list(states), 5),
+            link_delay_overrides={
+                (2, 3): FixedDelay(10.0),
+                (3, 2): FixedDelay(10.0),
+            },
+        )
+        net.run(300.0)
+        net.timeline.finish(net.queue.now)
+        assert net.timeline.zero_time() == 0.0
+        lo, hi = net.timeline.count_bounds()
+        assert lo >= 1 and hi <= 2
+
+    def test_slow_edge_slows_service_of_downstream_node(self):
+        from repro.messagepassing.cst import coherent_caches, legitimate_initial_states
+
+        alg = SSRmin(5, 6)
+        states = legitimate_initial_states(alg)
+        uniform = build_cst_network(
+            alg, states, seed=11, delay_model=FixedDelay(1.0),
+            initial_caches=coherent_caches(list(states), 5),
+        )
+        skewed = build_cst_network(
+            alg, states, seed=11, delay_model=FixedDelay(1.0),
+            initial_caches=coherent_caches(list(states), 5),
+            link_delay_overrides={(2, 3): FixedDelay(8.0),
+                                  (3, 2): FixedDelay(8.0)},
+        )
+        uniform.run(300.0)
+        skewed.run(300.0)
+        assert skewed.timeline.holder_changes() < uniform.timeline.holder_changes()

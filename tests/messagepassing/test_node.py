@@ -1,0 +1,203 @@
+"""Unit tests for CST nodes (Algorithm 4)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.des import EventQueue
+from repro.messagepassing.links import FixedDelay
+from repro.messagepassing.node import CSTNode
+
+
+def make_node(alg, i, state, cache=None, scheduler=None, dwell=None):
+    n = alg.n
+    return CSTNode(
+        index=i,
+        algorithm=alg,
+        neighbors=((i - 1) % n, (i + 1) % n),
+        initial_state=state,
+        initial_cache=cache,
+        scheduler=scheduler,
+        dwell_model=dwell,
+    )
+
+
+class FakeLink:
+    def __init__(self):
+        self.outbox = []
+
+    def send(self, payload):
+        self.outbox.append(payload)
+
+
+class TestConstruction:
+    def test_dwell_requires_scheduler(self):
+        alg = DijkstraKState(3, 4)
+        with pytest.raises(ValueError):
+            make_node(alg, 0, 0, dwell=FixedDelay(1.0))
+
+    def test_cache_defaults_to_own_state(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 2)
+        assert node.cache == {0: 2, 2: 2}
+
+    def test_initial_cache_respected(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 2, cache={0: 3, 2: 1})
+        assert node.cache == {0: 3, 2: 1}
+
+
+class TestView:
+    def test_view_layout(self):
+        alg = SSRmin(5, 6)
+        node = make_node(alg, 2, (3, 0, 0), cache={1: (4, 0, 0), 3: (3, 0, 1)})
+        view = node.view()
+        assert view[2] == (3, 0, 0)
+        assert view[1] == (4, 0, 0)
+        assert view[3] == (3, 0, 1)
+        assert view[0] is None and view[4] is None
+
+    def test_far_positions_unreadable(self):
+        """Guards never touch non-neighbour positions (None placeholder)."""
+        alg = SSRmin(5, 6)
+        node = make_node(alg, 2, (3, 0, 0))
+        # Evaluating the enabled rule must not raise despite the Nones.
+        alg.enabled_rule(node.view(), 2)
+
+
+class TestOnReceive:
+    def test_updates_cache_and_broadcasts(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 0)
+        links = {0: FakeLink(), 2: FakeLink()}
+        node.links = links
+        node.on_receive(0, 3)
+        assert node.cache[0] == 3
+        # Rule fired (x1 != x0): copied predecessor.
+        assert node.state == 3
+        # Broadcast reaches both neighbours with the NEW state.
+        assert links[0].outbox == [(1, 3)]
+        assert links[2].outbox == [(1, 3)]
+
+    def test_rejects_non_neighbour(self):
+        alg = DijkstraKState(5, 6)
+        node = make_node(alg, 1, 0)
+        with pytest.raises(ValueError):
+            node.on_receive(3, 1)
+
+    def test_no_rule_executes_when_disabled(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 0)
+        node.links = {0: FakeLink(), 2: FakeLink()}
+        node.on_receive(0, 0)  # x equal: not enabled
+        assert node.state == 0
+        assert node.rules_executed == 0
+
+    def test_dwell_defers_rule_execution(self):
+        alg = DijkstraKState(3, 4)
+        q = EventQueue()
+        node = make_node(alg, 1, 0, scheduler=q.schedule,
+                         dwell=FixedDelay(2.0))
+        node.rng = random.Random(0)
+        node.links = {0: FakeLink(), 2: FakeLink()}
+        node.on_receive(0, 3)
+        assert node.state == 0  # not yet
+        q.run_until(2.0)
+        assert node.state == 3  # after the dwell
+
+    def test_dwell_reevaluates_guard_at_execution(self):
+        alg = DijkstraKState(3, 4)
+        q = EventQueue()
+        node = make_node(alg, 1, 0, scheduler=q.schedule,
+                         dwell=FixedDelay(2.0))
+        node.rng = random.Random(0)
+        node.links = {0: FakeLink(), 2: FakeLink()}
+        node.on_receive(0, 3)  # becomes enabled, action scheduled
+        node.on_receive(0, 0)  # guard now false again
+        q.run_until(5.0)
+        assert node.state == 0  # re-check prevented a stale execution
+
+
+class TestOnTimer:
+    def test_timer_broadcasts_current_state(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 2)
+        links = {0: FakeLink(), 2: FakeLink()}
+        node.links = links
+        node.on_timer()
+        assert links[0].outbox == [(1, 2)]
+        assert node.timer_fires == 1
+
+    def test_timer_wakes_enabled_node_with_dwell(self):
+        alg = DijkstraKState(3, 4)
+        q = EventQueue()
+        # Node enabled purely from its initial (corrupt) cache.
+        node = make_node(alg, 1, 0, cache={0: 3, 2: 0},
+                         scheduler=q.schedule, dwell=FixedDelay(1.0))
+        node.rng = random.Random(0)
+        node.links = {0: FakeLink(), 2: FakeLink()}
+        node.on_timer()
+        q.run_until(1.0)
+        assert node.state == 3
+
+
+class TestHoldsToken:
+    def test_ssrmin_uses_token_predicates(self):
+        alg = SSRmin(5, 6)
+        node = make_node(alg, 0, (3, 0, 1),
+                         cache={4: (3, 0, 0), 1: (3, 0, 0)})
+        assert node.holds_token()  # tra=1 -> secondary; G true -> primary
+
+    def test_ssrmin_own_view_can_differ_from_truth(self):
+        alg = SSRmin(5, 6)
+        # Own view says G false (stale cache), tra=0: no token.
+        node = make_node(alg, 1, (3, 0, 0),
+                         cache={0: (3, 0, 0), 2: (3, 0, 0)})
+        assert not node.holds_token()
+
+    def test_dijkstra_fallback_uses_enabledness(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 0, cache={0: 3, 2: 0})
+        assert node.holds_token()
+        node2 = make_node(alg, 1, 0, cache={0: 0, 2: 0})
+        assert not node2.holds_token()
+
+
+class TestChattyFlag:
+    def test_chatty_default_echoes_every_receipt(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 0)
+        links = {0: FakeLink(), 2: FakeLink()}
+        node.links = links
+        node.on_receive(0, 0)  # no rule fires (x equal)
+        assert links[2].outbox  # Algorithm 4 verbatim: echo anyway
+
+    def test_quiet_node_suppresses_no_change_echo(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 0)
+        node.chatty = False
+        links = {0: FakeLink(), 2: FakeLink()}
+        node.links = links
+        node.on_receive(0, 0)  # no rule fires, no state change
+        assert not links[2].outbox
+
+    def test_quiet_node_still_broadcasts_state_changes(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 0)
+        node.chatty = False
+        links = {0: FakeLink(), 2: FakeLink()}
+        node.links = links
+        node.on_receive(0, 3)  # rule fires: copy predecessor
+        assert node.state == 3
+        assert links[2].outbox == [(1, 3)]
+
+    def test_quiet_node_timer_still_broadcasts(self):
+        alg = DijkstraKState(3, 4)
+        node = make_node(alg, 1, 2)
+        node.chatty = False
+        links = {0: FakeLink(), 2: FakeLink()}
+        node.links = links
+        node.on_timer()
+        assert links[0].outbox == [(1, 2)]

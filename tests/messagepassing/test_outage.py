@@ -1,0 +1,90 @@
+"""Unit tests for link outages (partition faults)."""
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+from repro.messagepassing.modelgap import evaluate_gap
+
+
+class TestFailLink:
+    def make(self, seed=0):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=seed, delay_model=UniformDelay(0.5, 1.5),
+                          timer_interval=3.0)
+        net.start()
+        return alg, net
+
+    def test_rejects_bad_duration(self):
+        _, net = self.make()
+        with pytest.raises(ValueError):
+            net.fail_link(0, 1, 0.0)
+
+    def test_rejects_non_edge(self):
+        _, net = self.make()
+        with pytest.raises(ValueError):
+            net.fail_link(0, 2, 5.0)
+
+    def test_messages_lost_during_outage(self):
+        _, net = self.make(seed=1)
+        before = net.message_stats()["lost"]
+        net.fail_link(0, 1, 20.0)
+        net.run(15.0)
+        assert net.message_stats()["lost"] > before
+
+    def test_losses_stop_after_outage(self):
+        _, net = self.make(seed=2)
+        net.fail_link(0, 1, 10.0)
+        net.run(15.0)
+        lost_at_heal = net.message_stats()["lost"]
+        net.run(60.0)
+        # New losses after the heal point should be zero (no loss prob).
+        assert net.message_stats()["lost"] == lost_at_heal
+
+    def test_zero_coverage_confined_to_outage_and_recovery(self):
+        """An outage is a *fault*: it creates bad cache incoherence (a node
+        can fire R2 on a stale view of its partitioned successor and drop
+        both tokens), so Theorem 3's no-extinction guarantee is suspended —
+        but only inside the outage + recovery window.  Before the fault and
+        after re-stabilization, coverage is total (Theorem 4)."""
+        alg, net = self.make(seed=3)
+        net.run(20.0)  # healthy circulation first
+        heal_at = net.queue.now + 30.0
+        net.fail_link(2, 3, 30.0)
+        net.run(130.0)  # outage + recovery
+        net.timeline.finish(net.queue.now)
+        for a, b in net.timeline.zero_intervals():
+            assert a >= 20.0, "extinction before the fault"
+            assert b <= heal_at + 60.0, "extinction long after recovery"
+        # Fully covered again over the final stretch.
+        assert net.timeline.coverage_fraction(from_time=heal_at + 60.0) == 1.0
+
+    def test_circulation_resumes_after_heal(self):
+        alg, net = self.make(seed=4)
+        net.run(20.0)
+        net.fail_link(1, 2, 25.0)
+        net.run(25.0)
+        changes_at_heal = net.timeline.holder_changes()
+        heal_time = net.queue.now
+        net.run(120.0)
+        # The token pair moves again: new holder changes accumulate.
+        assert net.timeline.holder_changes() > changes_at_heal + 5
+        # And the full ring is served again after healing.
+        served = {
+            h
+            for pt in net.timeline.points
+            if pt.time > heal_time + 30.0
+            for h in pt.holders
+        }
+        assert served == set(range(5))
+
+    def test_bounds_restored_after_outage(self):
+        alg, net = self.make(seed=5)
+        net.run(20.0)
+        net.fail_link(0, 4, 30.0)
+        net.run(150.0)
+        net.timeline.finish(net.queue.now)
+        lo, hi = net.timeline.count_bounds(from_time=110.0)
+        assert lo >= 1
+        assert hi <= 2

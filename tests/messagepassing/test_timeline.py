@@ -1,0 +1,101 @@
+"""Unit tests for token-coverage timelines."""
+
+import pytest
+
+from repro.messagepassing.timeline import TokenTimeline
+
+
+def build(points, end):
+    tl = TokenTimeline()
+    for t, holders in points:
+        tl.record(t, holders)
+    tl.finish(end)
+    return tl
+
+
+class TestRecording:
+    def test_coalesces_identical(self):
+        tl = TokenTimeline()
+        tl.record(0.0, [1])
+        tl.record(1.0, [1])
+        tl.record(2.0, [2])
+        assert len(tl.points) == 2
+
+    def test_same_instant_keeps_last(self):
+        tl = TokenTimeline()
+        tl.record(0.0, [1])
+        tl.record(1.0, [2])
+        tl.record(1.0, [3])
+        assert tl.points[-1].holders == (3,)
+        assert len(tl.points) == 2
+
+    def test_same_instant_collapse_merges_with_previous(self):
+        tl = TokenTimeline()
+        tl.record(0.0, [1])
+        tl.record(1.0, [2])
+        tl.record(1.0, [1])  # back to the original set at the same instant
+        assert len(tl.points) == 1
+        assert tl.points[0].holders == (1,)
+
+    def test_time_reversal_rejected(self):
+        tl = TokenTimeline()
+        tl.record(2.0, [1])
+        with pytest.raises(ValueError):
+            tl.record(1.0, [2])
+
+    def test_holders_sorted(self):
+        tl = TokenTimeline()
+        tl.record(0.0, [3, 1])
+        assert tl.points[0].holders == (1, 3)
+
+    def test_finish_before_last_point_rejected(self):
+        tl = TokenTimeline()
+        tl.record(5.0, [1])
+        with pytest.raises(ValueError):
+            tl.finish(4.0)
+
+    def test_query_before_finish_rejected(self):
+        tl = TokenTimeline()
+        tl.record(0.0, [1])
+        with pytest.raises(ValueError):
+            tl.intervals()
+
+
+class TestQueries:
+    def test_intervals_partition(self):
+        tl = build([(0.0, [0]), (2.0, [0, 1]), (3.0, [1])], end=5.0)
+        assert tl.intervals() == [
+            (0.0, 2.0, (0,)),
+            (2.0, 3.0, (0, 1)),
+            (3.0, 5.0, (1,)),
+        ]
+
+    def test_zero_intervals(self):
+        tl = build([(0.0, [0]), (1.0, []), (2.5, [1]), (4.0, [])], end=5.0)
+        assert tl.zero_intervals() == [(1.0, 2.5), (4.0, 5.0)]
+        assert tl.zero_time() == 2.5
+
+    def test_no_zero_intervals(self):
+        tl = build([(0.0, [0]), (2.0, [1])], end=4.0)
+        assert tl.zero_intervals() == []
+        assert tl.zero_time() == 0.0
+
+    def test_count_bounds(self):
+        tl = build([(0.0, [0]), (1.0, [0, 1]), (2.0, [])], end=3.0)
+        assert tl.count_bounds() == (0, 2)
+
+    def test_count_bounds_with_from_time(self):
+        tl = build([(0.0, []), (1.0, [0]), (2.0, [0, 1])], end=3.0)
+        assert tl.count_bounds(from_time=1.5) == (1, 2)
+
+    def test_coverage_fraction(self):
+        tl = build([(0.0, [0]), (2.0, []), (3.0, [1])], end=4.0)
+        assert tl.coverage_fraction() == pytest.approx(0.75)
+
+    def test_coverage_with_warmup(self):
+        tl = build([(0.0, []), (2.0, [0])], end=4.0)
+        assert tl.coverage_fraction(from_time=2.0) == pytest.approx(1.0)
+
+    def test_holder_changes(self):
+        tl = build([(0.0, [0]), (1.0, [1]), (2.0, [1, 2])], end=3.0)
+        assert tl.holder_changes() == 3

@@ -1,0 +1,99 @@
+"""Unit tests for message-level tracing."""
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+from repro.messagepassing.trace import (
+    MessageTrace,
+    render_sequence_diagram,
+)
+
+
+def traced_network(seed=0, loss=0.0):
+    alg = SSRmin(5, 6)
+    net = transformed(alg, seed=seed, loss_probability=loss,
+                      delay_model=UniformDelay(0.5, 1.5))
+    trace = MessageTrace().attach(net)
+    return net, trace
+
+
+class TestRecording:
+    def test_sends_and_deliveries_recorded(self):
+        net, trace = traced_network()
+        net.run(30.0)
+        assert trace.of_kind("send")
+        assert trace.of_kind("deliver")
+        assert len(trace.of_kind("deliver")) <= len(trace.of_kind("send"))
+
+    def test_counts_match_link_statistics(self):
+        net, trace = traced_network(seed=1)
+        net.run(50.0)
+        stats = net.message_stats()
+        assert len(trace.of_kind("send")) == stats["sent"]
+        assert len(trace.of_kind("deliver")) == stats["delivered"]
+
+    def test_losses_recorded(self):
+        net, trace = traced_network(seed=2, loss=0.3)
+        net.run(60.0)
+        stats = net.message_stats()
+        assert len(trace.of_kind("loss")) == stats["lost"]
+        assert stats["lost"] > 0
+
+    def test_timers_recorded(self):
+        net, trace = traced_network(seed=3)
+        net.run(30.0)
+        assert trace.of_kind("timer")
+
+    def test_events_time_ordered(self):
+        net, trace = traced_network(seed=4)
+        net.run(40.0)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+
+class TestTransitAnalysis:
+    def test_transit_times_within_delay_model(self):
+        net, trace = traced_network(seed=5)
+        net.run(60.0)
+        transits = trace.transit_times()
+        assert transits
+        assert all(0.5 - 1e-9 <= t <= 1.5 + 1e-9 for t in transits)
+
+    def test_per_direction_fifo(self):
+        net, trace = traced_network(seed=6)
+        net.run(60.0)
+        assert trace.per_direction_fifo()
+
+
+class TestSequenceDiagram:
+    def test_renders_window(self):
+        net, trace = traced_network(seed=7)
+        net.run(20.0)
+        text = render_sequence_diagram(trace, 5, t_start=0.0, t_end=10.0)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("time")
+        assert "v0" in lines[0] and "v4" in lines[0]
+        assert any(">" in l for l in lines[1:])
+
+    def test_loss_marker(self):
+        net, trace = traced_network(seed=8, loss=0.5)
+        net.run(40.0)
+        text = render_sequence_diagram(trace, 5, t_start=0.0, t_end=40.0,
+                                       max_rows=200)
+        assert "x" in text
+
+    def test_rejects_bad_window(self):
+        net, trace = traced_network(seed=9)
+        net.run(5.0)
+        with pytest.raises(ValueError):
+            render_sequence_diagram(trace, 5, t_start=5.0, t_end=5.0)
+
+    def test_row_cap(self):
+        net, trace = traced_network(seed=10)
+        net.run(60.0)
+        text = render_sequence_diagram(trace, 5, t_start=0.0, t_end=60.0,
+                                       max_rows=5)
+        arrow_rows = [l for l in text.splitlines()[1:] if ">" in l or "x" in l]
+        assert len(arrow_rows) <= 5

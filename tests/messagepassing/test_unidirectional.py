@@ -1,0 +1,67 @@
+"""Tests for the unidirectional CST wiring (link/message halving)."""
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+from repro.messagepassing.modelgap import evaluate_gap
+
+
+class TestWiring:
+    def test_dijkstra_nodes_have_forward_links_only(self):
+        alg = DijkstraKState(5, 6)
+        net = transformed(alg, seed=0)
+        for i, node in enumerate(net.nodes):
+            assert set(node.links) == {(i + 1) % 5}
+            assert node.neighbors == ((i - 1) % 5,)
+
+    def test_ssrmin_nodes_keep_both_directions(self):
+        alg = SSRmin(5, 6)
+        net = transformed(alg, seed=0)
+        for i, node in enumerate(net.nodes):
+            assert set(node.links) == {(i - 1) % 5, (i + 1) % 5}
+            assert set(node.neighbors) == {(i - 1) % 5, (i + 1) % 5}
+
+    def test_unidirectional_message_cost_is_lower(self):
+        """Same workload: the unidirectional ring sends ~half the messages
+        a bidirectional one would (one out-link instead of two)."""
+        d = DijkstraKState(5, 6)
+        s = SSRmin(5, 6)
+        net_d = transformed(d, seed=1, delay_model=UniformDelay(0.5, 1.5))
+        net_s = transformed(s, seed=1, delay_model=UniformDelay(0.5, 1.5))
+        net_d.run(200.0)
+        net_s.run(200.0)
+        assert net_d.message_stats()["sent"] < net_s.message_stats()["sent"]
+
+
+class TestSemanticsPreserved:
+    def test_token_still_circulates(self):
+        alg = DijkstraKState(5, 6)
+        net = transformed(alg, seed=2, delay_model=UniformDelay(0.5, 1.5))
+        net.start()
+        served = set()
+        for _ in range(60):
+            net.run(5.0)
+            served.update(net.token_holders())
+        assert served == set(range(5))
+
+    def test_extinction_shape_unchanged(self):
+        """Figure 11's phenomenon is about transit gaps, not link count:
+        the unidirectional wiring shows the same extinction."""
+        alg = DijkstraKState(5, 6)
+        net = transformed(alg, seed=3, delay_model=UniformDelay(0.5, 1.5))
+        rep = evaluate_gap(net, duration=200.0)
+        assert rep.zero_time > 0
+        assert rep.max_count <= 1
+
+    def test_chaos_still_converges(self):
+        from repro.messagepassing.coherence import CoherenceTracker
+        from repro.messagepassing.cst import transformed_from_chaos
+
+        alg = DijkstraKState(5, 6)
+        net = transformed_from_chaos(alg, seed=4)
+        t = CoherenceTracker(net).run_until_stabilized(slice_duration=5.0,
+                                                       max_time=20_000.0)
+        assert t >= 0.0

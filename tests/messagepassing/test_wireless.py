@@ -1,0 +1,163 @@
+"""Unit tests for the shared wireless medium."""
+
+import random
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import coherent_caches, legitimate_initial_states
+from repro.messagepassing.des import EventQueue
+from repro.messagepassing.links import FixedDelay
+from repro.messagepassing.wireless import (
+    Transmission,
+    TransmitterAdapter,
+    WirelessMedium,
+    build_wireless_network,
+)
+
+
+def make_medium(n=5, airtime=1.0):
+    queue = EventQueue()
+    medium = WirelessMedium(queue, n, FixedDelay(airtime), random.Random(0))
+    inbox = []
+    medium.deliver = lambda r, s, p: inbox.append((r, s, p))
+    return queue, medium, inbox
+
+
+class TestMediumDelivery:
+    def test_lone_transmission_reaches_both_neighbours(self):
+        queue, medium, inbox = make_medium()
+        medium.transmit(2, "hello")
+        queue.run_until(2.0)
+        assert sorted(inbox) == [(1, 2, "hello"), (3, 2, "hello")]
+        assert medium.deliveries == 2
+        assert medium.collisions == 0
+
+    def test_overlapping_neighbours_collide(self):
+        """Two adjacent senders overlapping in time jam each other's
+        receivers (every receiver hears both)."""
+        queue, medium, inbox = make_medium()
+        medium.transmit(1, "a")
+        medium.transmit(2, "b")
+        queue.run_until(5.0)
+        # Receivers 0,2 (of tx-1) and 1,3 (of tx-2): 1<->2 jam each other,
+        # and 0/3 hear only one transmission... 0 hears sender 1 only, but
+        # is node 1's transmission jammed at 0? Jammers at 0 are senders in
+        # {0, 1, 4}: only tx-1 itself -> delivered. At 2: senders {1,2,3}
+        # include tx-2 -> jammed. Symmetrically for tx-2.
+        assert (0, 1, "a") in inbox
+        assert (3, 2, "b") in inbox
+        assert (2, 1, "a") not in inbox
+        assert (1, 2, "b") not in inbox
+        assert medium.collisions == 2
+
+    def test_distant_transmissions_do_not_collide(self):
+        queue, medium, inbox = make_medium(n=7)
+        medium.transmit(0, "x")
+        medium.transmit(3, "y")  # receivers 2,4; jammer sets exclude 0
+        queue.run_until(5.0)
+        assert len(inbox) == 4
+        assert medium.collisions == 0
+
+    def test_sequential_transmissions_do_not_collide(self):
+        queue, medium, inbox = make_medium()
+        medium.transmit(1, "a")
+        queue.run_until(1.5)  # first is off the air
+        medium.transmit(2, "b")
+        queue.run_until(5.0)
+        assert len(inbox) == 4
+        assert medium.collisions == 0
+
+    def test_half_duplex_receiver_transmitting_is_jammed(self):
+        queue, medium, inbox = make_medium()
+        medium.transmit(1, "a")
+        medium.transmit(2, "b")  # node 2 is on air while 1's tx lands
+        queue.run_until(5.0)
+        assert (2, 1, "a") not in inbox
+
+
+class TestTransmitterAdapter:
+    def test_busy_radio_coalesces(self):
+        queue, medium, inbox = make_medium()
+        radio = TransmitterAdapter(medium, sender=2)
+        radio.send("old")
+        radio.send("mid")
+        radio.send("new")
+        queue.run_until(10.0)
+        payloads = [p for (_, _, p) in inbox]
+        assert "old" in payloads and "new" in payloads
+        assert "mid" not in payloads
+        assert radio.coalesced == 1
+
+    def test_sent_counts_transmissions(self):
+        queue, medium, _ = make_medium()
+        radio = TransmitterAdapter(medium, sender=0)
+        radio.send("a")
+        queue.run_until(5.0)
+        radio.send("b")
+        queue.run_until(10.0)
+        assert radio.sent == 2
+        assert medium.transmissions == 2
+
+
+class TestWirelessNetwork:
+    def build(self, seed=0, n=5):
+        alg = SSRmin(n, n + 1)
+        states = legitimate_initial_states(alg)
+        return alg, build_wireless_network(
+            alg, states, seed=seed,
+            initial_caches=coherent_caches(list(states), n),
+        )
+
+    def test_rejects_wrong_state_count(self):
+        alg = SSRmin(5, 6)
+        with pytest.raises(ValueError):
+            build_wireless_network(alg, [(0, 0, 0)] * 3)
+
+    def test_collisions_happen_but_coverage_near_total(self):
+        """Collisions are loss, so Theorem 3's hypothesis does not hold
+        verbatim; the honest claim is the Theorem-4 one: overwhelmingly
+        covered service with bounded holders and continual recovery."""
+        alg, net = self.build(seed=1)
+        net.run(300.0)
+        net.timeline.finish(net.queue.now)
+        stats = net.message_stats()
+        assert stats["lost"] > 0  # the medium is genuinely contended
+        assert net.timeline.coverage_fraction() >= 0.9
+        _, hi = net.timeline.count_bounds()
+        assert hi <= 2
+
+    def test_token_circulates_over_radio(self):
+        alg, net = self.build(seed=2)
+        net.run(400.0)
+        served = {h for pt in net.timeline.points for h in pt.holders}
+        assert served == set(range(5))
+
+    def test_broadcast_economy(self):
+        """One transmission serves both neighbours: the radio sends fewer
+        messages than the wired network for the same duration."""
+        from repro.messagepassing.cst import transformed
+
+        alg, net = self.build(seed=3)
+        net.run(200.0)
+        wired = transformed(SSRmin(5, 6), seed=3)
+        wired.run(200.0)
+        assert net.message_stats()["sent"] < wired.message_stats()["sent"]
+
+    def test_fail_link_not_supported(self):
+        alg, net = self.build(seed=4)
+        net.start()
+        with pytest.raises(NotImplementedError):
+            net.fail_link(0, 1, 5.0)
+
+    def test_node_fault_recovery_over_radio(self):
+        """Theorem 4's regime on the wireless substrate."""
+        from repro.messagepassing.coherence import CoherenceTracker
+
+        alg, net = self.build(seed=5)
+        net.run(50.0)
+        net.corrupt_node(2, (0, 1, 1))
+        net.corrupt_cache(3, 2, (5, 1, 1))
+        tracker = CoherenceTracker(net)
+        t = tracker.run_until_stabilized(slice_duration=5.0, max_time=50_000.0)
+        assert t >= 50.0

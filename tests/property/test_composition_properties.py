@@ -1,0 +1,115 @@
+"""Property-based tests for compositions and the four-state ring."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.composition import IndependentComposition
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.algorithms.dijkstra_four_state import DijkstraFourState
+from repro.daemons.distributed import RandomSubsetDaemon
+
+
+@st.composite
+def composition_with_config(draw):
+    n = draw(st.integers(3, 6))
+    k = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2 ** 16))
+    comp = IndependentComposition(
+        [DijkstraKState(n, n + 1) for _ in range(k)]
+    )
+    rng = random.Random(seed)
+    return comp, comp.random_configuration(rng)
+
+
+class TestCompositionInvariants:
+    @given(composition_with_config())
+    @settings(max_examples=100, deadline=None)
+    def test_projection_roundtrip(self, pair):
+        comp, config = pair
+        layers = [comp.layer_config(config, l) for l in range(comp.k)]
+        assert comp.compose_configurations(layers) == config
+
+    @given(composition_with_config())
+    @settings(max_examples=100, deadline=None)
+    def test_privileged_is_union_of_layers(self, pair):
+        comp, config = pair
+        union = set()
+        for holders in comp.privileged_by_layer(config):
+            union.update(holders)
+        assert comp.privileged(config) == tuple(sorted(union))
+
+    @given(composition_with_config())
+    @settings(max_examples=100, deadline=None)
+    def test_at_least_one_privileged_always(self, pair):
+        """Each Dijkstra layer always holds >= 1 token, so the union does."""
+        comp, config = pair
+        assert len(comp.privileged(config)) >= 1
+
+    @given(composition_with_config(), st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_step_projections_are_layer_steps_or_stutters(self, pair, dseed):
+        comp, config = pair
+        daemon = RandomSubsetDaemon(seed=dseed)
+        enabled = comp.enabled_processes(config)
+        selection = daemon.select(enabled, config, 0)
+        nxt = comp.step(config, selection)
+        for l, alg in enumerate(comp.layers):
+            before = comp.layer_config(config, l)
+            after = comp.layer_config(nxt, l)
+            moved = [i for i in range(comp.n) if before[i] != after[i]]
+            # Every layer change must be that layer's own rule at a selected,
+            # layer-enabled process.
+            for i in moved:
+                assert i in selection
+                assert alg.is_enabled(before, i)
+                assert after[i] == alg.execute(before, i)
+
+
+@st.composite
+def four_state_config(draw):
+    n = draw(st.integers(3, 7))
+    alg = DijkstraFourState(n)
+    seed = draw(st.integers(0, 2 ** 16))
+    return alg, alg.random_configuration(random.Random(seed))
+
+
+class TestFourStateInvariants:
+    @given(four_state_config())
+    @settings(max_examples=150, deadline=None)
+    def test_no_deadlock(self, pair):
+        alg, config = pair
+        assert alg.enabled_processes(config)
+
+    @given(four_state_config())
+    @settings(max_examples=150, deadline=None)
+    def test_frozen_bits_preserved_by_steps(self, pair):
+        alg, config = pair
+        daemon = RandomSubsetDaemon(seed=0)
+        for step in range(10):
+            enabled = alg.enabled_processes(config)
+            config = alg.step(config, daemon.select(enabled, config, step))
+            assert config[0][1] is True
+            assert config[-1][1] is False
+
+    @given(four_state_config(), st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_converges(self, pair, dseed):
+        from repro.simulation.convergence import converge
+
+        alg, config = pair
+        res = converge(alg, RandomSubsetDaemon(seed=dseed), config)
+        assert res.converged
+
+    @given(four_state_config())
+    @settings(max_examples=100, deadline=None)
+    def test_legitimate_closed_under_steps(self, pair):
+        alg, config = pair
+        if not alg.is_legitimate(config):
+            return
+        daemon = RandomSubsetDaemon(seed=1)
+        for step in range(5):
+            enabled = alg.enabled_processes(config)
+            config = alg.step(config, daemon.select(enabled, config, step))
+            assert alg.is_legitimate(config)

@@ -1,0 +1,89 @@
+"""Property-based invariants of the CST substrate itself.
+
+These pin down what the transform machinery guarantees regardless of the
+algorithm on top: cache *provenance* (a cache entry is always some state the
+neighbour actually held — no values out of thin air), event-count
+accounting, and capacity-one link discipline.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+
+
+@st.composite
+def network_params(draw):
+    n = draw(st.integers(3, 6))
+    seed = draw(st.integers(0, 2 ** 16))
+    duration = draw(st.floats(20.0, 80.0))
+    return n, seed, duration
+
+
+class TestCacheProvenance:
+    @given(network_params())
+    @settings(max_examples=15, deadline=None)
+    def test_cache_entries_are_historic_neighbour_states(self, params):
+        """Every cache value must be a state the neighbour actually held at
+        some earlier moment (delivery can lag, never invent)."""
+        n, seed, duration = params
+        alg = SSRmin(n, n + 1)
+        net = transformed(alg, seed=seed, delay_model=UniformDelay(0.5, 1.5))
+
+        history = {i: {net.nodes[i].state} for i in range(n)}
+
+        def track(network):
+            for node in network.nodes:
+                history[node.index].add(node.state)
+                for k, cached in node.cache.items():
+                    assert cached in history[k], (
+                        f"node {node.index} caches {cached} for {k}, "
+                        f"never held"
+                    )
+
+        net.observers.append(track)
+        net.run(duration)
+
+    @given(network_params())
+    @settings(max_examples=10, deadline=None)
+    def test_links_never_hold_two_messages(self, params):
+        """Capacity-one: a link is never asked to transmit while busy (the
+        coalescing path absorbs the overflow)."""
+        n, seed, duration = params
+        alg = SSRmin(n, n + 1)
+        net = transformed(alg, seed=seed)
+        net.run(duration)
+        for node in net.nodes:
+            for link in node.links.values():
+                # Deliveries + losses + (still in flight) == transmissions.
+                in_flight = 1 if link.busy else 0
+                assert link.delivered + link.lost + in_flight == link.sent
+
+    @given(network_params())
+    @settings(max_examples=10, deadline=None)
+    def test_event_accounting(self, params):
+        """Executed events >= deliveries + timer fires (plus dwell acts)."""
+        n, seed, duration = params
+        alg = SSRmin(n, n + 1)
+        net = transformed(alg, seed=seed)
+        net.run(duration)
+        delivered = net.message_stats()["delivered"] + net.message_stats()["lost"]
+        timers = sum(node.timer_fires for node in net.nodes)
+        assert net.queue.executed >= delivered + timers
+
+    @given(network_params())
+    @settings(max_examples=10, deadline=None)
+    def test_rules_only_fire_when_viewed_enabled(self, params):
+        """A node's rule count never exceeds its receive+timer+dwell
+        opportunities."""
+        n, seed, duration = params
+        alg = SSRmin(n, n + 1)
+        net = transformed(alg, seed=seed)
+        net.run(duration)
+        for node in net.nodes:
+            opportunities = node.messages_received + node.timer_fires + 1
+            assert node.rules_executed <= opportunities

@@ -1,0 +1,81 @@
+"""Property-based tests for Dijkstra's K-state token ring."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.dijkstra import DijkstraKState, is_dijkstra_legitimate
+from repro.daemons.distributed import RandomSubsetDaemon
+from repro.simulation.convergence import converge
+
+
+@st.composite
+def instance_with_config(draw):
+    n = draw(st.integers(2, 9))
+    K = n + draw(st.integers(1, 4))
+    config = tuple(
+        draw(st.integers(0, K - 1)) for _ in range(n)
+    )
+    return DijkstraKState(n, K), config
+
+
+class TestTokenExistence:
+    """The core of Lemma 3: some process always holds a token."""
+
+    @given(instance_with_config())
+    @settings(max_examples=300, deadline=None)
+    def test_at_least_one_token(self, pair):
+        alg, config = pair
+        assert len(alg.privileged(config)) >= 1
+
+
+class TestLegitimacy:
+    @given(instance_with_config())
+    @settings(max_examples=300, deadline=None)
+    def test_legitimate_means_one_token(self, pair):
+        alg, config = pair
+        if alg.is_legitimate(config):
+            assert len(alg.privileged(config)) == 1
+
+    @given(instance_with_config())
+    @settings(max_examples=200, deadline=None)
+    def test_closure_of_legitimacy(self, pair):
+        alg, config = pair
+        if not alg.is_legitimate(config):
+            return
+        nxt = alg.step(config, alg.privileged(config))
+        assert alg.is_legitimate(nxt)
+
+    @given(st.integers(2, 8), st.integers(1, 4), st.integers(0, 30))
+    @settings(max_examples=150, deadline=None)
+    def test_all_equal_and_staircases_legitimate(self, n, dk, x):
+        K = n + dk
+        x %= K
+        assert is_dijkstra_legitimate([x] * n, K)
+        for split in range(1, n):
+            xs = [(x + 1) % K] * split + [x] * (n - split)
+            assert is_dijkstra_legitimate(xs, K)
+
+
+class TestConvergence:
+    @given(instance_with_config(), st.integers(0, 2 ** 16))
+    @settings(max_examples=60, deadline=None)
+    def test_converges_under_distributed_daemon(self, pair, seed):
+        alg, config = pair
+        res = converge(alg, RandomSubsetDaemon(seed=seed), config)
+        assert res.converged
+
+    @given(instance_with_config())
+    @settings(max_examples=60, deadline=None)
+    def test_token_count_never_increases(self, pair):
+        """Monotonicity: the token (enabled-process) count never grows."""
+        alg, config = pair
+        daemon = RandomSubsetDaemon(seed=0)
+        count = len(alg.privileged(config))
+        for step in range(15):
+            enabled = alg.enabled_processes(config)
+            config = alg.step(config, daemon.select(enabled, config, step))
+            new_count = len(alg.privileged(config))
+            assert new_count <= count
+            count = new_count

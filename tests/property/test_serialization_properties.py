@@ -1,0 +1,82 @@
+"""Property-based tests for serialization and state round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import Configuration, SSRminState
+from repro.simulation.execution import Execution, Move
+from repro.simulation.serialize import execution_from_dict, execution_to_dict
+
+
+def state_strategy(K=8):
+    return st.tuples(st.integers(0, K - 1), st.integers(0, 1), st.integers(0, 1))
+
+
+def configuration_strategy(n_min=1, n_max=8):
+    return st.lists(state_strategy(), min_size=n_min, max_size=n_max).map(
+        Configuration
+    )
+
+
+class TestStateRoundTrips:
+    @given(state_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_ssrminstate_parse_str_roundtrip(self, raw):
+        state = SSRminState(*raw)
+        assert SSRminState.parse(str(state)) == state
+
+    @given(configuration_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_configuration_parse_str_roundtrip(self, config):
+        text = str(config).strip("()")
+        assert Configuration.parse(text).states == config.states
+
+    @given(configuration_strategy(n_min=2))
+    @settings(max_examples=100, deadline=None)
+    def test_replace_then_read_back(self, config):
+        new = (7, 1, 1)
+        c2 = config.replace(1, new)
+        assert c2[1] == new
+        assert c2.replace(1, config[1]).states == config.states
+
+
+@st.composite
+def execution_strategy(draw):
+    n = draw(st.integers(2, 5))
+    steps = draw(st.integers(0, 10))
+    configs = [draw(configuration_strategy(n_min=n, n_max=n))]
+    moves = []
+    for _ in range(steps):
+        configs.append(draw(configuration_strategy(n_min=n, n_max=n)))
+        movers = draw(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=n,
+                     unique=True)
+        )
+        rule = draw(st.sampled_from(["R1", "R2", "R3", "R4", "R5"]))
+        moves.append(tuple(Move(m, rule) for m in movers))
+    return Execution(configurations=configs, moves=moves)
+
+
+class TestExecutionRoundTrips:
+    @given(execution_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_dict_roundtrip_is_lossless(self, execution):
+        data = execution_to_dict(execution, algorithm_name="X",
+                                 parameters={"n": 1},
+                                 configuration_class="Configuration")
+        restored, meta = execution_from_dict(data)
+        assert len(restored) == len(execution)
+        assert restored.selections() == execution.selections()
+        assert restored.rule_counts() == execution.rule_counts()
+        for a, b in zip(restored.configurations, execution.configurations):
+            assert a.states == b.states
+
+    @given(execution_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_json_stability(self, execution):
+        """Serializing twice yields identical payloads (stable format)."""
+        import json
+
+        d1 = execution_to_dict(execution, configuration_class="Configuration")
+        d2 = execution_to_dict(execution, configuration_class="Configuration")
+        assert json.dumps(d1, sort_keys=True) == json.dumps(d2, sort_keys=True)

@@ -1,0 +1,147 @@
+"""Property-based tests (hypothesis) for SSRmin's core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.legitimacy import is_legitimate
+from repro.core.ssrmin import SSRmin
+from repro.core.state import Configuration
+from repro.daemons.distributed import RandomSubsetDaemon
+from repro.simulation.convergence import converge
+
+
+def instances():
+    """Strategy: (n, K) instance parameters with K > n."""
+    return st.tuples(st.integers(3, 8), st.integers(1, 4)).map(
+        lambda t: (t[0], t[0] + t[1])
+    )
+
+
+def configurations(n, K):
+    """Strategy: arbitrary configurations of an (n, K) instance."""
+    state = st.tuples(
+        st.integers(0, K - 1), st.integers(0, 1), st.integers(0, 1)
+    )
+    return st.lists(state, min_size=n, max_size=n).map(Configuration)
+
+
+@st.composite
+def instance_with_config(draw):
+    n, K = draw(instances())
+    config = draw(configurations(n, K))
+    return SSRmin(n, K), config
+
+
+@st.composite
+def instance_with_seed(draw):
+    n, K = draw(instances())
+    seed = draw(st.integers(0, 2 ** 20))
+    return SSRmin(n, K), seed
+
+
+class TestNoDeadlock:
+    """Lemma 4 as a property: some process is enabled in EVERY configuration."""
+
+    @given(instance_with_config())
+    @settings(max_examples=300, deadline=None)
+    def test_always_some_enabled(self, pair):
+        alg, config = pair
+        assert alg.enabled_processes(config)
+
+
+class TestAtMostOneRule:
+    @given(instance_with_config())
+    @settings(max_examples=200, deadline=None)
+    def test_every_process_has_at_most_one_rule_after_priority(self, pair):
+        alg, config = pair
+        for i in range(alg.n):
+            rule = alg.enabled_rule(config, i)
+            if rule is not None:
+                # Priority resolution: only lower-numbered guards may also
+                # be false... i.e. the returned rule is the first true guard.
+                for other in alg.rule_set.rules:
+                    if other.number < rule.number:
+                        assert not other.guard(config, i)
+
+
+class TestClosure:
+    """Lemma 1 as a property: legitimate => every daemon step legitimate."""
+
+    @given(instance_with_seed(), st.integers(0, 2 ** 16))
+    @settings(max_examples=100, deadline=None)
+    def test_random_daemon_steps_stay_legitimate(self, pair, daemon_seed):
+        alg, seed = pair
+        from repro.simulation.initial import random_legitimate
+
+        config = random_legitimate(alg, random.Random(seed))
+        daemon = RandomSubsetDaemon(seed=daemon_seed)
+        for step in range(10):
+            assert alg.is_legitimate(config)
+            holders = alg.privileged(config)
+            assert 1 <= len(holders) <= 2
+            enabled = alg.enabled_processes(config)
+            config = alg.step(config, daemon.select(enabled, config, step))
+        assert alg.is_legitimate(config)
+
+
+class TestConvergence:
+    """Lemma 6 as a property: arbitrary start, arbitrary schedule -> Lambda."""
+
+    @given(instance_with_config(), st.integers(0, 2 ** 16))
+    @settings(max_examples=60, deadline=None)
+    def test_converges(self, pair, daemon_seed):
+        alg, config = pair
+        res = converge(alg, RandomSubsetDaemon(seed=daemon_seed), config)
+        assert res.converged
+        assert res.steps <= 60 * alg.n * alg.n + 600  # Theorem 2 budget
+
+    @given(instance_with_config(), st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_embedded_dijkstra_converges_no_later(self, pair, daemon_seed):
+        alg, config = pair
+        res = converge(alg, RandomSubsetDaemon(seed=daemon_seed), config)
+        assert res.dijkstra_steps is not None
+        assert res.dijkstra_steps <= res.steps
+
+
+class TestLegitimacyCharacterization:
+    @given(instance_with_config())
+    @settings(max_examples=300, deadline=None)
+    def test_legitimate_implies_token_bounds_and_adjacency(self, pair):
+        alg, config = pair
+        if is_legitimate(config, alg.K):
+            holders = alg.privileged(config)
+            assert 1 <= len(holders) <= 2
+            assert len(alg.primary_holders(config)) == 1
+            assert len(alg.secondary_holders(config)) == 1
+            if len(holders) == 2:
+                i, j = holders
+                assert (i + 1) % alg.n == j or (j + 1) % alg.n == i
+
+    @given(instance_with_config())
+    @settings(max_examples=200, deadline=None)
+    def test_legitimate_implies_exactly_one_enabled(self, pair):
+        alg, config = pair
+        if is_legitimate(config, alg.K):
+            assert len(alg.enabled_processes(config)) == 1
+
+
+class TestStepDeterminism:
+    @given(instance_with_config())
+    @settings(max_examples=100, deadline=None)
+    def test_step_is_deterministic_per_selection(self, pair):
+        alg, config = pair
+        enabled = alg.enabled_processes(config)
+        assert alg.step(config, enabled).states == alg.step(config, enabled).states
+
+    @given(instance_with_config())
+    @settings(max_examples=100, deadline=None)
+    def test_step_changes_only_selected(self, pair):
+        alg, config = pair
+        enabled = alg.enabled_processes(config)
+        nxt = alg.step(config, [enabled[0]])
+        for i in range(alg.n):
+            if i != enabled[0]:
+                assert nxt[i] == config[i]

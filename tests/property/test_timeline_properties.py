@@ -1,0 +1,85 @@
+"""Property-based tests for the token timeline data structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.messagepassing.timeline import TokenTimeline
+
+
+@st.composite
+def recorded_timeline(draw):
+    """A timeline built from a random monotone sequence of records."""
+    n_points = draw(st.integers(1, 30))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(0, 100, allow_nan=False, allow_infinity=False),
+                min_size=n_points,
+                max_size=n_points,
+            )
+        )
+    )
+    tl = TokenTimeline()
+    holder_sets = []
+    for t in times:
+        holders = draw(st.lists(st.integers(0, 4), max_size=3))
+        tl.record(t, holders)
+        holder_sets.append(tuple(sorted(set(holders))))
+    end = times[-1] + draw(st.floats(0.1, 10))
+    tl.finish(end)
+    return tl, end
+
+
+class TestIntervalPartition:
+    @given(recorded_timeline())
+    @settings(max_examples=200, deadline=None)
+    def test_intervals_are_contiguous_and_ordered(self, built):
+        tl, end = built
+        intervals = tl.intervals()
+        for (a1, b1, _), (a2, b2, _) in zip(intervals, intervals[1:]):
+            assert b1 == a2
+            assert a1 < b1 and a2 < b2
+        if intervals:
+            assert intervals[-1][1] == end
+
+    @given(recorded_timeline())
+    @settings(max_examples=200, deadline=None)
+    def test_adjacent_intervals_have_distinct_holders(self, built):
+        tl, _ = built
+        intervals = tl.intervals()
+        for (_, _, h1), (_, _, h2) in zip(intervals, intervals[1:]):
+            assert h1 != h2
+
+    @given(recorded_timeline())
+    @settings(max_examples=200, deadline=None)
+    def test_zero_time_bounded_by_span(self, built):
+        tl, end = built
+        intervals = tl.intervals()
+        if not intervals:
+            return
+        span = end - intervals[0][0]
+        assert 0.0 <= tl.zero_time() <= span + 1e-9
+
+    @given(recorded_timeline())
+    @settings(max_examples=200, deadline=None)
+    def test_coverage_complements_zero_time(self, built):
+        tl, end = built
+        intervals = tl.intervals()
+        if not intervals:
+            return
+        span = end - intervals[0][0]
+        if span <= 0:
+            return
+        expected = 1.0 - tl.zero_time() / span
+        assert abs(tl.coverage_fraction(from_time=intervals[0][0]) - expected) < 1e-6
+
+    @given(recorded_timeline())
+    @settings(max_examples=200, deadline=None)
+    def test_count_bounds_are_achieved(self, built):
+        tl, _ = built
+        intervals = tl.intervals()
+        if not intervals:
+            return
+        lo, hi = tl.count_bounds(from_time=intervals[0][0])
+        counts = [len(h) for _, _, h in intervals]
+        assert lo == min(counts) and hi == max(counts)

@@ -1,0 +1,98 @@
+"""Property-based invariants of the wireless medium."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.cst import coherent_caches, legitimate_initial_states
+from repro.messagepassing.des import EventQueue
+from repro.messagepassing.links import FixedDelay, UniformDelay
+from repro.messagepassing.wireless import WirelessMedium, build_wireless_network
+
+
+@st.composite
+def transmission_schedule(draw):
+    """A random schedule of (sender, start-offset) transmissions."""
+    n = draw(st.integers(3, 8))
+    count = draw(st.integers(1, 12))
+    sched = [
+        (draw(st.integers(0, n - 1)),
+         draw(st.floats(0.0, 10.0)))
+        for _ in range(count)
+    ]
+    airtime = draw(st.floats(0.3, 2.0))
+    return n, sched, airtime
+
+
+class TestMediumConservation:
+    @given(transmission_schedule())
+    @settings(max_examples=100, deadline=None)
+    def test_every_reception_is_delivered_or_collided(self, params):
+        """Conservation: each completed transmission has exactly two
+        potential receptions; every one ends as a delivery or a collision."""
+        n, sched, airtime = params
+        queue = EventQueue()
+        medium = WirelessMedium(queue, n, FixedDelay(airtime),
+                                random.Random(0))
+        medium.deliver = lambda r, s, p: None
+        for sender, offset in sched:
+            queue.schedule_at(offset, lambda s=sender: medium.transmit(s, "x"))
+        queue.run_until(100.0)
+        assert medium.transmissions == len(sched)
+        assert medium.deliveries + medium.collisions == 2 * len(sched)
+
+    @given(transmission_schedule())
+    @settings(max_examples=60, deadline=None)
+    def test_isolated_transmissions_always_deliver(self, params):
+        """Spacing every transmission far apart removes all collisions."""
+        n, sched, airtime = params
+        queue = EventQueue()
+        medium = WirelessMedium(queue, n, FixedDelay(airtime),
+                                random.Random(0))
+        medium.deliver = lambda r, s, p: None
+        gap = airtime * 3
+        for k, (sender, _) in enumerate(sched):
+            queue.schedule_at(k * gap, lambda s=sender: medium.transmit(s, "x"))
+        queue.run_until(len(sched) * gap + 10 * airtime)
+        assert medium.collisions == 0
+        assert medium.deliveries == 2 * len(sched)
+
+
+class TestNetworkProperties:
+    @given(st.integers(0, 2 ** 16), st.integers(4, 7))
+    @settings(max_examples=8, deadline=None)
+    def test_tolerance_across_seeds_and_sizes(self, seed, n):
+        alg = SSRmin(n, n + 1)
+        states = legitimate_initial_states(alg)
+        net = build_wireless_network(
+            alg, states, seed=seed,
+            initial_caches=coherent_caches(list(states), n),
+        )
+        net.run(300.0)
+        net.timeline.finish(net.queue.now)
+        # Collisions ARE message loss, so Theorem 3's no-loss hypothesis
+        # does not apply: brief extinction windows are permitted.  The
+        # Theorem-4 contract is high coverage, bounded holders, recovery.
+        assert net.timeline.coverage_fraction() >= 0.85
+        _, hi = net.timeline.count_bounds()
+        assert hi <= 2
+        served = {h for pt in net.timeline.points for h in pt.holders}
+        assert served == set(range(n))
+
+    @given(st.integers(0, 2 ** 16))
+    @settings(max_examples=6, deadline=None)
+    def test_network_reception_conservation(self, seed):
+        alg = SSRmin(5, 6)
+        states = legitimate_initial_states(alg)
+        net = build_wireless_network(
+            alg, states, seed=seed,
+            initial_caches=coherent_caches(list(states), 5),
+        )
+        net.run(100.0)
+        stats = net.message_stats()
+        completed = stats["delivered"] + stats["lost"]
+        # In-flight transmissions at cutoff account for the gap.
+        assert completed <= 2 * stats["sent"]
+        assert completed >= 2 * (stats["sent"] - 5)  # <= one per radio in flight

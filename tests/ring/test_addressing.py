@@ -1,0 +1,59 @@
+"""Unit tests for modular ring addressing."""
+
+import pytest
+
+from repro.ring.addressing import pred, ring_distance, succ
+
+
+class TestSucc:
+    def test_interior(self):
+        assert succ(2, 5) == 3
+
+    def test_wraparound(self):
+        assert succ(4, 5) == 0
+
+    def test_single_hop_ring_of_two(self):
+        assert succ(1, 2) == 0
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            succ(0, 0)
+
+
+class TestPred:
+    def test_interior(self):
+        assert pred(3, 5) == 2
+
+    def test_wraparound(self):
+        assert pred(0, 5) == 4
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            pred(0, -1)
+
+    def test_pred_inverts_succ(self):
+        for n in (2, 3, 7):
+            for i in range(n):
+                assert pred(succ(i, n), n) == i
+
+
+class TestRingDistance:
+    def test_forward(self):
+        assert ring_distance(1, 4, 5) == 3
+
+    def test_wrapping(self):
+        assert ring_distance(4, 1, 5) == 2
+
+    def test_self_distance_zero(self):
+        assert ring_distance(3, 3, 5) == 0
+
+    def test_complementary(self):
+        n = 7
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    assert ring_distance(i, j, n) + ring_distance(j, i, n) == n
+
+    def test_invalid_ring_size(self):
+        with pytest.raises(ValueError):
+            ring_distance(0, 1, 0)

@@ -1,0 +1,75 @@
+"""Unit tests for ring and general topologies."""
+
+import pytest
+
+from repro.ring.topology import GeneralTopology, RingTopology
+
+
+class TestRingTopology:
+    def test_rejects_tiny_ring(self):
+        with pytest.raises(ValueError):
+            RingTopology(1)
+
+    def test_successor_predecessor(self):
+        ring = RingTopology(4)
+        assert ring.successor(3) == 0
+        assert ring.predecessor(0) == 3
+
+    def test_index_bounds(self):
+        ring = RingTopology(4)
+        with pytest.raises(IndexError):
+            ring.successor(4)
+        with pytest.raises(IndexError):
+            ring.predecessor(-1)
+
+    def test_bidirectional_readable_neighbors(self):
+        ring = RingTopology(5, bidirectional=True)
+        assert ring.readable_neighbors(0) == (4, 1)
+
+    def test_unidirectional_readable_neighbors(self):
+        ring = RingTopology(5, bidirectional=False)
+        assert ring.readable_neighbors(2) == (1,)
+
+    def test_unidirectional_message_flow_forward(self):
+        ring = RingTopology(5, bidirectional=False)
+        # P_i's state must reach its successor (who reads it).
+        assert ring.message_neighbors(2) == (3,)
+
+    def test_edges_count(self):
+        assert len(RingTopology(6).edges()) == 6
+
+    def test_equality_and_hash(self):
+        assert RingTopology(4) == RingTopology(4)
+        assert RingTopology(4) != RingTopology(4, bidirectional=False)
+        assert hash(RingTopology(4)) == hash(RingTopology(4))
+
+    def test_processes_iterates_all(self):
+        assert list(RingTopology(3).processes()) == [0, 1, 2]
+
+
+class TestGeneralTopology:
+    def test_ring_factory_matches_ring(self):
+        g = GeneralTopology.ring(5)
+        assert g.neighbors(0) == (1, 4)
+        assert g.degree(2) == 2
+
+    def test_from_edges_canonicalizes(self):
+        g = GeneralTopology.from_edges(3, [(1, 0), (0, 1), (1, 2)])
+        assert g.edges() == ((0, 1), (1, 2))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            GeneralTopology.from_edges(3, [(1, 1)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            GeneralTopology.from_edges(3, [(0, 3)])
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(IndexError):
+            GeneralTopology.ring(3).neighbors(5)
+
+    def test_star_degrees(self):
+        g = GeneralTopology.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1

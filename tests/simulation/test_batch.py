@@ -1,0 +1,155 @@
+"""Tests for the vectorized batch simulator, incl. scalar equivalence."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import SynchronousDaemon
+from repro.simulation.batch import BatchSSRmin, batch_convergence_steps
+from repro.simulation.engine import SharedMemorySimulator
+
+
+class TestConstruction:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BatchSSRmin(2, 4)
+        with pytest.raises(ValueError):
+            BatchSSRmin(5, 5)
+        with pytest.raises(ValueError):
+            BatchSSRmin(5, 6, p=0.0)
+        with pytest.raises(ValueError):
+            BatchSSRmin(5, 6, trials=0)
+
+    def test_set_and_read_configurations(self):
+        alg = SSRmin(5, 6)
+        batch = BatchSSRmin(5, 6, trials=2)
+        c0 = alg.initial_configuration(3)
+        c1 = alg.initial_configuration(0)
+        batch.set_configurations([c0, c1])
+        assert batch.configuration(0).states == c0.states
+        assert batch.configuration(1).states == c1.states
+
+
+class TestLegitimacyEquivalence:
+    def test_matches_scalar_checker_on_random_configs(self):
+        alg = SSRmin(5, 6)
+        rng = random.Random(0)
+        configs = [alg.random_configuration(rng) for _ in range(500)]
+        batch = BatchSSRmin(5, 6, trials=500)
+        batch.set_configurations(configs)
+        mask = batch.legitimate_mask()
+        for t, config in enumerate(configs):
+            assert bool(mask[t]) == alg.is_legitimate(config), config
+
+    def test_matches_scalar_on_all_legitimate(self):
+        from repro.simulation.initial import all_legitimate
+
+        alg = SSRmin(4, 5)
+        configs = all_legitimate(alg)
+        batch = BatchSSRmin(4, 5, trials=len(configs))
+        batch.set_configurations(configs)
+        assert batch.legitimate_mask().all()
+
+    def test_matches_scalar_exhaustively_small_instance(self):
+        alg = SSRmin(3, 4)
+        configs = list(alg.configuration_space())
+        batch = BatchSSRmin(3, 4, trials=len(configs))
+        batch.set_configurations(configs)
+        mask = batch.legitimate_mask()
+        for t, config in enumerate(configs):
+            assert bool(mask[t]) == alg.is_legitimate(config)
+
+
+class TestStepEquivalence:
+    def test_synchronous_step_matches_scalar_engine(self):
+        """p=1 batch stepping must replicate SynchronousDaemon exactly."""
+        alg = SSRmin(5, 6)
+        rng = random.Random(7)
+        for trial in range(10):
+            init = alg.random_configuration(rng)
+            sim = SharedMemorySimulator(alg, SynchronousDaemon())
+            scalar = sim.run(init, max_steps=30)
+
+            batch = BatchSSRmin(5, 6, trials=1, p=1.0, seed=trial)
+            batch.set_configurations([init])
+            for expected in scalar.execution.configurations[1:]:
+                batch.step()
+                assert batch.configuration(0).states == expected.states
+
+    def test_enabled_counts_match_scalar(self):
+        alg = SSRmin(6, 7)
+        rng = random.Random(3)
+        configs = [alg.random_configuration(rng) for _ in range(200)]
+        batch = BatchSSRmin(6, 7, trials=200)
+        batch.set_configurations(configs)
+        counts = batch.enabled_counts()
+        for t, config in enumerate(configs):
+            assert counts[t] == len(alg.enabled_processes(config))
+
+
+class TestConvergence:
+    def test_all_trials_converge(self):
+        steps = batch_convergence_steps(n=6, trials=200, seed=0)
+        assert steps.shape == (200,)
+        assert (steps >= 0).all()
+        assert steps.max() <= 60 * 36 + 600
+
+    def test_deterministic_under_seed(self):
+        a = batch_convergence_steps(n=5, trials=50, seed=4)
+        b = batch_convergence_steps(n=5, trials=50, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_converged_trials_frozen(self):
+        """Once legitimate, a trial must not be stepped further (its steps
+        value is final and its configuration stays legitimate)."""
+        batch = BatchSSRmin(5, 6, trials=100, p=0.5, seed=1)
+        batch.randomize(seed=2)
+        result = batch.run_until_legitimate(10_000)
+        assert result.all_converged
+        assert batch.legitimate_mask().all()
+
+    def test_budget_exhaustion_reported(self):
+        with pytest.raises(RuntimeError):
+            batch_convergence_steps(n=8, trials=50, seed=0, max_steps=1)
+
+    def test_distribution_comparable_to_scalar(self):
+        """Batch and scalar engines sample the same process; their mean
+        convergence steps should agree within sampling noise."""
+        from repro.daemons.distributed import BernoulliDaemon
+        from repro.simulation.convergence import convergence_steps
+
+        n = 5
+        batch_steps = batch_convergence_steps(n=n, trials=400, p=0.5, seed=0)
+        scalar_steps = convergence_steps(
+            algorithm_factory=lambda: SSRmin(n, n + 1),
+            daemon_factory=lambda alg, s: BernoulliDaemon(0.5, seed=s),
+            trials=60,
+            seed=0,
+        )
+        assert abs(batch_steps.mean() - np.mean(scalar_steps)) < 6.0
+
+
+class TestPrivilegedCounts:
+    def test_matches_scalar_on_random_configs(self):
+        alg = SSRmin(6, 7)
+        rng = random.Random(11)
+        configs = [alg.random_configuration(rng) for _ in range(300)]
+        batch = BatchSSRmin(6, 7, trials=300)
+        batch.set_configurations(configs)
+        counts = batch.privileged_counts()
+        for t, config in enumerate(configs):
+            assert counts[t] == len(alg.privileged(config)), config
+
+    def test_theorem1_band_after_convergence(self):
+        """Vectorized Theorem 1: once legitimate, 1 <= privileged <= 2 for
+        every trial through continued stepping."""
+        batch = BatchSSRmin(6, 7, trials=200, p=0.5, seed=5)
+        batch.randomize(seed=6)
+        result = batch.run_until_legitimate(60 * 36 + 600)
+        assert result.all_converged
+        for _ in range(100):
+            counts = batch.privileged_counts()
+            assert (counts >= 1).all() and (counts <= 2).all()
+            batch.step()

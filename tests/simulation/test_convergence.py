@@ -1,0 +1,89 @@
+"""Unit tests for convergence drivers (Lemma 6, Theorem 2 machinery)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import RandomSubsetDaemon, SynchronousDaemon
+from repro.simulation.convergence import ConvergenceResult, converge, convergence_steps
+
+
+class TestConverge:
+    def test_legitimate_start_zero_steps(self, ssrmin5):
+        res = converge(ssrmin5, SynchronousDaemon(),
+                       ssrmin5.initial_configuration())
+        assert res.converged and res.steps == 0
+        assert res.dijkstra_steps == 0
+
+    def test_converges_from_chaos(self, ssrmin5):
+        for seed in range(10):
+            init = ssrmin5.random_configuration(random.Random(seed))
+            res = converge(ssrmin5, RandomSubsetDaemon(seed=seed), init)
+            assert res.converged
+            assert ssrmin5.is_legitimate(res.final_config)
+
+    def test_dijkstra_projection_converges_first(self, ssrmin5):
+        """Lemma 8's structure: the x-part converges no later than SSRmin."""
+        for seed in range(10):
+            init = ssrmin5.random_configuration(random.Random(100 + seed))
+            res = converge(ssrmin5, RandomSubsetDaemon(seed=seed), init)
+            assert res.converged
+            assert res.dijkstra_steps is not None
+            assert res.dijkstra_steps <= res.steps
+
+    def test_respects_max_steps(self, ssrmin5):
+        init = ssrmin5.random_configuration(random.Random(0))
+        if ssrmin5.is_legitimate(init):  # pragma: no cover - seed-dependent
+            pytest.skip("random start happened to be legitimate")
+        res = converge(ssrmin5, RandomSubsetDaemon(seed=0), init, max_steps=0)
+        assert not res.converged and res.steps == 0
+
+    def test_steps_within_quadratic_budget(self):
+        """Theorem 2's O(n^2) with an explicit constant, empirically."""
+        for n in (4, 8, 12):
+            alg = SSRmin(n, n + 1)
+            for seed in range(5):
+                init = alg.random_configuration(random.Random(seed))
+                res = converge(alg, RandomSubsetDaemon(seed=seed), init)
+                assert res.converged
+                assert res.steps <= 10 * n * n + 100
+
+    def test_works_without_projection(self):
+        alg = DijkstraKState(5, 6)
+        init = alg.random_configuration(random.Random(1))
+        res = converge(alg, RandomSubsetDaemon(seed=1), init)
+        assert res.converged
+        assert res.dijkstra_steps is None
+
+
+class TestConvergenceSteps:
+    def test_batch_measurement(self):
+        samples = convergence_steps(
+            algorithm_factory=lambda: SSRmin(4, 5),
+            daemon_factory=lambda alg, s: RandomSubsetDaemon(seed=s),
+            trials=10,
+            seed=0,
+        )
+        assert len(samples) == 10
+        assert all(s >= 0 for s in samples)
+
+    def test_deterministic_given_seed(self):
+        kwargs = dict(
+            algorithm_factory=lambda: SSRmin(4, 5),
+            daemon_factory=lambda alg, s: RandomSubsetDaemon(seed=s),
+            trials=5,
+            seed=3,
+        )
+        assert convergence_steps(**kwargs) == convergence_steps(**kwargs)
+
+    def test_budget_violation_raises(self):
+        with pytest.raises(RuntimeError):
+            convergence_steps(
+                algorithm_factory=lambda: SSRmin(6, 7),
+                daemon_factory=lambda alg, s: RandomSubsetDaemon(seed=s),
+                trials=20,
+                seed=0,
+                max_steps=1,  # absurdly small budget
+            )

@@ -1,0 +1,67 @@
+"""Unit tests for the Execution record."""
+
+import pytest
+
+from repro.simulation.execution import Execution, Move
+
+
+class TestConstruction:
+    def test_start_then_record(self):
+        e = Execution()
+        e.start("c0")
+        e.record([Move(0, "R1")], "c1")
+        assert e.steps == 1
+        assert e.initial == "c0"
+        assert e.final == "c1"
+
+    def test_double_start_rejected(self):
+        e = Execution()
+        e.start("c0")
+        with pytest.raises(ValueError):
+            e.start("c0")
+
+    def test_record_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Execution().record([Move(0, "R1")], "c1")
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Execution(configurations=["a", "b"], moves=[])
+
+
+class TestQueries:
+    def build(self):
+        e = Execution()
+        e.start("c0")
+        e.record([Move(0, "R1")], "c1")
+        e.record([Move(1, "R3"), Move(2, "R5")], "c2")
+        e.record([Move(0, "R2")], "c3")
+        return e
+
+    def test_selections(self):
+        assert self.build().selections() == [(0,), (1, 2), (0,)]
+
+    def test_rule_counts(self):
+        counts = self.build().rule_counts()
+        assert counts == {"R1": 1, "R3": 1, "R5": 1, "R2": 1}
+
+    def test_moves_by_process(self):
+        assert self.build().moves_by_process(0) == [(0, "R1"), (2, "R2")]
+        assert self.build().moves_by_process(1) == [(1, "R3")]
+
+    def test_iteration_and_len(self):
+        e = self.build()
+        assert len(e) == 4
+        assert list(e) == ["c0", "c1", "c2", "c3"]
+
+    def test_slice(self):
+        e = self.build()
+        s = e.slice(1, 3)
+        assert s.configurations == ["c1", "c2"]
+        assert s.steps == 1
+        assert s.moves[0][0].rule == "R3"
+
+    def test_slice_to_end(self):
+        s = self.build().slice(2)
+        assert s.configurations == ["c2", "c3"]
+        assert s.moves[0][0].rule == "R2"

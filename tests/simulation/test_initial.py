@@ -1,0 +1,85 @@
+"""Unit tests for initial-configuration generators."""
+
+import random
+
+import pytest
+
+from repro.core.legitimacy import is_legitimate
+from repro.core.ssrmin import SSRmin
+from repro.simulation.initial import (
+    adversarial_patterns,
+    all_legitimate,
+    perturbed_legitimate,
+    random_configuration,
+    random_legitimate,
+)
+
+
+class TestRandomLegitimate:
+    def test_always_legitimate(self, ssrmin5, rng):
+        for _ in range(100):
+            c = random_legitimate(ssrmin5, rng)
+            assert is_legitimate(c, ssrmin5.K)
+
+    def test_covers_all_shapes(self, ssrmin5, rng):
+        shapes = set()
+        for _ in range(300):
+            c = random_legitimate(ssrmin5, rng)
+            shapes.add(c.handshake_vector())
+        # Three shapes x five positions should mostly appear.
+        assert len(shapes) >= 10
+
+
+class TestPerturbed:
+    def test_zero_faults_is_legitimate(self, ssrmin5, rng):
+        c = perturbed_legitimate(ssrmin5, rng, faults=0)
+        assert is_legitimate(c, ssrmin5.K)
+
+    def test_negative_faults_rejected(self, ssrmin5, rng):
+        with pytest.raises(ValueError):
+            perturbed_legitimate(ssrmin5, rng, faults=-1)
+
+    def test_faulted_states_stay_in_domain(self, ssrmin5, rng):
+        for _ in range(50):
+            c = perturbed_legitimate(ssrmin5, rng, faults=3)
+            for x, rts, tra in c:
+                assert 0 <= x < ssrmin5.K and rts in (0, 1) and tra in (0, 1)
+
+    def test_recovery_from_single_fault(self, ssrmin5, rng):
+        """Single-fault configurations converge (the superstabilization
+        regime the paper's related work discusses)."""
+        from repro.daemons.distributed import RandomSubsetDaemon
+        from repro.simulation.convergence import converge
+
+        for seed in range(10):
+            c = perturbed_legitimate(ssrmin5, random.Random(seed), faults=1)
+            res = converge(ssrmin5, RandomSubsetDaemon(seed=seed), c)
+            assert res.converged
+
+
+class TestAdversarialPatterns:
+    def test_patterns_are_valid_configurations(self, ssrmin5):
+        for c in adversarial_patterns(ssrmin5):
+            assert c.n == ssrmin5.n
+            for x, rts, tra in c:
+                assert 0 <= x < ssrmin5.K
+
+    def test_patterns_converge(self, ssrmin5):
+        from repro.daemons.distributed import RandomSubsetDaemon
+        from repro.simulation.convergence import converge
+
+        for k, c in enumerate(adversarial_patterns(ssrmin5)):
+            res = converge(ssrmin5, RandomSubsetDaemon(seed=k), c)
+            assert res.converged, f"pattern {k} did not converge"
+
+    def test_pattern_count(self, ssrmin5):
+        assert len(list(adversarial_patterns(ssrmin5))) == 5
+
+
+class TestAllLegitimate:
+    def test_count(self, ssrmin3):
+        assert len(all_legitimate(ssrmin3)) == 3 * 3 * 4
+
+    def test_random_configuration_delegates(self, ssrmin5, rng):
+        c = random_configuration(ssrmin5, rng)
+        assert c.n == 5

@@ -1,0 +1,120 @@
+"""Unit tests for simulation monitors."""
+
+import random
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import RandomSubsetDaemon, SynchronousDaemon
+from repro.simulation.engine import SharedMemorySimulator
+from repro.simulation.monitors import (
+    CriticalSectionMonitor,
+    InvariantViolation,
+    LegitimacyMonitor,
+    RuleCensusMonitor,
+    TokenCountMonitor,
+)
+
+
+class TestTokenCountMonitor:
+    def test_counts_recorded_per_configuration(self, ssrmin5):
+        mon = TokenCountMonitor(ssrmin5)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=9)
+        assert len(mon.counts) == 10
+        assert mon.min_count() >= 1 and mon.max_count() <= 2
+
+    def test_violation_raises(self, ssrmin5):
+        # Demand an impossible lower bound to force a violation.
+        mon = TokenCountMonitor(ssrmin5, low=3, only_when_legitimate=False)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        with pytest.raises(InvariantViolation):
+            sim.run(ssrmin5.initial_configuration(), max_steps=5)
+
+    def test_only_when_legitimate_skips_transients(self, ssrmin5):
+        # From a chaotic start, counts outside [1,2] may occur but must not
+        # raise while the configuration is illegitimate.
+        mon = TokenCountMonitor(ssrmin5, low=1, high=2, only_when_legitimate=True)
+        sim = SharedMemorySimulator(ssrmin5, RandomSubsetDaemon(seed=0),
+                                    monitors=[mon])
+        init = ssrmin5.random_configuration(random.Random(42))
+        sim.run(init, max_steps=2000, record=False)  # should not raise
+
+    def test_reset_between_runs(self, ssrmin5):
+        mon = TokenCountMonitor(ssrmin5)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=3)
+        sim.run(ssrmin5.initial_configuration(), max_steps=3)
+        assert len(mon.counts) == 4
+
+
+class TestLegitimacyMonitor:
+    def test_first_legitimate_zero_for_legit_start(self, ssrmin5):
+        mon = LegitimacyMonitor(ssrmin5)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=3)
+        assert mon.first_legitimate == 0
+
+    def test_detects_convergence_point(self, ssrmin5):
+        mon = LegitimacyMonitor(ssrmin5)
+        sim = SharedMemorySimulator(ssrmin5, RandomSubsetDaemon(seed=1),
+                                    monitors=[mon])
+        init = ssrmin5.random_configuration(random.Random(1))
+        sim.run(init, max_steps=2000, record=False)
+        assert mon.first_legitimate is not None
+
+    def test_closure_checked(self, ssrmin5):
+        """Closure (Lemma 1) must hold along every legitimate run."""
+        mon = LegitimacyMonitor(ssrmin5, check_closure=True)
+        sim = SharedMemorySimulator(ssrmin5, RandomSubsetDaemon(seed=2),
+                                    monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=300, record=False)
+
+
+class TestRuleCensusMonitor:
+    def test_census_totals(self, ssrmin5):
+        mon = RuleCensusMonitor()
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=15)
+        # One lap = 5 x (R1, R3, R2).
+        assert mon.total == {"R1": 5, "R3": 5, "R2": 5}
+        assert mon.w24_count() == 5
+        assert mon.w135_count() == 10
+
+    def test_longest_w135_run(self, ssrmin5):
+        mon = RuleCensusMonitor()
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=30)
+        # Pattern R1, R3, R2 repeating: runs of length 2 between R2s.
+        assert mon.longest_w135_run == 2
+
+    def test_per_process_attribution(self, ssrmin5):
+        mon = RuleCensusMonitor()
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=3)
+        assert mon.per_process[0] == {"R1": 1, "R2": 1}
+        assert mon.per_process[1] == {"R3": 1}
+
+
+class TestCriticalSectionMonitor:
+    def test_rejects_bad_bounds(self, ssrmin5):
+        with pytest.raises(ValueError):
+            CriticalSectionMonitor(ssrmin5, l=2, k=1)
+
+    def test_12_cs_holds_in_legitimate_regime(self, ssrmin5):
+        mon = CriticalSectionMonitor(ssrmin5, l=1, k=2)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=60, record=False)
+        assert mon.violations == 0
+
+    def test_service_counts_every_process(self, ssrmin5):
+        mon = CriticalSectionMonitor(ssrmin5, l=1, k=2)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=3 * 5, record=False)
+        assert mon.all_served(5)
+
+    def test_non_enforcing_counts_violations(self, ssrmin5):
+        mon = CriticalSectionMonitor(ssrmin5, l=2, k=2, enforce=False)
+        sim = SharedMemorySimulator(ssrmin5, SynchronousDaemon(), monitors=[mon])
+        sim.run(ssrmin5.initial_configuration(), max_steps=9, record=False)
+        assert mon.violations > 0  # single-holder configs violate l=2

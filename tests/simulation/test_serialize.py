@@ -1,0 +1,100 @@
+"""Unit tests for execution serialization and replay round-trips."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import RandomSubsetDaemon
+from repro.daemons.replay import ReplayDaemon
+from repro.simulation.engine import SharedMemorySimulator
+from repro.simulation.serialize import (
+    execution_from_dict,
+    execution_to_dict,
+    load_execution,
+    save_execution,
+)
+
+
+def record_ssrmin(seed=0, steps=25):
+    alg = SSRmin(5, 6)
+    init = alg.random_configuration(random.Random(seed))
+    sim = SharedMemorySimulator(alg, RandomSubsetDaemon(seed=seed))
+    return alg, sim.run(init, max_steps=steps).execution
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self):
+        alg, execution = record_ssrmin()
+        data = execution_to_dict(execution, algorithm_name="SSRmin",
+                                 parameters={"n": 5, "K": 6},
+                                 configuration_class="Configuration")
+        restored, meta = execution_from_dict(data)
+        assert meta["algorithm"] == "SSRmin"
+        assert meta["parameters"] == {"n": 5, "K": 6}
+        assert len(restored) == len(execution)
+        for a, b in zip(restored.configurations, execution.configurations):
+            assert a.states == b.states
+        assert restored.selections() == execution.selections()
+        assert restored.rule_counts() == execution.rule_counts()
+
+    def test_json_serializable(self):
+        _, execution = record_ssrmin(seed=1)
+        data = execution_to_dict(execution, configuration_class="Configuration")
+        json.dumps(data)  # must not raise
+
+    def test_file_roundtrip(self, tmp_path):
+        alg, execution = record_ssrmin(seed=2)
+        path = tmp_path / "run.json"
+        save_execution(execution, str(path), algorithm_name="SSRmin",
+                       parameters={"n": 5, "K": 6},
+                       configuration_class="Configuration")
+        restored, meta = load_execution(str(path))
+        assert restored.selections() == execution.selections()
+
+    def test_stream_roundtrip(self):
+        _, execution = record_ssrmin(seed=3)
+        buf = io.StringIO()
+        save_execution(execution, buf, configuration_class="Configuration")
+        buf.seek(0)
+        restored, _ = load_execution(buf)
+        assert len(restored) == len(execution)
+
+    def test_tuple_configurations(self):
+        alg = DijkstraKState(4, 5)
+        init = alg.random_configuration(random.Random(4))
+        sim = SharedMemorySimulator(alg, RandomSubsetDaemon(seed=4))
+        execution = sim.run(init, max_steps=15).execution
+        data = execution_to_dict(execution)  # default: plain tuples
+        restored, _ = execution_from_dict(data)
+        assert restored.configurations == list(execution.configurations)
+
+
+class TestValidation:
+    def test_unknown_configuration_class_rejected(self):
+        _, execution = record_ssrmin(seed=5)
+        with pytest.raises(ValueError):
+            execution_to_dict(execution, configuration_class="Frozen")
+
+    def test_schema_version_checked(self):
+        with pytest.raises(ValueError):
+            execution_from_dict({"schema": 99, "configurations": [], "moves": []})
+
+
+class TestReplayFromDisk:
+    def test_loaded_execution_replays_identically(self, tmp_path):
+        """The full loop: record -> save -> load -> replay -> same trace."""
+        alg, execution = record_ssrmin(seed=6, steps=30)
+        path = tmp_path / "trace.json"
+        save_execution(execution, str(path),
+                       configuration_class="Configuration")
+        restored, _ = load_execution(str(path))
+
+        sim = SharedMemorySimulator(alg, ReplayDaemon(restored.selections()))
+        replayed = sim.run(restored.initial, max_steps=restored.steps)
+        assert [c.states for c in replayed.execution.configurations] == [
+            c.states for c in restored.configurations
+        ]

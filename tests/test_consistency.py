@@ -1,0 +1,63 @@
+"""Repository consistency gates.
+
+The registry, the benchmarks directory and DESIGN.md's per-experiment index
+describe the same set of experiments from three angles; these tests keep
+them synchronized as the repository grows.
+"""
+
+import pathlib
+import re
+
+from repro.experiments import list_experiments
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def bench_sources():
+    text = {}
+    for path in (ROOT / "benchmarks").glob("bench_*.py"):
+        text[path.name] = path.read_text()
+    return text
+
+
+def test_every_experiment_has_a_bench():
+    benches = bench_sources()
+    missing = []
+    for eid in list_experiments():
+        if not any(f'"{eid}"' in src for src in benches.values()):
+            missing.append(eid)
+    assert not missing, f"experiments without benches: {missing}"
+
+
+def test_every_experiment_bench_targets_known_id():
+    ids = set(list_experiments())
+    stray = []
+    for name, src in bench_sources().items():
+        for match in re.findall(r'run_and_check\(benchmark, "(\w+)"', src):
+            if match not in ids:
+                stray.append((name, match))
+    assert not stray, f"benches targeting unknown experiments: {stray}"
+
+
+def test_every_experiment_indexed_in_design():
+    design = (ROOT / "DESIGN.md").read_text()
+    missing = [eid for eid in list_experiments() if f"| {eid} |" not in design]
+    assert not missing, f"experiments missing from DESIGN.md index: {missing}"
+
+
+def test_every_example_listed_in_readme():
+    readme = (ROOT / "README.md").read_text()
+    missing = [
+        p.name
+        for p in (ROOT / "examples").glob("*.py")
+        if p.name not in readme
+    ]
+    assert not missing, f"examples not mentioned in README.md: {missing}"
+
+
+def test_experiments_md_exists_and_covers_registry():
+    path = ROOT / "EXPERIMENTS.md"
+    assert path.exists(), "run `python -m repro report -o EXPERIMENTS.md`"
+    text = path.read_text()
+    missing = [eid for eid in list_experiments() if f"## {eid} " not in text]
+    assert not missing, f"EXPERIMENTS.md missing sections: {missing}"

@@ -1,0 +1,16 @@
+"""The package docstring's quickstart example must actually work (doctest)."""
+
+import doctest
+
+import repro
+
+
+def test_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted > 0, "package docstring lost its example"
+    assert results.failed == 0
+
+
+def test_version_exposed():
+    assert repro.__version__
+    assert repro.SSRmin is not None

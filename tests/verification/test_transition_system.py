@@ -1,0 +1,78 @@
+"""Unit tests for explicit-state transition systems."""
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.verification.transition_system import TransitionSystem, nonempty_subsets
+
+
+class TestNonemptySubsets:
+    def test_all_subsets(self):
+        subs = list(nonempty_subsets((0, 1, 2)))
+        assert len(subs) == 7
+
+    def test_size_cap(self):
+        subs = list(nonempty_subsets((0, 1, 2), max_size=1))
+        assert subs == [(0,), (1,), (2,)]
+
+    def test_empty_input(self):
+        assert list(nonempty_subsets(())) == []
+
+
+class TestTransitionSystem:
+    def test_rejects_bad_daemon(self):
+        with pytest.raises(ValueError):
+            TransitionSystem(DijkstraKState(3, 4), daemon="oracle")
+
+    def test_central_successors_are_single_moves(self):
+        alg = DijkstraKState(3, 4)
+        ts = TransitionSystem(alg, daemon="central")
+        config = (0, 1, 2)  # several processes enabled
+        succs = ts.successors(config)
+        assert 1 <= len(succs) <= 3
+
+    def test_distributed_successors_superset_of_central(self):
+        alg = DijkstraKState(3, 4)
+        central = TransitionSystem(alg, daemon="central")
+        distributed = TransitionSystem(alg, daemon="distributed")
+        config = (0, 1, 2)
+        c_succ = set(central.successors(config))
+        d_succ = set(distributed.successors(config))
+        assert c_succ <= d_succ
+
+    def test_successors_cached(self):
+        alg = DijkstraKState(3, 4)
+        ts = TransitionSystem(alg, daemon="central")
+        config = (0, 0, 0)
+        assert ts.successors(config) is ts.successors(config)
+
+    def test_state_count(self):
+        ts = TransitionSystem(DijkstraKState(3, 4))
+        assert ts.state_count() == 64
+
+    def test_state_count_ssrmin(self):
+        ts = TransitionSystem(SSRmin(3, 4))
+        assert ts.state_count() == (4 * 4) ** 3
+
+    def test_deadlock_detection(self):
+        alg = DijkstraKState(3, 4)
+        ts = TransitionSystem(alg)
+        # Dijkstra rings never deadlock.
+        assert not ts.is_deadlocked((0, 0, 0))
+        assert not ts.is_deadlocked((0, 1, 2))
+
+    def test_reachability_closure(self):
+        alg = DijkstraKState(3, 4)
+        ts = TransitionSystem(alg, daemon="central")
+        reached = ts.reachable_from([(0, 0, 0)])
+        # From the all-zero config the legitimate cycle visits 3K staircases.
+        assert all(alg.is_legitimate(c) for c in reached.values())
+        assert len(reached) == 3 * 4
+
+    def test_reachability_from_everywhere_hits_legitimacy(self):
+        alg = DijkstraKState(3, 4)
+        ts = TransitionSystem(alg, daemon="distributed")
+        for config in ts.states():
+            reached = ts.reachable_from([config])
+            assert any(alg.is_legitimate(c) for c in reached.values())

@@ -1,0 +1,59 @@
+"""Unit tests for ASCII rendering."""
+
+import pytest
+
+from repro.messagepassing.timeline import TokenTimeline
+from repro.viz.ascii import render_ring, render_timeline
+
+
+class TestRenderRing:
+    def test_marks_tokens(self):
+        text = render_ring(3, primary=[0], secondary=[1])
+        assert text == "[0:P-] [1:-S] [2:--]"
+
+    def test_both_tokens_same_process(self):
+        assert render_ring(2, primary=[0], secondary=[0]).startswith("[0:PS]")
+
+    def test_empty(self):
+        assert render_ring(2) == "[0:--] [1:--]"
+
+
+class TestRenderTimeline:
+    def make_timeline(self):
+        tl = TokenTimeline()
+        tl.record(0.0, [0])
+        tl.record(5.0, [0, 1])
+        tl.record(6.0, [1])
+        tl.finish(10.0)
+        return tl
+
+    def test_grid_shape(self):
+        text = render_timeline(self.make_timeline(), n=2, columns=10)
+        lines = text.splitlines()
+        assert len(lines) == 4  # 2 node rows + count row + axis
+        assert lines[0].startswith("node  0")
+        assert lines[2].startswith("count")
+
+    def test_holder_marked(self):
+        text = render_timeline(self.make_timeline(), n=2, columns=10)
+        node0 = text.splitlines()[0]
+        assert "#" in node0
+        # Node 0 holds early, not late.
+        cells = node0.split("|")[1]
+        assert cells[0] == "#" and cells[-1] == "."
+
+    def test_count_row_shows_overlap(self):
+        text = render_timeline(self.make_timeline(), n=2, columns=10)
+        counts = text.splitlines()[2].split("|")[1]
+        assert "2" in counts  # the overlap cell
+        assert "0" not in counts  # never token-less
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            render_timeline(self.make_timeline(), n=2, t_start=5.0, t_end=5.0)
+
+    def test_custom_window(self):
+        text = render_timeline(self.make_timeline(), n=2, t_start=6.0,
+                               t_end=10.0, columns=8)
+        node0 = text.splitlines()[0].split("|")[1]
+        assert node0 == "........"  # node 0 inactive after t=6

@@ -1,0 +1,39 @@
+"""Unit tests for the ASCII histogram renderer."""
+
+import pytest
+
+from repro.viz.histogram import render_histogram
+
+
+class TestRenderHistogram:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_histogram([])
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            render_histogram([1, 2], bins=0)
+        with pytest.raises(ValueError):
+            render_histogram([1, 2], width=0)
+
+    def test_bin_count(self):
+        text = render_histogram(range(100), bins=5)
+        bar_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(bar_lines) == 5
+
+    def test_counts_sum_to_samples(self):
+        samples = [1, 1, 2, 5, 5, 5, 9]
+        text = render_histogram(samples, bins=4)
+        counts = [int(l.rsplit(" ", 1)[1]) for l in text.splitlines() if "|" in l]
+        assert sum(counts) == len(samples)
+
+    def test_peak_bar_has_full_width(self):
+        text = render_histogram([1] * 10 + [9], bins=2, width=20)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "#" * 20 in lines[0]
+
+    def test_title_and_footer(self):
+        text = render_histogram([1, 2, 3], bins=2, title="steps")
+        assert text.startswith("steps")
+        assert "mean=2.0" in text
+        assert "n=3" in text
