@@ -9,9 +9,18 @@ these are classic repeated-timing microbenchmarks guarding the hot paths:
 * the exhaustive model checker on the smallest SSRmin instance.
 
 Regressions here directly inflate every experiment's runtime.
+
+Besides the usual pytest-benchmark console table, the module writes a
+machine-readable ``BENCH_perf_engines.json`` artifact (in the invocation
+directory) summarizing every benchmark that ran — mean/min/max/stddev
+seconds and round counts — so CI can archive and diff engine throughput
+across commits without parsing terminal output.
 """
 
+import json
 import random
+
+import pytest
 
 from repro.core.ssrmin import SSRmin
 from repro.daemons.distributed import RandomSubsetDaemon, SynchronousDaemon
@@ -19,6 +28,45 @@ from repro.messagepassing.cst import transformed
 from repro.messagepassing.links import UniformDelay
 from repro.simulation.batch import BatchSSRmin
 from repro.simulation.engine import SharedMemorySimulator
+
+ARTIFACT = "BENCH_perf_engines.json"
+
+#: benchmark name -> timing summary, flushed to ARTIFACT after the module.
+_TIMINGS = {}
+
+
+def _record(benchmark, name):
+    """Stash a benchmark's timing stats for the JSON artifact.
+
+    No-op when timing was disabled (``--benchmark-disable``): the fixture
+    still calls the function once, but collects no stats.
+    """
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None or not getattr(stats, "data", None):
+        return
+    _TIMINGS[name] = {
+        "mean_seconds": stats.mean,
+        "min_seconds": stats.min,
+        "max_seconds": stats.max,
+        "stddev_seconds": stats.stddev,
+        "rounds": stats.rounds,
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_artifact():
+    """Write ``BENCH_perf_engines.json`` once the module's benches finish."""
+    yield
+    if not _TIMINGS:
+        return
+    payload = {
+        "schema": 1,
+        "suite": "perf_engines",
+        "benchmarks": dict(sorted(_TIMINGS.items())),
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def test_scalar_engine_steps(benchmark):
@@ -32,6 +80,7 @@ def test_scalar_engine_steps(benchmark):
         sim.run(init, max_steps=1000, record=False)
 
     benchmark(run)
+    _record(benchmark, "scalar_engine_steps")
 
 
 def test_scalar_engine_recording(benchmark):
@@ -45,6 +94,7 @@ def test_scalar_engine_recording(benchmark):
         sim.run(init, max_steps=300, record=True)
 
     benchmark(run)
+    _record(benchmark, "scalar_engine_recording")
 
 
 def test_batch_engine_steps(benchmark):
@@ -56,6 +106,7 @@ def test_batch_engine_steps(benchmark):
             batch.step()
 
     benchmark(run)
+    _record(benchmark, "batch_engine_steps")
 
 
 def test_batch_legitimacy_mask(benchmark):
@@ -63,6 +114,7 @@ def test_batch_legitimacy_mask(benchmark):
     batch = BatchSSRmin(8, 9, trials=4096, seed=2)
     batch.randomize(seed=3)
     benchmark(batch.legitimate_mask)
+    _record(benchmark, "batch_legitimacy_mask")
 
 
 def test_cst_event_processing(benchmark):
@@ -73,6 +125,7 @@ def test_cst_event_processing(benchmark):
         net.run(100.0)
 
     benchmark(run)
+    _record(benchmark, "cst_event_processing")
 
 
 def test_model_checker_smallest_instance(benchmark):
@@ -85,3 +138,4 @@ def test_model_checker_smallest_instance(benchmark):
         assert report.self_stabilizing
 
     benchmark(run)
+    _record(benchmark, "model_checker_smallest_instance")

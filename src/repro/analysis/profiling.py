@@ -71,9 +71,16 @@ class Stopwatch:
 def time_callable(
     fn: Callable[[], Any], repeats: int = 5, warmup: int = 1
 ) -> Summary:
-    """Time ``fn()`` ``repeats`` times (after ``warmup`` discarded calls)."""
+    """Time ``fn()`` ``repeats`` times (after ``warmup`` discarded calls).
+
+    The returned :class:`~repro.analysis.statistics.Summary` carries the
+    individual per-repeat timings on ``samples`` — histogram exporters
+    (telemetry, the perf-bench JSON artifact) consume them directly.
+    """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
     for _ in range(warmup):
         fn()
     samples = []

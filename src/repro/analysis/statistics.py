@@ -10,7 +10,7 @@ empirical spreads are our addition).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ class Summary:
         Sample median.
     ci_low, ci_high:
         ~95% normal-approximation confidence interval for the mean.
+    samples:
+        The individual observations the summary was computed from, in
+        input order (empty for summaries built without them).
     """
 
     n: int
@@ -41,6 +44,7 @@ class Summary:
     median: float
     ci_low: float
     ci_high: float
+    samples: Tuple[float, ...] = ()
 
     def __str__(self) -> str:
         return (
@@ -80,4 +84,5 @@ def summarize(samples: Sequence[float], z: float = 1.96) -> Summary:
         median=float(np.median(arr)),
         ci_low=mean - half,
         ci_high=mean + half,
+        samples=tuple(float(x) for x in arr),
     )

@@ -3,8 +3,12 @@
 Commands
 --------
 * ``list`` — list the registered experiments;
-* ``run <id> [...]`` — run experiments and print their tables;
+* ``run <id> [...]`` — run experiments and print their tables; each run
+  writes a reproducibility manifest + JSONL event trace under
+  ``runs/<id>/`` (``--no-telemetry`` to skip);
 * ``report [-o PATH]`` — run everything and write EXPERIMENTS.md;
+* ``stats <trace.jsonl | manifest.json>`` — replay a telemetry artifact
+  and print its metrics summary;
 * ``demo`` — a 30-second terminal demo: the inchworm trace (Figure 4) and a
   message-passing timeline strip chart (Figure 13).
 """
@@ -25,12 +29,24 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments import run_experiment
-
     failures = 0
     for eid in args.ids:
-        result = run_experiment(eid, fast=args.fast)
+        if args.no_telemetry:
+            from repro.experiments import run_experiment
+
+            result = run_experiment(eid, fast=args.fast)
+        else:
+            from repro.experiments.registry import run_experiment_instrumented
+
+            result, run_dir = run_experiment_instrumented(
+                eid, fast=args.fast, outdir=args.telemetry_dir,
+                trace=not args.no_trace,
+            )
         print(result.render())
+        if not args.no_telemetry:
+            artifacts = "manifest.json" + (
+                "" if args.no_trace else ", trace.jsonl")
+            print(f"telemetry: {run_dir}/ ({artifacts})")
         print()
         if not result.match:
             failures += 1
@@ -41,12 +57,38 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import generate_report
 
     text = generate_report(path=args.output, fast=args.fast, verbose=True,
-                           workers=args.parallel)
+                           workers=args.parallel,
+                           telemetry_dir=args.telemetry_dir,
+                           trace=args.trace,
+                           live_progress=args.live_progress)
     if args.output:
         print(f"wrote {args.output}")
     else:
         print(text)
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.telemetry import TraceStats, manifest_summary, read_manifest
+
+    try:
+        if args.trace.endswith(".json"):
+            manifest = read_manifest(args.trace)
+            for line in manifest_summary(manifest):
+                print(line)
+            return 0
+        stats = TraceStats.from_file(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return 1
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(stats.render())
+    return 0 if stats.seq_monotonic else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -115,6 +157,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run = sub.add_parser("run", help="run experiments by id")
     p_run.add_argument("ids", nargs="+", help="experiment ids (see 'list')")
     p_run.add_argument("--fast", action="store_true", help="reduced trial counts")
+    p_run.add_argument("--telemetry-dir", default="runs", metavar="DIR",
+                       help="where run manifests/traces land (default runs/)")
+    p_run.add_argument("--no-telemetry", action="store_true",
+                       help="skip manifest + trace artifacts")
+    p_run.add_argument("--no-trace", action="store_true",
+                       help="write the manifest but not the JSONL trace")
     p_run.set_defaults(fn=_cmd_run)
 
     p_report = sub.add_parser("report", help="run everything, write EXPERIMENTS.md")
@@ -122,7 +170,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_report.add_argument("--fast", action="store_true", help="reduced trial counts")
     p_report.add_argument("--parallel", type=int, default=1, metavar="N",
                           help="worker processes (default 1)")
+    p_report.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                          help="also write per-experiment run manifests")
+    p_report.add_argument("--trace", action="store_true",
+                          help="with --telemetry-dir: also write JSONL traces")
+    p_report.add_argument("--live-progress", action="store_true",
+                          help="stream steps/sec + token census per experiment")
     p_report.set_defaults(fn=_cmd_report)
+
+    p_stats = sub.add_parser(
+        "stats", help="replay a JSONL trace (or manifest) and print metrics"
+    )
+    p_stats.add_argument("trace", help="path to trace.jsonl or manifest.json")
+    p_stats.set_defaults(fn=_cmd_stats)
 
     p_demo = sub.add_parser("demo", help="terminal demo (trace + timeline)")
     p_demo.set_defaults(fn=_cmd_demo)

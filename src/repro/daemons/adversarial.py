@@ -131,3 +131,7 @@ class AdversarialDaemon(Daemon):
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+
+    def describe(self):
+        return dict(super().describe(), depth=self.depth,
+                    max_subsets=self.max_subsets, seed=self._seed)

@@ -9,7 +9,7 @@ seed.
 from __future__ import annotations
 
 import abc
-from typing import Any, Sequence, Tuple
+from typing import Any, Dict, Sequence, Tuple
 
 
 class Daemon(abc.ABC):
@@ -22,6 +22,19 @@ class Daemon(abc.ABC):
 
     #: Whether this daemon may select more than one process per step.
     distributed: bool = True
+
+    @property
+    def name(self) -> str:
+        """Stable label for telemetry (``steps_total{daemon=...}``)."""
+        return type(self).__name__
+
+    def describe(self) -> Dict[str, Any]:
+        """Reproducibility descriptor recorded in run manifests.
+
+        Subclasses with tunables (seeds, probabilities) extend the base
+        dict so a manifest pins down the exact schedule distribution.
+        """
+        return {"name": self.name, "distributed": self.distributed}
 
     @abc.abstractmethod
     def select(

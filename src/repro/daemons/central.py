@@ -27,6 +27,9 @@ class RandomCentralDaemon(Daemon):
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
 
+    def describe(self):
+        return dict(super().describe(), seed=self._seed)
+
 
 class RoundRobinDaemon(Daemon):
     """A *fair* central daemon cycling through process indices.
@@ -71,3 +74,6 @@ class FixedPriorityDaemon(Daemon):
 
     def select(self, enabled: Sequence[int], config: Any, step: int) -> Tuple[int, ...]:
         return (max(enabled) if self.reverse else min(enabled),)
+
+    def describe(self):
+        return dict(super().describe(), reverse=self.reverse)

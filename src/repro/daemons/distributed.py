@@ -42,6 +42,9 @@ class RandomSubsetDaemon(Daemon):
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
 
+    def describe(self):
+        return dict(super().describe(), seed=self._seed)
+
 
 class BernoulliDaemon(Daemon):
     """Each enabled process independently moves with probability ``p``.
@@ -68,3 +71,6 @@ class BernoulliDaemon(Daemon):
 
     def reset(self) -> None:
         self._rng = random.Random(self._seed)
+
+    def describe(self):
+        return dict(super().describe(), p=self.p, seed=self._seed)

@@ -5,22 +5,62 @@ near-linear wall-clock win for the full report.  Workers resolve runners by
 *id* through the registry (only strings cross the process boundary, so
 nothing fancy needs pickling).
 
+Observability: workers can run under their own telemetry session — with
+``live_progress`` each prints throttled steps/sec + token-census lines to
+stderr (see :mod:`repro.telemetry.progress`), and with ``telemetry_dir``
+each writes a run manifest (+ optional JSONL trace) next to its result.
+The parent additionally invokes ``on_result`` as experiments *complete*
+(completion order), which ``repro report`` uses for its progress ticker.
+
 ``python -m repro report --parallel N`` uses this path.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments.registry import ExperimentResult, list_experiments
 
+#: Parent-side completion callback: (experiment_id, result, done, total).
+OnResult = Callable[[str, ExperimentResult, int, int], None]
+
 
 def _run_one(args) -> ExperimentResult:
-    """Worker entry point (module-level for pickling)."""
-    experiment_id, fast = args
+    """Worker entry point (module-level for pickling).
+
+    ``args`` is ``(experiment_id, fast)`` or the extended
+    ``(experiment_id, fast, live_progress, telemetry_dir, trace)``.
+    """
+    experiment_id, fast = args[0], args[1]
+    live_progress = args[2] if len(args) > 2 else False
+    telemetry_dir = args[3] if len(args) > 3 else None
+    trace = args[4] if len(args) > 4 else False
+
+    subscribers = []
+    if live_progress:
+        from repro.telemetry.progress import ProgressEmitter
+
+        subscribers.append(ProgressEmitter(label=experiment_id, interval=5.0))
+
+    if telemetry_dir is not None:
+        from repro.experiments.registry import run_experiment_instrumented
+
+        result, _ = run_experiment_instrumented(
+            experiment_id, fast=fast, outdir=telemetry_dir, trace=trace,
+            subscribers=subscribers,
+        )
+        return result
+
     from repro.experiments.registry import run_experiment
 
+    if subscribers:
+        from repro.telemetry import telemetry_session
+
+        with telemetry_session() as session:
+            for fn in subscribers:
+                session.subscribe(fn)
+            return run_experiment(experiment_id, fast=fast)
     return run_experiment(experiment_id, fast=fast)
 
 
@@ -28,6 +68,10 @@ def run_experiments_parallel(
     experiment_ids: Optional[Sequence[str]] = None,
     fast: bool = False,
     workers: int = 2,
+    live_progress: bool = False,
+    telemetry_dir: Optional[str] = None,
+    trace: bool = False,
+    on_result: Optional[OnResult] = None,
 ) -> List[ExperimentResult]:
     """Run experiments across ``workers`` processes; results in input order.
 
@@ -40,14 +84,51 @@ def run_experiments_parallel(
     workers:
         Process count (>= 1; 1 degenerates to sequential in-process
         execution, useful for debugging).
+    live_progress:
+        Emit throttled per-experiment progress lines (stderr) from each
+        worker's telemetry session.
+    telemetry_dir:
+        When set, each experiment writes ``manifest.json`` (and, with
+        ``trace``, ``trace.jsonl``) under ``<telemetry_dir>/<id>/``.
+    trace:
+        Also write JSONL event traces (only meaningful with
+        ``telemetry_dir``).
+    on_result:
+        Parent-side callback fired per completed experiment, in completion
+        order.
     """
     ids = list(experiment_ids) if experiment_ids is not None else list_experiments()
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    payloads = [
+        (eid, fast, live_progress, telemetry_dir, trace) for eid in ids
+    ]
     if workers == 1:
-        return [_run_one((eid, fast)) for eid in ids]
+        results = []
+        for k, payload in enumerate(payloads, start=1):
+            result = _run_one(payload)
+            results.append(result)
+            if on_result is not None:
+                on_result(payload[0], result, k, len(ids))
+        return results
+    results_by_index: Dict[int, ExperimentResult] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_one, [(eid, fast) for eid in ids]))
+        futures = {
+            pool.submit(_run_one, payload): i
+            for i, payload in enumerate(payloads)
+        }
+        pending = set(futures)
+        done_count = 0
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                result = future.result()
+                results_by_index[index] = result
+                done_count += 1
+                if on_result is not None:
+                    on_result(ids[index], result, done_count, len(ids))
+    return [results_by_index[i] for i in range(len(ids))]
 
 
 def results_by_id(results: Sequence[ExperimentResult]) -> Dict[str, ExperimentResult]:

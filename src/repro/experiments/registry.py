@@ -10,8 +10,9 @@ importing the registry stays cheap.
 from __future__ import annotations
 
 import importlib
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -132,3 +133,66 @@ def get_experiment(experiment_id: str) -> Callable[[bool], ExperimentResult]:
 def run_experiment(experiment_id: str, fast: bool = False) -> ExperimentResult:
     """Run one experiment and return its result."""
     return get_experiment(experiment_id)(fast)
+
+
+def run_experiment_instrumented(
+    experiment_id: str,
+    fast: bool = False,
+    outdir: str = "runs",
+    trace: bool = True,
+    subscribers: Sequence[Callable] = (),
+) -> Tuple[ExperimentResult, str]:
+    """Run one experiment under a telemetry session, with artifacts.
+
+    Writes ``<outdir>/<experiment_id>/manifest.json`` (always) and
+    ``trace.jsonl`` (when ``trace``) so the result is reproducible from
+    its manifest: seeds, daemon descriptors, wall-clock phases, package
+    version and a full metrics snapshot are recorded next to the table.
+
+    Parameters
+    ----------
+    experiment_id:
+        Registry id.
+    fast:
+        Reduced trial counts (recorded in the manifest).
+    outdir:
+        Base directory for per-experiment run directories.
+    trace:
+        Whether to also write the JSONL event trace (manifests alone are
+        cheap; traces capture every event).
+    subscribers:
+        Extra event subscribers (e.g. a
+        :class:`~repro.telemetry.progress.ProgressEmitter`) attached to
+        the session for the duration of the run.
+
+    Returns
+    -------
+    (result, run_dir):
+        The experiment result and the directory the artifacts landed in.
+    """
+    from repro.analysis.profiling import Stopwatch
+    from repro.telemetry import build_manifest, telemetry_session, write_manifest
+    from repro.telemetry.manifest import default_run_dir
+
+    run_dir = default_run_dir(outdir, experiment_id)
+    trace_file = "trace.jsonl" if trace else None
+    trace_path = os.path.join(run_dir, trace_file) if trace_file else None
+    with Stopwatch() as stopwatch:
+        with telemetry_session(trace_path=trace_path) as session:
+            for fn in subscribers:
+                session.subscribe(fn)
+            runner = get_experiment(experiment_id)
+            stopwatch.split("resolve")
+            result = runner(fast)
+            stopwatch.split("run")
+        manifest = build_manifest(
+            session,
+            experiment_id=experiment_id,
+            command=f"python -m repro run {experiment_id}"
+                    + (" --fast" if fast else ""),
+            phases=stopwatch.splits,
+            trace_file=trace_file,
+            extra={"fast": fast, "title": result.title, "match": result.match},
+        )
+    write_manifest(os.path.join(run_dir, "manifest.json"), manifest)
+    return result, run_dir

@@ -124,6 +124,11 @@ class Link:
         #: Simulation time until which every transmission is lost (an
         #: outage/partition window; see :meth:`set_outage`).
         self.outage_until = float("-inf")
+        #: Optional telemetry hook ``observer(kind, payload)`` invoked at
+        #: the send / deliver / loss points (kinds match those names).  The
+        #: network layer wires this to its event bus; ``None`` costs one
+        #: check per event.
+        self.observer: Optional[Callable[[str, Any], None]] = None
         #: Whether a message is currently in transit on this direction.
         self.busy = False
         #: Newest payload waiting for the link to free up (coalesced).
@@ -157,6 +162,8 @@ class Link:
     def _transmit(self, payload: Any) -> None:
         self.busy = True
         self.sent += 1
+        if self.observer is not None:
+            self.observer("send", payload)
         lost = (
             self.rng.random() < self.loss_probability
             or self.queue.now < self.outage_until
@@ -172,8 +179,12 @@ class Link:
         self.busy = False
         if lost:
             self.lost += 1
+            if self.observer is not None:
+                self.observer("loss", payload)
         else:
             self.delivered += 1
+            if self.observer is not None:
+                self.observer("deliver", payload)
             self.deliver(payload)
         # The deliver callback may itself have sent on this link; only pump
         # the coalesced payload if the link is still free.

@@ -23,6 +23,8 @@ from repro.messagepassing.links import DelayModel, FixedDelay, Link
 from repro.messagepassing.node import CSTNode
 from repro.messagepassing.timeline import TokenTimeline
 from repro.ring.topology import RingTopology
+from repro.telemetry.events import EventBus
+from repro.telemetry.session import current_session
 
 
 class MessagePassingNetwork:
@@ -54,6 +56,36 @@ class MessagePassingNetwork:
         #: Callbacks invoked at every observation point (state/cache change);
         #: used by CoherenceTracker for exact event-driven checks.
         self.observers: List[Callable[["MessagePassingNetwork"], None]] = []
+        #: Seed the network was built from (set by :func:`build_cst_network`;
+        #: recorded in run manifests).
+        self.seed: Optional[int] = None
+        # -- telemetry -----------------------------------------------------
+        # Every network owns a structured event bus; link sends/deliveries/
+        # losses, timer fires and token censuses are published into it.
+        # MessageTrace subscribes here, and an ambient telemetry session
+        # (when active) shares its sequencer and ingests the same stream.
+        tel = current_session()
+        self.bus = EventBus(sequence=tel.sequence if tel is not None else None)
+        if tel is not None:
+            tel.attach_bus(self.bus)
+        for node in self.nodes:
+            for dst, link in node.links.items():
+                self._instrument_link(link, node.index, dst)
+
+    def _instrument_link(self, link: Any, src: int, dst: int) -> None:
+        """Point a link's observer hook at this network's event bus.
+
+        Wireless transmitter adapters share the ``send`` protocol but not
+        the observer hook; setting the attribute is harmless there.
+        """
+        bus = self.bus
+        queue = self.queue
+
+        def observe(kind: str, payload: Any, _src=src, _dst=dst) -> None:
+            bus.publish("network", kind, queue.now,
+                        src=_src, dst=_dst, state=payload[1])
+
+        link.observer = observe
 
     # -- observation -----------------------------------------------------------
     def token_holders(self) -> Tuple[int, ...]:
@@ -74,7 +106,11 @@ class MessagePassingNetwork:
 
     def observe(self) -> None:
         """Record the current own-view holder set on the timeline."""
-        self.timeline.record(self.queue.now, self.token_holders())
+        holders = self.token_holders()
+        self.timeline.record(self.queue.now, holders)
+        if self.bus.active:
+            self.bus.publish("network", "census", self.queue.now,
+                             holders=list(holders))
         for callback in self.observers:
             callback(self)
 
@@ -84,6 +120,15 @@ class MessagePassingNetwork:
         if self._started:
             raise RuntimeError("network already started")
         self._started = True
+        self.bus.publish(
+            "network", "net_start", self.queue.now,
+            algorithm=type(self.algorithm).__name__,
+            n=len(self.nodes),
+            K=getattr(self.algorithm, "K", None),
+            seed=self.seed,
+            timer_interval=self.timer_interval,
+            timer_jitter=self.timer_jitter,
+        )
         self.observe()
         for node in self.nodes:
             self._arm_timer(node)
@@ -96,6 +141,9 @@ class MessagePassingNetwork:
         delay = self.timer_interval + self.rng.uniform(0.0, self.timer_jitter)
 
         def fire() -> None:
+            if self.bus.active:
+                self.bus.publish("network", "timer", self.queue.now,
+                                 src=node.index, dst=node.index, state=None)
             node.on_timer()
             self._arm_timer(node)
 
@@ -288,5 +336,6 @@ def build_cst_network(
         rng=rng,
         token_predicate=predicate,
     )
+    net.seed = seed
     network_ref[0] = net
     return net

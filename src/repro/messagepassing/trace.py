@@ -2,15 +2,21 @@
 
 The paper's Figures 11-13 are *message-sequence diagrams*: vertical node
 lifelines, arrows for state messages, shaded token-holding periods.
-:class:`MessageTrace` hooks a network's links and nodes to record every
-send / delivery / loss / timer event with timestamps, enabling
+:class:`MessageTrace` subscribes to a network's structured event bus
+(:attr:`MessagePassingNetwork.bus`) and records every send / delivery /
+loss / timer event with timestamps, enabling
 
 * ordering checks (per-direction FIFO follows from capacity-one links),
 * transit-time accounting (the transient periods of Theorem 3's proof),
 * :func:`render_sequence_diagram` — an ASCII message-sequence chart in the
   spirit of the paper's figures.
 
-Attach with :meth:`MessageTrace.attach` *before* the network starts.
+Historically this module monkeypatched link internals; it is now a thin
+subscriber of the unified telemetry event bus (see
+:mod:`repro.telemetry.events`), so a trace, a JSONL exporter and live
+metrics can all observe one run without coordinating.  The public API is
+unchanged: attach with :meth:`MessageTrace.attach` *before* the network
+starts.
 """
 
 from __future__ import annotations
@@ -19,6 +25,10 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.messagepassing.network import MessagePassingNetwork
+from repro.telemetry.events import Event
+
+#: Bus event kinds mirrored into :class:`MessageEvent` records.
+_TRACED_KINDS = frozenset({"send", "deliver", "loss", "timer"})
 
 
 @dataclass(frozen=True)
@@ -52,61 +62,23 @@ class MessageTrace:
 
     # -- attachment --------------------------------------------------------
     def attach(self, network: MessagePassingNetwork) -> "MessageTrace":
-        """Wrap every link's send/deliver paths with recording hooks."""
-        for node in network.nodes:
-            for dst, link in node.links.items():
-                self._wrap_link(link, src=node.index, dst=dst)
-            self._wrap_timer(node)
+        """Subscribe to the network's event bus; returns ``self``."""
+        network.bus.subscribe(self._on_event)
         return self
 
-    def _wrap_link(self, link, src: int, dst: int) -> None:
-        original_transmit = link._transmit
-        original_deliver = link.deliver
-
-        def traced_transmit(payload, _ot=original_transmit):
-            self.events.append(
-                MessageEvent(link.queue.now, "send", src, dst, payload[1])
+    def _on_event(self, event: Event) -> None:
+        if event.layer != "network" or event.kind not in _TRACED_KINDS:
+            return
+        payload = event.payload
+        self.events.append(
+            MessageEvent(
+                time=event.time,
+                kind=event.kind,
+                src=payload["src"],
+                dst=payload["dst"],
+                payload=payload.get("state"),
             )
-            _ot(payload)
-
-        def traced_deliver(payload, _od=original_deliver):
-            self.events.append(
-                MessageEvent(link.queue.now, "deliver", src, dst, payload[1])
-            )
-            _od(payload)
-
-        def traced_arrive(payload, lost, _link=link):
-            if lost:
-                self.events.append(
-                    MessageEvent(_link.queue.now, "loss", src, dst, payload[1])
-                )
-
-        link._transmit = traced_transmit
-        link.deliver = traced_deliver
-        # Loss is observed inside Link._arrive; hook it via a wrapper.
-        original_arrive = link._arrive
-
-        def arrive(payload, lost, _oa=original_arrive, _tl=traced_arrive):
-            _tl(payload, lost)
-            _oa(payload, lost)
-
-        link._arrive = arrive
-
-    def _wrap_timer(self, node) -> None:
-        original = node.on_timer
-
-        def traced(_o=original, _n=node):
-            self.events.append(
-                MessageEvent(
-                    _n.links and next(iter(_n.links.values())).queue.now or 0.0,
-                    "timer",
-                    _n.index,
-                    _n.index,
-                )
-            )
-            _o()
-
-        node.on_timer = traced
+        )
 
     # -- queries --------------------------------------------------------------
     def of_kind(self, kind: str) -> List[MessageEvent]:

@@ -27,6 +27,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry.session import current_session
+
 
 @dataclass
 class BatchResult:
@@ -242,18 +244,45 @@ class BatchSSRmin:
 
     def run_until_legitimate(self, max_steps: int) -> BatchResult:
         """Advance all trials until legitimate (or the budget runs out)."""
+        tel = current_session()
+        if tel is not None:
+            batch_steps = tel.registry.counter(
+                "batch_steps_total", "vectorized lockstep iterations")
+            tel.bus.publish(
+                "batch", "run_start", 0.0,
+                algorithm="BatchSSRmin", n=self.n, K=self.K,
+                daemon={"name": "BernoulliDaemon", "p": self.p,
+                        "distributed": True},
+                trials=self.trials, max_steps=max_steps,
+            )
         steps = np.full(self.trials, -1, dtype=np.int64)
         legit = self.legitimate_mask()
         steps[legit] = 0
         active = ~legit
+        k = 0
         for k in range(1, max_steps + 1):
             if not active.any():
+                k -= 1
                 break
             self.step(active=active)
+            if tel is not None:
+                batch_steps.inc()
+                tel.bus.publish("batch", "batch_step", float(k),
+                                step=k, active=int(active.sum()))
             legit = self.legitimate_mask()
             newly = active & legit
             steps[newly] = k
             active &= ~legit
+        if tel is not None:
+            hist = tel.registry.histogram(
+                "convergence_steps", "steps until first legitimacy")
+            for s in steps[steps >= 0]:
+                hist.observe(float(s), engine="batch")
+            tel.bus.publish(
+                "batch", "run_end", float(k),
+                trials=self.trials,
+                converged=int((steps >= 0).sum()),
+            )
         return BatchResult(steps=steps, converged=steps >= 0)
 
 

@@ -15,6 +15,7 @@ from typing import Any, Callable, List, Optional
 from repro.algorithms.base import RingAlgorithm
 from repro.daemons.base import Daemon
 from repro.simulation.engine import SharedMemorySimulator
+from repro.telemetry.session import current_session
 
 
 @dataclass
@@ -39,6 +40,16 @@ class ConvergenceResult:
     steps: int
     dijkstra_steps: Optional[int]
     final_config: Any
+
+
+def _observed(result: "ConvergenceResult") -> "ConvergenceResult":
+    """Feed a finished convergence run into the telemetry histogram."""
+    tel = current_session()
+    if tel is not None and result.converged:
+        tel.registry.histogram(
+            "convergence_steps", "steps until first legitimacy"
+        ).observe(float(result.steps), engine="scalar")
+    return result
 
 
 def converge(
@@ -67,7 +78,15 @@ def converge(
 
     if proj is not None:
         # Run step by step so we can observe the first Dijkstra-legitimate
-        # configuration; using stop_when would skip that observation.
+        # configuration; using stop_when would skip that observation.  This
+        # loop bypasses the engine, so it keeps the steps_total counter
+        # honest itself (counters only — per-step events would swamp sweep
+        # traces).
+        tel = current_session()
+        steps_total = (
+            tel.registry.counter("steps_total", "engine transitions taken")
+            if tel is not None else None
+        )
         steps = 0
         if proj.is_legitimate(config):
             dijkstra_steps = 0
@@ -78,20 +97,24 @@ def converge(
             selection = daemon.select(enabled, config, steps)
             config = algorithm.step(config, selection)
             steps += 1
+            if steps_total is not None:
+                steps_total.inc(1, daemon=daemon.name)
             if dijkstra_steps is None and proj.is_legitimate(config):
                 dijkstra_steps = steps
         converged = algorithm.is_legitimate(config)
-        return ConvergenceResult(converged, steps, dijkstra_steps, config)
+        return _observed(
+            ConvergenceResult(converged, steps, dijkstra_steps, config)
+        )
 
     result = sim.run(
         config, max_steps=max_steps, stop_when=algorithm.is_legitimate, record=False
     )
-    return ConvergenceResult(
+    return _observed(ConvergenceResult(
         result.stopped_by_predicate or algorithm.is_legitimate(result.final_config),
         result.steps,
         None,
         result.final_config,
-    )
+    ))
 
 
 def convergence_steps(

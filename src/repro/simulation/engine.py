@@ -23,6 +23,11 @@ from repro.algorithms.base import RingAlgorithm
 from repro.daemons.base import Daemon
 from repro.simulation.execution import Execution, Move
 from repro.simulation.monitors import Monitor
+from repro.telemetry.session import TelemetrySession, current_session
+
+#: Steps between engine-layer token-census events when telemetry is on
+#: (computing the privileged set every step would double the step cost).
+CENSUS_EVERY = 256
 
 
 @dataclass
@@ -61,6 +66,11 @@ class SharedMemorySimulator:
         The scheduler; ``daemon.reset()`` is called at the start of each run.
     monitors:
         Observers notified of every configuration and transition.
+    telemetry:
+        Explicit :class:`~repro.telemetry.session.TelemetrySession` to
+        publish into.  Default ``None`` uses the ambient session installed
+        by :func:`~repro.telemetry.session.telemetry_session` (and is a
+        near-free no-op when none is active).
     """
 
     def __init__(
@@ -68,10 +78,12 @@ class SharedMemorySimulator:
         algorithm: RingAlgorithm,
         daemon: Daemon,
         monitors: Sequence[Monitor] = (),
+        telemetry: Optional[TelemetrySession] = None,
     ):
         self.algorithm = algorithm
         self.daemon = daemon
         self.monitors: Tuple[Monitor, ...] = tuple(monitors)
+        self.telemetry = telemetry
 
     def run(
         self,
@@ -100,6 +112,24 @@ class SharedMemorySimulator:
         config = alg.normalize_configuration(initial)
         self.daemon.reset()
 
+        # Telemetry wiring is resolved once per run; with no active session
+        # the per-step overhead is a single ``is not None`` check.
+        tel = self.telemetry if self.telemetry is not None else current_session()
+        if tel is not None:
+            daemon_label = self.daemon.name
+            steps_total = tel.registry.counter(
+                "steps_total", "engine transitions taken")
+            rule_fired = tel.registry.counter(
+                "rule_fired_total", "guarded-command executions by rule")
+            tel.bus.publish(
+                "engine", "run_start", 0.0,
+                algorithm=type(alg).__name__,
+                n=alg.n,
+                K=getattr(alg, "K", None),
+                daemon=self.daemon.describe(),
+                max_steps=max_steps,
+            )
+
         execution = Execution() if record else None
         if execution is not None:
             execution.start(config)
@@ -107,17 +137,13 @@ class SharedMemorySimulator:
             mon.on_start(config)
 
         if stop_when is not None and stop_when(config):
-            for mon in self.monitors:
-                mon.on_finish(config)
-            return SimulationResult(config, 0, False, True, execution)
+            return self._finish(config, 0, False, True, execution, tel)
 
         steps = 0
         while steps < max_steps:
             enabled = alg.enabled_processes(config)
             if not enabled:
-                for mon in self.monitors:
-                    mon.on_finish(config)
-                return SimulationResult(config, steps, True, False, execution)
+                return self._finish(config, steps, True, False, execution, tel)
 
             selection = Daemon.validate_selection(
                 self.daemon.select(enabled, config, steps), enabled
@@ -135,14 +161,46 @@ class SharedMemorySimulator:
             config = next_config
             steps += 1
 
-            if stop_when is not None and stop_when(config):
-                for mon in self.monitors:
-                    mon.on_finish(config)
-                return SimulationResult(config, steps, False, True, execution)
+            if tel is not None:
+                steps_total.inc(1, daemon=daemon_label)
+                for m in moves:
+                    rule_fired.inc(1, rule=m.rule)
+                tel.bus.publish(
+                    "engine", "step", float(steps),
+                    step=steps,
+                    moves=[[m.process, m.rule] for m in moves],
+                )
+                if steps % CENSUS_EVERY == 0:
+                    tel.bus.publish(
+                        "engine", "census", float(steps),
+                        holders=[int(i) for i in alg.privileged(config)],
+                    )
 
+            if stop_when is not None and stop_when(config):
+                return self._finish(config, steps, False, True, execution, tel)
+
+        return self._finish(config, steps, False, False, execution, tel)
+
+    def _finish(
+        self,
+        config: Any,
+        steps: int,
+        deadlocked: bool,
+        stopped: bool,
+        execution: Optional[Execution],
+        tel: Optional[TelemetrySession],
+    ) -> SimulationResult:
+        """Common run epilogue: notify monitors, publish run_end."""
         for mon in self.monitors:
             mon.on_finish(config)
-        return SimulationResult(config, steps, False, False, execution)
+        if tel is not None:
+            tel.bus.publish(
+                "engine", "run_end", float(steps),
+                steps=steps,
+                deadlocked=deadlocked,
+                stopped_by_predicate=stopped,
+            )
+        return SimulationResult(config, steps, deadlocked, stopped, execution)
 
     def run_legitimate_lap(
         self, initial: Any, laps: int = 1, record: bool = True

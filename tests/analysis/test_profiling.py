@@ -47,10 +47,26 @@ class TestTimeCallable:
         with pytest.raises(ValueError):
             time_callable(lambda: None, repeats=0)
 
+    def test_rejects_negative_warmup(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=1, warmup=-1)
+
     def test_warmup_runs_excluded(self):
         calls = []
         time_callable(lambda: calls.append(1), repeats=3, warmup=2)
         assert len(calls) == 5  # warmup + repeats all execute
+
+    def test_zero_warmup_allowed(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2, warmup=0)
+        assert len(calls) == 2
+
+    def test_per_sample_timings_surfaced(self):
+        summary = time_callable(lambda: sum(range(100)), repeats=4)
+        assert len(summary.samples) == 4
+        assert all(t > 0 for t in summary.samples)
+        assert min(summary.samples) == summary.minimum
+        assert max(summary.samples) == summary.maximum
 
 
 class TestProfileCallable:

@@ -41,3 +41,12 @@ class TestSummarize:
     def test_str_renders(self):
         text = str(summarize([1, 2, 3]))
         assert "mean=2.00" in text and "n=3" in text
+
+    def test_samples_preserved_in_input_order(self):
+        s = summarize([3, 1, 2])
+        assert s.samples == (3.0, 1.0, 2.0)
+
+    def test_samples_default_empty(self):
+        s = Summary(n=1, mean=1.0, std=0.0, minimum=1.0, maximum=1.0,
+                    median=1.0, ci_low=1.0, ci_high=1.0)
+        assert s.samples == ()

@@ -1,0 +1,58 @@
+"""CLI: `repro run` telemetry artifacts and the `repro stats` replay."""
+
+import os
+
+from repro.cli import main
+from repro.telemetry import Event, write_events
+
+
+class TestRunTelemetry:
+    def test_run_writes_artifacts_and_stats_replays(self, tmp_path, capsys):
+        outdir = str(tmp_path / "runs")
+        assert main(["run", "lem1", "--fast",
+                     "--telemetry-dir", outdir]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        run_dir = os.path.join(outdir, "lem1")
+        trace = os.path.join(run_dir, "trace.jsonl")
+        manifest = os.path.join(run_dir, "manifest.json")
+        assert os.path.exists(trace)
+        assert os.path.exists(manifest)
+
+        assert main(["stats", trace]) == 0
+        out = capsys.readouterr().out
+        assert "seq monotonic: True" in out
+
+        assert main(["stats", manifest]) == 0
+        out = capsys.readouterr().out
+        assert "experiment: lem1" in out
+        assert "command:    python -m repro run lem1 --fast" in out
+
+    def test_no_trace_flag(self, tmp_path, capsys):
+        outdir = str(tmp_path / "runs")
+        assert main(["run", "lem1", "--fast", "--telemetry-dir", outdir,
+                     "--no-trace"]) == 0
+        out = capsys.readouterr().out
+        assert "trace.jsonl" not in out
+        run_dir = os.path.join(outdir, "lem1")
+        assert os.path.exists(os.path.join(run_dir, "manifest.json"))
+        assert not os.path.exists(os.path.join(run_dir, "trace.jsonl"))
+
+    def test_no_telemetry_flag(self, tmp_path, capsys):
+        outdir = str(tmp_path / "runs")
+        assert main(["run", "lem1", "--fast", "--telemetry-dir", outdir,
+                     "--no-telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" not in out
+        assert not os.path.exists(os.path.join(outdir, "lem1"))
+
+
+class TestStatsCommand:
+    def test_non_monotonic_trace_exits_nonzero(self, tmp_path, capsys):
+        path = str(tmp_path / "bad.jsonl")
+        write_events(path, [
+            Event(1, 0.0, "engine", "step", {"step": 0, "moves": []}),
+            Event(0, 1.0, "engine", "step", {"step": 1, "moves": []}),
+        ])
+        assert main(["stats", path]) == 1
+        assert "seq monotonic: False" in capsys.readouterr().out

@@ -1,0 +1,137 @@
+"""JSONL trace export/import round trips and the stats replay."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Event,
+    JsonlTraceWriter,
+    TraceStats,
+    iter_trace,
+    read_trace,
+    write_events,
+)
+from repro.telemetry.export import _coerce
+
+
+def make_events(count):
+    return [
+        Event(i, float(i), "engine", "step", {"step": i, "moves": [[0, "R1"]]})
+        for i in range(count)
+    ]
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_events(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        events = make_events(10)
+        assert write_events(path, events) == 10
+        assert read_trace(path) == events
+
+    def test_iter_trace_accepts_open_handle(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_events(str(path), make_events(3))
+        with open(path) as fh:
+            assert len(list(iter_trace(fh))) == 3
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_events(str(path), make_events(2))
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_trace(str(path))) == 2
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_events(str(path), make_events(2))
+        path.write_text(path.read_text() + "{not json\n")
+        with pytest.raises(ValueError, match="line 3"):
+            read_trace(str(path))
+
+
+class TestCoercion:
+    def test_numpy_scalars_become_numbers(self):
+        assert _coerce(np.int64(7)) == 7
+        assert _coerce(np.float64(0.5)) == 0.5
+
+    def test_sequences_coerced_elementwise(self):
+        assert _coerce((np.int64(1), [np.int64(2)])) == [1, [2]]
+
+    def test_fallback_is_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert _coerce(Odd()) == "<odd>"
+
+    def test_numpy_payload_survives_write(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        event = Event(0, 0.0, "batch", "batch_step",
+                      {"active": np.int64(3), "holders": [np.int64(1)]})
+        write_events(path, [event])
+        with open(path) as fh:
+            row = json.loads(fh.readline())
+        assert row["payload"] == {"active": 3, "holders": [1]}
+
+
+class TestTruncationCap:
+    def test_cap_is_not_silent(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = JsonlTraceWriter(path, max_events=5)
+        for event in make_events(8):
+            writer.write(event)
+        writer.close()
+        assert writer.written == 5
+        assert writer.dropped == 3
+        assert writer.truncated
+        assert len(read_trace(path)) == 5
+
+    def test_write_after_close_raises(self, tmp_path):
+        writer = JsonlTraceWriter(str(tmp_path / "t.jsonl"))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.write(make_events(1)[0])
+
+
+class TestStatsReplay:
+    def test_replay_recounts_steps_and_rules(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_events(path, make_events(12))
+        stats = TraceStats.from_file(path)
+        assert stats.events_total == 12
+        assert stats.engine_steps == 12
+        assert stats.rules == {"R1": 12}
+        assert stats.seq_monotonic
+
+    def test_replay_detects_seq_regression(self):
+        events = make_events(3)
+        shuffled = [events[0], events[2], events[1]]
+        stats = TraceStats.from_events(shuffled)
+        assert not stats.seq_monotonic
+
+    def test_message_and_census_accounting(self):
+        events = [
+            Event(0, 0.0, "network", "net_start", {"n": 3}),
+            Event(1, 0.5, "network", "send", {"src": 0, "dst": 1}),
+            Event(2, 1.0, "network", "loss", {"src": 0, "dst": 1}),
+            Event(3, 1.5, "network", "deliver", {"src": 0, "dst": 1}),
+            Event(4, 2.0, "network", "timer", {"node": 0}),
+            Event(5, 2.5, "network", "census", {"holders": [2]}),
+        ]
+        stats = TraceStats.from_events(events)
+        assert stats.messages == {
+            "send": 1, "deliver": 1, "loss": 1, "timer": 1
+        }
+        assert stats.last_census == [2]
+        assert stats.runs == [
+            {"layer": "network", "kind": "net_start", "n": 3}
+        ]
+        assert stats.time_span["network"] == (0.0, 2.5)
+
+    def test_render_mentions_headline_numbers(self):
+        stats = TraceStats.from_events(make_events(4))
+        text = stats.render()
+        assert "events: 4" in text
+        assert "engine steps: 4" in text
+        assert "R1=4" in text

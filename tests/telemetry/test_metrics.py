@@ -1,0 +1,151 @@
+"""Counter/gauge/histogram semantics, including disabled-registry no-ops."""
+
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        c = Counter("steps_total")
+        assert c.value() == 0
+        assert c.total() == 0
+
+    def test_increments_accumulate(self):
+        c = Counter("steps_total")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labels_select_independent_series(self):
+        c = Counter("rule_fired_total")
+        c.inc(rule="R1")
+        c.inc(2, rule="R2")
+        assert c.value(rule="R1") == 1
+        assert c.value(rule="R2") == 2
+        assert c.value(rule="R3") == 0
+        assert c.total() == 3
+
+    def test_label_order_irrelevant(self):
+        c = Counter("c")
+        c.inc(a=1, b=2)
+        assert c.value(b=2, a=1) == 1
+
+    def test_rejects_negative_increment(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_snapshot_rows(self):
+        c = Counter("c", help="h")
+        c.inc(3, daemon="Sync")
+        rows = c.snapshot()
+        assert rows == [{"labels": {"daemon": "Sync"}, "value": 3}]
+
+
+class TestGauge:
+    def test_set_and_overwrite(self):
+        g = Gauge("tokens")
+        g.set(5)
+        g.set(2)
+        assert g.value() == 2
+
+    def test_inc_dec(self):
+        g = Gauge("tokens")
+        g.inc(3)
+        g.dec()
+        assert g.value() == 2
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        h = Histogram("convergence_steps")
+        for v in (1, 10, 100):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == 111
+        assert h.mean() == pytest.approx(37.0)
+
+    def test_empty_mean_is_nan(self):
+        h = Histogram("h")
+        assert math.isnan(h.mean())
+
+    def test_bucket_assignment(self):
+        h = Histogram("h", buckets=(1, 10, 100))
+        h.observe(0.5)   # <= 1
+        h.observe(10)    # <= 10 (inclusive upper bound)
+        h.observe(1e9)   # overflow -> +inf bucket
+        ((_, cell),) = list(h.series())
+        assert cell["buckets"] == [1.0, 10.0, 100.0, "inf"]
+        assert cell["counts"] == [1, 1, 0, 1]
+
+    def test_appends_inf_bucket(self):
+        h = Histogram("h", buckets=(1, 2))
+        assert h.buckets[-1] == math.inf
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_labelled_series_independent(self):
+        h = Histogram("h")
+        h.observe(1, engine="scalar")
+        h.observe(2, engine="batch")
+        assert h.count(engine="scalar") == 1
+        assert h.count(engine="batch") == 1
+
+
+class TestRegistry:
+    def test_idempotent_per_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+
+    def test_snapshot_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(1)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert "c" in snap["counters"]
+        assert "g" in snap["gauges"]
+        assert "h" in snap["histograms"]
+
+    def test_disabled_registry_hands_out_nulls(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("c") is NULL_COUNTER
+        assert reg.gauge("g") is NULL_GAUGE
+        assert reg.histogram("h") is NULL_HISTOGRAM
+
+    def test_null_metrics_are_inert(self):
+        NULL_COUNTER.inc(5, rule="R1")
+        NULL_GAUGE.set(3)
+        NULL_GAUGE.inc()
+        NULL_HISTOGRAM.observe(7)
+        assert NULL_COUNTER.total() == 0
+        assert NULL_GAUGE.value() == 0
+        assert NULL_HISTOGRAM.count() == 0
+
+    def test_disabled_registry_registers_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc()
+        assert reg.names() == []
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
