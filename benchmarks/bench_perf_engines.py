@@ -83,6 +83,39 @@ def test_scalar_engine_steps(benchmark):
     _record(benchmark, "scalar_engine_steps")
 
 
+def test_scalar_engine_steps_naive(benchmark):
+    """The same workload on the naive (kernel-free) reference path."""
+    alg = SSRmin(8, 9)
+    daemon = SynchronousDaemon()
+    init = alg.initial_configuration()
+
+    def run():
+        sim = SharedMemorySimulator(alg, daemon, use_fastpath=False)
+        sim.run(init, max_steps=1000, record=False)
+
+    benchmark(run)
+    _record(benchmark, "scalar_engine_steps_naive")
+
+
+def test_scalar_engine_steps_telemetry(benchmark):
+    """Telemetry-on (metrics session, no trace/subscribers) vs the
+    telemetry-off bench above: batched counter aggregation must keep this
+    within ~10% of ``scalar_engine_steps``."""
+    from repro.telemetry import telemetry_session
+
+    alg = SSRmin(8, 9)
+    daemon = SynchronousDaemon()
+    init = alg.initial_configuration()
+
+    def run():
+        with telemetry_session():
+            sim = SharedMemorySimulator(alg, daemon)
+            sim.run(init, max_steps=1000, record=False)
+
+    benchmark(run)
+    _record(benchmark, "scalar_engine_steps_telemetry")
+
+
 def test_scalar_engine_recording(benchmark):
     """Same workload with full execution recording (memory-churn path)."""
     alg = SSRmin(8, 9)

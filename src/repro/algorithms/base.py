@@ -142,6 +142,18 @@ class RingAlgorithm(abc.ABC, Generic[C, S]):
         ``rng`` is a :class:`random.Random`-compatible generator.
         """
 
+    # -- optional fast-path capability ---------------------------------------
+    def fast_kernel(self) -> Optional[Any]:
+        """A fresh packed simulation kernel, or ``None`` (the default).
+
+        Algorithms with a :class:`repro.simulation.fastpath.FastKernel`
+        implementation override this; the engine, convergence driver and
+        transition system probe it and transparently fall back to the naive
+        guard-evaluation path when it returns ``None``.  Each call returns a
+        new kernel (kernels are mutable single-configuration objects).
+        """
+        return None
+
     # -- optional conveniences ---------------------------------------------
     def configuration_space(self) -> Iterator[C]:
         """Iterate every configuration (|Q|^n of them) — small n only.

@@ -151,6 +151,12 @@ class DijkstraKState(RingAlgorithm[DijkstraConfig, int]):
     def random_configuration(self, rng: random.Random) -> DijkstraConfig:
         return tuple(rng.randrange(self.K) for _ in range(self.n))
 
+    def fast_kernel(self):
+        """A fresh :class:`~repro.simulation.fastpath.dijkstra_kernel.DijkstraKernel`."""
+        from repro.simulation.fastpath.dijkstra_kernel import DijkstraKernel
+
+        return DijkstraKernel(self)
+
     # -- helpers -----------------------------------------------------------
     def initial_configuration(self, x: int = 0) -> DijkstraConfig:
         """The all-equal legitimate configuration ``(x, ..., x)``."""

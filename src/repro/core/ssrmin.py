@@ -238,6 +238,17 @@ class SSRmin(RingAlgorithm[Configuration, StateTuple]):
         states[0] = (x, 0, 1)
         return Configuration(states)
 
+    def fast_kernel(self):
+        """A fresh :class:`~repro.simulation.fastpath.ssrmin_kernel.SSRminKernel`.
+
+        The packed fast path the engine, convergence driver and model
+        checker probe for; differential-tested step-for-step against the
+        rule set above.
+        """
+        from repro.simulation.fastpath.ssrmin_kernel import SSRminKernel
+
+        return SSRminKernel(self)
+
     def dijkstra_projection(self) -> "SSRminDijkstraProjection":
         """View of this instance's embedded Dijkstra K-state ring.
 

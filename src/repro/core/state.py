@@ -96,6 +96,20 @@ class Configuration(Sequence[StateTuple]):
             raise ValueError("a configuration needs at least one process")
         self._states: Tuple[StateTuple, ...] = tuple(norm)
 
+    @classmethod
+    def from_states(
+        cls, states: Tuple[StateTuple, ...]
+    ) -> "Configuration":
+        """Trusted fast constructor: wrap an already-normalized states tuple.
+
+        Skips per-state validation, for hot paths (the fastpath kernels and
+        successor generation) whose inputs are already ``(x, rts, tra)``
+        int-tuples.  Callers with unchecked input use ``Configuration(...)``.
+        """
+        config = object.__new__(cls)
+        config._states = states
+        return config
+
     # -- parsing / rendering ----------------------------------------------
     @classmethod
     def parse(cls, text: str) -> "Configuration":

@@ -30,12 +30,23 @@ def _run_one(args) -> ExperimentResult:
     """Worker entry point (module-level for pickling).
 
     ``args`` is ``(experiment_id, fast)`` or the extended
-    ``(experiment_id, fast, live_progress, telemetry_dir, trace)``.
+    ``(experiment_id, fast, live_progress, telemetry_dir, trace,
+    use_fastpath)``.
     """
     experiment_id, fast = args[0], args[1]
     live_progress = args[2] if len(args) > 2 else False
     telemetry_dir = args[3] if len(args) > 3 else None
     trace = args[4] if len(args) > 4 else False
+    use_fastpath = args[5] if len(args) > 5 else True
+
+    if not use_fastpath:
+        # Workers are fresh processes, so flipping the process-wide override
+        # here scopes the opt-out to this experiment's entire run.
+        from repro.simulation.fastpath import fastpath_override
+
+        with fastpath_override(False):
+            return _run_one(
+                (experiment_id, fast, live_progress, telemetry_dir, trace))
 
     subscribers = []
     if live_progress:
@@ -72,6 +83,7 @@ def run_experiments_parallel(
     telemetry_dir: Optional[str] = None,
     trace: bool = False,
     on_result: Optional[OnResult] = None,
+    use_fastpath: bool = True,
 ) -> List[ExperimentResult]:
     """Run experiments across ``workers`` processes; results in input order.
 
@@ -96,12 +108,16 @@ def run_experiments_parallel(
     on_result:
         Parent-side callback fired per completed experiment, in completion
         order.
+    use_fastpath:
+        ``False`` pins every worker to the naive simulation path (the
+        packed-kernel opt-out, e.g. for A/B timing or debugging).
     """
     ids = list(experiment_ids) if experiment_ids is not None else list_experiments()
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     payloads = [
-        (eid, fast, live_progress, telemetry_dir, trace) for eid in ids
+        (eid, fast, live_progress, telemetry_dir, trace, use_fastpath)
+        for eid in ids
     ]
     if workers == 1:
         results = []

@@ -27,7 +27,12 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.simulation.fastpath.ssrmin_kernel import RULE_TABLE
 from repro.telemetry.session import current_session
+
+#: The scalar kernel's 128-entry guard-resolution table as a numpy LUT —
+#: one source of truth for rule priority across both execution models.
+_RULE_LUT = np.frombuffer(RULE_TABLE, dtype=np.uint8)
 
 
 @dataclass
@@ -116,7 +121,13 @@ class BatchSSRmin:
 
     # -- vectorized guards ------------------------------------------------------
     def _guards(self) -> Tuple[np.ndarray, np.ndarray]:
-        """``(G, rule)`` arrays; rule in {0 (none), 1..5} after priority."""
+        """``(G, rule)`` arrays; rule in {0 (none), 1..5} after priority.
+
+        One gather through the shared
+        :data:`~repro.simulation.fastpath.ssrmin_kernel.RULE_TABLE`
+        (indexed ``(G << 6) | (h_pred << 4) | (h_own << 2) | h_succ``)
+        replaces the five separate guard masks + ``np.select`` cascade.
+        """
         X, H, n = self.X, self.H, self.n
         Xp = np.roll(X, 1, axis=1)
         G = X != Xp
@@ -125,13 +136,8 @@ class BatchSSRmin:
         Hp = np.roll(H, 1, axis=1)
         Hs = np.roll(H, -1, axis=1)
 
-        r1 = G & ((H == 0) | (H == 1) | (H == 3))
-        r2 = G & (H == 2) & (Hs == 1)
-        r3 = ~G & (Hp == 2) & ((H == 0) | (H == 2) | (H == 3))
-        r4 = G & ~((Hp == 0) & (H == 2) & (Hs == 0))
-        r5 = ~G & ~((Hp == 2) & (H == 1)) & (H != 0)
-
-        rule = np.select([r1, r2, r3, r4, r5], [1, 2, 3, 4, 5], default=0)
+        idx = (G.astype(np.int64) << 6) | (Hp << 4) | (H << 2) | Hs
+        rule = _RULE_LUT[idx].astype(np.int64)
         return G, rule
 
     def enabled_counts(self) -> np.ndarray:

@@ -1,0 +1,316 @@
+"""Packed SSRmin kernel: flat ``x``/``h`` vectors + the shared rule table.
+
+Local states pack into two parallel lists: the Dijkstra counter ``x_i`` and
+the 2-bit handshake code ``h_i = 2*rts_i + tra_i``.  The five prioritized
+SSRmin guards (Algorithm 3) collapse into one 128-entry lookup table
+indexed by ``(G_i, h_{i-1}, h_i, h_{i+1})`` — the single source of truth
+for rule resolution, shared with the vectorized batch engine
+(:mod:`repro.simulation.batch` takes the same table per-element with
+numpy).  Each table lookup computes ``G_i`` exactly once, versus up to
+three recomputations per process on the naive path.
+
+Two cheap counters make the legitimacy test near-O(1) on the hot path:
+
+* ``diff_edges`` — cyclic x-boundary count ``|{i : x_i != x_{i-1 mod n}}|``;
+  a legitimate x-vector has 0 (all equal) or 2 (one staircase step plus the
+  wraparound), so anything else rejects immediately;
+* ``nonzero_h`` — processes with a non-quiet handshake; Definition 1 allows
+  exactly 1 or 2.
+
+Both are maintained incrementally under :meth:`apply`, so the full O(n)
+shape verification only runs on configurations that already look converged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.core.state import Configuration, StateTuple
+from repro.simulation.fastpath.kernel import FastKernel
+
+
+def _build_rule_table() -> bytes:
+    """Resolve SSRmin's prioritized guards for all 128 local neighborhoods.
+
+    Index layout: ``(g << 6) | (h_pred << 4) | (h_own << 2) | h_succ`` with
+    ``g`` the Dijkstra guard bit and each ``h`` the 2-bit handshake code.
+    Value: the winning rule id 1..5, or 0 when no guard holds.  Priority
+    ("smaller rule number wins") is already folded in, mirroring
+    :meth:`repro.core.rules.RuleSet.enabled_rule`:
+
+    * ``G_i`` true: ``h != 10`` -> R1; ``h == 10``: successor ``01`` -> R2,
+      neighborhood ``<00, 10, 00>`` -> stable, anything else -> R4;
+    * ``G_i`` false: predecessor ``10`` -> R3 unless own is ``01`` (the
+      mid-handshake state, stable); otherwise R5 unless own is ``00``.
+    """
+    table = bytearray(128)
+    for g in (0, 1):
+        for hp in range(4):
+            for h in range(4):
+                for hs in range(4):
+                    if g:
+                        if h != 2:
+                            rule = 1
+                        elif hs == 1:
+                            rule = 2
+                        elif hp == 0 and hs == 0:
+                            rule = 0
+                        else:
+                            rule = 4
+                    else:
+                        if hp == 2:
+                            rule = 3 if h != 1 else 0
+                        else:
+                            rule = 5 if h != 0 else 0
+                    table[(g << 6) | (hp << 4) | (h << 2) | hs] = rule
+    return bytes(table)
+
+
+#: The shared guard-resolution table (scalar kernel indexes it directly,
+#: the batch engine broadcasts it with ``numpy.take``).
+RULE_TABLE: bytes = _build_rule_table()
+
+#: Rule names by id; id 0 (disabled) has no name.
+SSRMIN_RULE_NAMES: Tuple[str, ...] = ("", "R1", "R2", "R3", "R4", "R5")
+
+
+class SSRminKernel(FastKernel):
+    """Fast kernel for :class:`repro.core.ssrmin.SSRmin`."""
+
+    rule_names = SSRMIN_RULE_NAMES
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        self.n = algorithm.n
+        self.K = algorithm.K
+        n = self.n
+        self._x = [0] * n
+        self._h = [0] * n
+        self._rule = [0] * n
+        self._enabled_set: set = set()
+        self._enabled_cache: Tuple[int, ...] | None = None
+        self._diff_edges = 0
+        self._nonzero_h = 0
+        self.key_base = self.K << 2
+        self.key_weights = [
+            self.key_base ** (n - 1 - i) for i in range(n)
+        ]
+
+    # -- loading / exporting -------------------------------------------------
+    def load(self, config: Any) -> None:
+        n, x, h = self.n, self._x, self._h
+        states = config.states if isinstance(config, Configuration) else config
+        for i in range(n):
+            xi, rts, tra = states[i]
+            x[i] = xi
+            h[i] = (rts << 1) | tra
+        self._reindex()
+
+    def load_key(self, key: int) -> None:
+        x, h, base = self._x, self._h, self.key_base
+        for i in range(self.n - 1, -1, -1):
+            key, d = divmod(key, base)
+            x[i] = d >> 2
+            h[i] = d & 3
+        self._reindex()
+
+    def unpack_key(self, key: int) -> Configuration:
+        n, base = self.n, self.key_base
+        states = [None] * n
+        for i in range(n - 1, -1, -1):
+            key, d = divmod(key, base)
+            states[i] = (d >> 2, (d >> 1) & 1, d & 1)
+        return Configuration.from_states(tuple(states))
+
+    def _reindex(self) -> None:
+        """Rebuild counters and the enabled set from the packed vectors —
+        one full pass computing ``G_i`` exactly once per process."""
+        n, x, h = self.n, self._x, self._h
+        self._diff_edges = sum(1 for i in range(n) if x[i] != x[i - 1])
+        self._nonzero_h = sum(1 for v in h if v)
+        rule, table = self._rule, RULE_TABLE
+        enabled = self._enabled_set
+        enabled.clear()
+        x_last = x[n - 1]
+        for i in range(n):
+            g = (x[i] == x_last) if i == 0 else (x[i] != x[i - 1])
+            r = table[(g << 6) | (h[i - 1] << 4) | (h[i] << 2) | h[(i + 1) % n]]
+            rule[i] = r
+            if r:
+                enabled.add(i)
+        self._enabled_cache = None
+
+    def export(self) -> Configuration:
+        x, h = self._x, self._h
+        return Configuration.from_states(
+            tuple((x[i], h[i] >> 1, h[i] & 1) for i in range(self.n))
+        )
+
+    def native_state(self, i: int) -> StateTuple:
+        hi = self._h[i]
+        return (self._x[i], hi >> 1, hi & 1)
+
+    def native_states(self, config: Any) -> Tuple[StateTuple, ...]:
+        return config.states if isinstance(config, Configuration) else tuple(config)
+
+    def wrap_states(self, states: Tuple[StateTuple, ...]) -> Configuration:
+        return Configuration.from_states(states)
+
+    # -- enabledness ---------------------------------------------------------
+    def enabled(self) -> Tuple[int, ...]:
+        cache = self._enabled_cache
+        if cache is None:
+            cache = self._enabled_cache = tuple(sorted(self._enabled_set))
+        return cache
+
+    def rule_id(self, i: int) -> int:
+        return self._rule[i]
+
+    # -- stepping ------------------------------------------------------------
+    def update(self, i: int) -> StateTuple:
+        r = self._rule[i]
+        if r == 0:
+            raise ValueError(f"process {i} is not enabled")
+        x = self._x
+        if r == 1:                      # R1: <rts.tra> <- 10
+            return (x[i], 1, 0)
+        if r == 3:                      # R3: <rts.tra> <- 01
+            return (x[i], 0, 1)
+        if r == 5:                      # R5: <rts.tra> <- 00
+            return (x[i], 0, 0)
+        # R2 / R4: x <- C_i, <rts.tra> <- 00
+        nx = (x[self.n - 1] + 1) % self.K if i == 0 else x[i - 1]
+        return (nx, 0, 0)
+
+    def apply(self, selection: Sequence[int]) -> None:
+        n, K = self.n, self.K
+        x, h, rule = self._x, self._h, self._rule
+        selected = set(selection)
+        if not selected:
+            raise ValueError("daemon must select a non-empty set of processes")
+        # Commands are computed from the OLD state (composite atomicity).
+        writes = []
+        for i in selected:
+            r = rule[i]
+            if r == 0:
+                raise ValueError(f"process {i} is not enabled")
+            if r == 1:
+                writes.append((i, -1, 2))
+            elif r == 3:
+                writes.append((i, -1, 1))
+            elif r == 5:
+                writes.append((i, -1, 0))
+            else:  # R2 / R4
+                nx = (x[n - 1] + 1) % K if i == 0 else x[i - 1]
+                writes.append((i, nx, 0))
+
+        # Incremental counter maintenance: compare the touched x-edges and
+        # handshake entries before/after the simultaneous writes.
+        edges = set()
+        for i, nx, _ in writes:
+            if nx >= 0:
+                edges.add(i)
+                edges.add((i + 1) % n)
+        old_edges = sum(1 for e in edges if x[e] != x[e - 1])
+        old_nz = sum(1 for i, _, _ in writes if h[i])
+        for i, nx, nh in writes:
+            if nx >= 0:
+                x[i] = nx
+            h[i] = nh
+        self._diff_edges += sum(1 for e in edges if x[e] != x[e - 1]) - old_edges
+        self._nonzero_h += sum(1 for i, _, _ in writes if h[i]) - old_nz
+
+        # Neighborhood invalidation: only {i-1, i, i+1 : i in S} can change.
+        dirty = set()
+        for i in selected:
+            dirty.add((i - 1) % n)
+            dirty.add(i)
+            dirty.add((i + 1) % n)
+        table, enabled = RULE_TABLE, self._enabled_set
+        x_last = x[n - 1]
+        for j in dirty:
+            g = (x[j] == x_last) if j == 0 else (x[j] != x[j - 1])
+            r = table[(g << 6) | (h[j - 1] << 4) | (h[j] << 2) | h[(j + 1) % n]]
+            if r != rule[j]:
+                rule[j] = r
+            if r:
+                enabled.add(j)
+            else:
+                enabled.discard(j)
+        self._enabled_cache = None
+
+    # -- predicates ----------------------------------------------------------
+    def _primary_position(self) -> int:
+        """Token position of the (pre-validated) legitimate x-vector."""
+        if self._diff_edges == 0:
+            return 0
+        x, n = self._x, self.n
+        for b in range(1, n):
+            if x[b] != x[b - 1]:
+                return b
+        raise AssertionError("diff_edges == 2 but no interior boundary")
+
+    def _x_part_legitimate(self) -> bool:
+        """Dijkstra-legitimacy of the x-vector, counter-gated."""
+        de = self._diff_edges
+        if de == 0:
+            return True
+        if de != 2:
+            return False
+        x, n, K = self._x, self.n, self.K
+        if x[0] == x[n - 1]:
+            # The wraparound edge must be one of the two boundaries.
+            return False
+        b = self._primary_position()
+        return x[0] == (x[b] + 1) % K
+
+    def dijkstra_legitimate(self) -> bool:
+        """Legitimacy of the embedded Dijkstra ring (the Lemma 6/8 phase-1
+        milestone tracked by :func:`repro.simulation.convergence.converge`)."""
+        return self._x_part_legitimate()
+
+    def is_legitimate(self) -> bool:
+        nz = self._nonzero_h
+        if nz not in (1, 2) or not self._x_part_legitimate():
+            return False
+        h, pos = self._h, self._primary_position()
+        if nz == 1:
+            # Shape <0.1> or <1.0> at the token position, quiet elsewhere.
+            return h[pos] in (1, 2)
+        # Shape <1.0> at pos, <0.1> at its successor, quiet elsewhere.
+        return h[pos] == 2 and h[(pos + 1) % self.n] == 1
+
+    def privileged(self) -> Tuple[int, ...]:
+        x, h, n = self._x, self._h, self.n
+        x_last = x[n - 1]
+        out = []
+        for i in range(n):
+            g = (x[i] == x_last) if i == 0 else (x[i] != x[i - 1])
+            if g:
+                out.append(i)
+                continue
+            hi = h[i]
+            # tra_i = 1, or rts_i = 1 with a quiet successor.
+            if (hi & 1) or ((hi & 2) and h[(i + 1) % n] == 0):
+                out.append(i)
+        return tuple(out)
+
+    # -- state keys ----------------------------------------------------------
+    def key(self) -> int:
+        x, h, base = self._x, self._h, self.K << 2
+        k = 0
+        for i in range(self.n):
+            k = k * base + ((x[i] << 2) | h[i])
+        return k
+
+    def pack_key(self, config: Any) -> int:
+        states = config.states if isinstance(config, Configuration) else config
+        base = self.key_base
+        k = 0
+        for xi, rts, tra in states:
+            k = k * base + ((xi << 2) | (rts << 1) | tra)
+        return k
+
+    def digit(self, state: StateTuple) -> int:
+        x, rts, tra = state
+        return (x << 2) | (rts << 1) | tra

@@ -114,6 +114,18 @@ class TelemetrySession:
         for fn in self._extra:
             fn(event)
 
+    @property
+    def step_detail(self) -> bool:
+        """Whether per-step events have a consumer (trace file or subscriber).
+
+        Hot loops batch their counter updates regardless, but only publish
+        per-step ``engine.step`` events when something will actually observe
+        them — a metrics/manifest-only session skips the bus fan-out, which
+        is what keeps telemetry-on runs within a few percent of
+        telemetry-off (see ``benchmarks/bench_perf_engines.py``).
+        """
+        return self._writer is not None or bool(self._extra)
+
     # -- lifecycle ---------------------------------------------------------
     @property
     def trace_truncated(self) -> bool:

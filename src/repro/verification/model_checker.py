@@ -20,8 +20,9 @@ an illegitimate cycle (convergence fails); otherwise each state's value is
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.verification.transition_system import TransitionSystem
 
@@ -99,8 +100,15 @@ def _longest_path_to_lambda(
 
     Returns ``(worst_case_steps, None)`` when convergence holds, or
     ``(None, cycle)`` when an illegitimate cycle exists.
+
+    Everything is key-centric: the DFS stack, colour map, value table and
+    path all hold packed keys only
+    (:meth:`~repro.verification.transition_system.TransitionSystem.successor_keys`),
+    so the bulk of the state space is explored without ever materializing a
+    configuration object.  Configurations are decoded only to report a
+    cycle.
     """
-    alg = ts.algorithm
+    legit = ts.is_legitimate_key
     WHITE, GREY, BLACK = 0, 1, 2
     colour = {}
     value = {}
@@ -108,35 +116,33 @@ def _longest_path_to_lambda(
 
     for start in ts.states():
         k0 = ts._key(start)
-        if colour.get(k0, WHITE) != WHITE:
+        if colour.get(k0, WHITE) != WHITE or legit(k0):
             continue
-        if alg.is_legitimate(start):
-            continue
-        # Iterative DFS from this illegitimate configuration.
-        stack: List[Tuple[Any, Any, int]] = [(start, ts.successors(start), 0)]
+        # Iterative DFS from this illegitimate configuration.  Stack frames
+        # carry (key, successor keys, next index); path carries the keys
+        # for cycle extraction.
+        stack: List[Tuple[Any, Tuple[Any, ...], int]] = [
+            (k0, ts.successor_keys(start, k0), 0)
+        ]
         colour[k0] = GREY
-        path = [start]
+        path: List[Any] = [k0]
         while stack:
-            node, succs, idx = stack[-1]
-            nk = ts._key(node)
+            nk, succs, idx = stack[-1]
             if idx < len(succs):
-                stack[-1] = (node, succs, idx + 1)
-                child = succs[idx]
-                if alg.is_legitimate(child):
+                stack[-1] = (nk, succs, idx + 1)
+                ck = succs[idx]
+                if legit(ck):
                     value[nk] = max(value.get(nk, 1), 1)
                     continue
-                ck = ts._key(child)
                 c = colour.get(ck, WHITE)
                 if c == GREY:
-                    # Illegitimate cycle found; extract it from the path.
-                    cyc_start = next(
-                        i for i, p in enumerate(path) if ts._key(p) == ck
-                    )
-                    return None, path[cyc_start:] + [child]
+                    # Illegitimate cycle found; decode it from the path.
+                    cyc = path[path.index(ck):] + [ck]
+                    return None, [ts.config_for_key(k) for k in cyc]
                 if c == WHITE:
                     colour[ck] = GREY
-                    path.append(child)
-                    stack.append((child, ts.successors(child), 0))
+                    path.append(ck)
+                    stack.append((ck, ts.successor_keys_for(ck), 0))
                 else:  # BLACK
                     value[nk] = max(value.get(nk, 1), 1 + value[ck])
             else:
@@ -147,7 +153,7 @@ def _longest_path_to_lambda(
                 stack.pop()
                 path.pop()
                 if stack:
-                    pk = ts._key(stack[-1][0])
+                    pk = stack[-1][0]
                     value[pk] = max(value.get(pk, 1), 1 + v)
     return best, None
 
@@ -158,9 +164,11 @@ def check_self_stabilization(
     """Run the full exhaustive check on a transition system.
 
     Enumerates every configuration once for deadlock/closure and (optionally)
-    runs the longest-path analysis for convergence + worst case.
+    runs the longest-path analysis for convergence + worst case.  All
+    legitimacy queries go through the transition system's memoized
+    :meth:`~repro.verification.transition_system.TransitionSystem.is_legitimate`
+    so each configuration is classified once across both phases.
     """
-    alg = ts.algorithm
     deadlocks: List[Any] = []
     closure_violations: List[Tuple[Any, Any]] = []
     state_count = 0
@@ -168,19 +176,21 @@ def check_self_stabilization(
 
     for config in ts.states():
         state_count += 1
-        legit = alg.is_legitimate(config)
+        key = ts._key(config)
+        skeys = ts.successor_keys(config, key)
+        legit = ts.is_legitimate_key(key)
         if legit:
             legit_count += 1
-        succs = ts.successors(config)
-        if not succs and not ts.is_deadlocked(config):
-            raise AssertionError("successor computation inconsistent with enabledness")
-        if ts.is_deadlocked(config):
+        if not skeys:
+            if not ts.is_deadlocked(config):
+                raise AssertionError(
+                    "successor computation inconsistent with enabledness")
             deadlocks.append(config)
             continue
         if legit:
-            for s in succs:
-                if not alg.is_legitimate(s):
-                    closure_violations.append((config, s))
+            for sk in skeys:
+                if not ts.is_legitimate_key(sk):
+                    closure_violations.append((config, ts.config_for_key(sk)))
 
     worst: Optional[int] = None
     cycle: Optional[List[Any]] = None
@@ -222,46 +232,48 @@ def worst_case_witness(ts: TransitionSystem) -> List[Any]:
     over the acyclic illegitimate region — well-defined once convergence
     holds) and then walking value-maximizing successors.
     """
-    alg = ts.algorithm
+    legit = ts.is_legitimate_key
 
-    # Value function: steps-to-Lambda under the adversarial daemon.
+    # Value function: steps-to-Lambda under the adversarial daemon,
+    # computed entirely on packed keys.
     value: Dict[Any, int] = {}
 
-    def val(config: Any) -> int:
-        if alg.is_legitimate(config):
+    def val(k: Any) -> int:
+        if legit(k):
             return 0
-        k = ts._key(config)
         if k in value:
             return value[k]
         # Sentinel to catch cycles (would mean non-convergence).
         value[k] = -1
         best = 0
-        for s in ts.successors(config):
-            v = val(s)
+        for sk in ts.successor_keys_for(k):
+            v = val(sk)
             if v < 0:
                 raise AssertionError("illegitimate cycle: no worst case exists")
             best = max(best, 1 + v)
         value[k] = best
         return best
 
-    import sys
-
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 10 * ts.state_count() + 1000))
     try:
-        worst_start = None
+        worst_key = None
         worst_val = -1
         for config in ts.states():
-            v = val(config)
+            k = ts._key(config)
+            # Prime the successor-key cache from the configuration we
+            # already hold (spares the naive path a key decode).
+            ts.successor_keys(config, k)
+            v = val(k)
             if v > worst_val:
-                worst_val, worst_start = v, config
+                worst_val, worst_key = v, k
     finally:
         sys.setrecursionlimit(old_limit)
 
-    assert worst_start is not None
-    path = [worst_start]
-    config = worst_start
-    while not alg.is_legitimate(config):
-        config = max(ts.successors(config), key=val)
-        path.append(config)
+    assert worst_key is not None
+    key = worst_key
+    path = [ts.config_for_key(key)]
+    while not legit(key):
+        key = max(ts.successor_keys_for(key), key=val)
+        path.append(ts.config_for_key(key))
     return path

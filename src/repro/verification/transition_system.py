@@ -10,8 +10,13 @@ them, supporting both daemon semantics:
   processes (optionally capped at ``max_selection`` to bound fan-out; the cap
   is reported so callers know when coverage is partial).
 
-Configurations are identified by their hashable normal forms (tuples of local
-states, or :class:`~repro.core.state.Configuration` which hashes likewise).
+Configurations are identified by their hashable normal forms.  With a
+:mod:`~repro.simulation.fastpath` kernel available, keys are *packed ints*
+(collision-free base-``|Q|`` encodings — cheaper to hash and compare than
+tuples-of-tuples), successor generation computes each enabled command
+**once** per configuration and reuses it across all daemon selections
+(the naive path re-evaluates guards for every subset), and legitimacy
+tests are memoized per key for the model checker's repeated queries.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import itertools
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.algorithms.base import RingAlgorithm
+from repro.simulation.fastpath import resolve_kernel
 
 
 def nonempty_subsets(
@@ -45,6 +51,9 @@ class TransitionSystem:
         ``None`` explores all subsets (exponential in the enabled count —
         fine here because self-stabilizing ring algorithms rarely have many
         simultaneously enabled processes in small instances).
+    use_fastpath:
+        Force the packed kernel on/off; default probes
+        ``algorithm.fast_kernel()`` and falls back to the naive path.
     """
 
     def __init__(
@@ -52,13 +61,18 @@ class TransitionSystem:
         algorithm: RingAlgorithm,
         daemon: str = "distributed",
         max_selection: Optional[int] = None,
+        use_fastpath: Optional[bool] = None,
     ):
         if daemon not in ("central", "distributed"):
             raise ValueError(f"daemon must be 'central' or 'distributed', got {daemon!r}")
         self.algorithm = algorithm
         self.daemon = daemon
         self.max_selection = 1 if daemon == "central" else max_selection
+        self._kernel = resolve_kernel(algorithm, use_fastpath)
         self._succ_cache: Dict[Any, Tuple[Any, ...]] = {}
+        self._succ_keys: Dict[Any, Tuple[Any, ...]] = {}
+        self._succ_cfgs: Dict[Any, Tuple[Any, ...]] = {}
+        self._legit_cache: Dict[Any, bool] = {}
 
     # -- state enumeration ----------------------------------------------------
     def states(self) -> Iterator[Any]:
@@ -68,15 +82,17 @@ class TransitionSystem:
     def state_count(self) -> int:
         """|Q|^n for the default configuration space.
 
-        Algorithms overriding :meth:`configuration_space` (e.g. the 4-state
-        ring with frozen bits) are counted by iteration.
+        Algorithms overriding :meth:`configuration_space` (e.g. restricted
+        sub-spaces) are counted by iteration.
         """
         try:
             q = self.algorithm.state_count_per_process()
             # Trust the product form only for the default space.
             if type(self.algorithm).configuration_space is RingAlgorithm.configuration_space:
                 return q ** self.algorithm.n
-        except Exception:
+        except (TypeError, NotImplementedError):
+            # state_count_per_process needs a materializable local state
+            # space; fall through to counting by iteration.
             pass
         return sum(1 for _ in self.states())
 
@@ -84,28 +100,223 @@ class TransitionSystem:
     def successors(self, config: Any) -> Tuple[Any, ...]:
         """Distinct successor configurations under the chosen daemon."""
         key = self._key(config)
+        cached = self._succ_cfgs.get(key)
+        if cached is None:
+            cached = tuple(c for _, c in self.successor_items(config, key))
+            self._succ_cfgs[key] = cached
+        return cached
+
+    def successor_items(
+        self, config: Any, key: Optional[Any] = None
+    ) -> Tuple[Tuple[Any, Any], ...]:
+        """Distinct successors as ``(key, configuration)`` pairs.
+
+        The model checker is key-centric (colour maps, value tables, memo
+        probes all index by key), so handing keys out with the successors
+        lets it avoid ever re-packing a configuration it already visited.
+        ``key`` may be passed when the caller has already computed it.
+        """
+        if key is None:
+            key = self._key(config)
         cached = self._succ_cache.get(key)
         if cached is not None:
             return cached
+        if self._kernel is not None:
+            out = self._successor_items_fast(config, key)
+        else:
+            out = self._successor_items_naive(config)
+        self._succ_cache[key] = out
+        self._succ_keys.setdefault(key, tuple(k for k, _ in out))
+        return out
+
+    def successor_keys(
+        self, config: Any, key: Optional[Any] = None
+    ) -> Tuple[Any, ...]:
+        """Distinct successor *keys* only — no configurations materialized.
+
+        The model checker's bulk phases (closure sweep, cycle detection,
+        longest path) never look inside a successor, only at its identity
+        and legitimacy, so on the fast path this skips building the
+        tuples-of-tuples configuration objects entirely.  Configurations
+        are recovered on demand via :meth:`config_for_key`.
+        """
+        if key is None:
+            key = self._key(config)
+        cached = self._succ_keys.get(key)
+        if cached is not None:
+            return cached
+        if self._kernel is not None:
+            self._kernel.load(config)
+            out = self._succ_keys_from_loaded(key)
+        else:
+            out = tuple(k for k, _ in self.successor_items(config, key))
+        self._succ_keys[key] = out
+        return out
+
+    def successor_keys_for(self, key: Any) -> Tuple[Any, ...]:
+        """:meth:`successor_keys` addressed purely by key.
+
+        On the fast path the kernel decodes the key directly into its
+        packed vectors (:meth:`~repro.simulation.fastpath.kernel.FastKernel.load_key`);
+        the naive path reconstructs the configuration first.
+        """
+        cached = self._succ_keys.get(key)
+        if cached is not None:
+            return cached
+        if self._kernel is not None:
+            self._kernel.load_key(key)
+            out = self._succ_keys_from_loaded(key)
+        else:
+            out = tuple(
+                k for k, _ in self.successor_items(self.config_for_key(key), key)
+            )
+        self._succ_keys[key] = out
+        return out
+
+    def _succ_keys_from_loaded(self, key: Any) -> Tuple[Any, ...]:
+        """Successor keys of the kernel's loaded configuration.
+
+        Each enabled command is evaluated once; every selection's key then
+        falls out of digit-delta integer arithmetic on ``key``.  The load
+        also seeds the legitimacy memo for free (counter-gated, near O(1)).
+        """
+        kernel = self._kernel
+        if key not in self._legit_cache:
+            self._legit_cache[key] = kernel.is_legitimate()
+        enabled = kernel.enabled()
+        if not enabled:
+            return ()
+        digit = kernel.digit
+        weights = kernel.key_weights
+        delta = {
+            i: (digit(kernel.update(i)) - digit(kernel.native_state(i)))
+            * weights[i]
+            for i in enabled
+        }
+        out: List[Any] = []
+        seen = set()
+        for sel in nonempty_subsets(enabled, self.max_selection):
+            k = key
+            for i in sel:
+                k += delta[i]
+            if k not in seen:
+                seen.add(k)
+                out.append(k)
+        return tuple(out)
+
+    def config_for_key(self, key: Any) -> Any:
+        """The algorithm-native configuration a key encodes.
+
+        Fast path: arithmetic decode (inverse of ``pack_key``).  Naive
+        path: keys *are* the configuration's normal-form state tuple, so
+        :meth:`~repro.algorithms.base.RingAlgorithm.normalize_configuration`
+        rebuilds the native type.
+        """
+        if self._kernel is not None:
+            return self._kernel.unpack_key(key)
+        return self.algorithm.normalize_configuration(key)
+
+    def _successor_items_naive(
+        self, config: Any
+    ) -> Tuple[Tuple[Any, Any], ...]:
         enabled = self.algorithm.enabled_processes(config)
-        succs: List[Any] = []
+        succs: List[Tuple[Any, Any]] = []
         seen = set()
         for sel in nonempty_subsets(enabled, self.max_selection):
             nxt = self.algorithm.step(config, sel)
             k = self._key(nxt)
             if k not in seen:
                 seen.add(k)
-                succs.append(nxt)
-        out = tuple(succs)
-        self._succ_cache[key] = out
-        return out
+                succs.append((k, nxt))
+        return tuple(succs)
+
+    def _successor_items_fast(
+        self, config: Any, key: Any
+    ) -> Tuple[Tuple[Any, Any], ...]:
+        """Kernel-backed successor generation.
+
+        Loads ``config`` once, computes every enabled process's command
+        once, then derives each selection's successor *key* by integer
+        digit-delta arithmetic on the loaded key — no guard re-evaluation
+        and no re-packing per subset; configurations are only materialized
+        for keys not seen before.  The load also yields the configuration's
+        own legitimacy (counter-gated, near O(1)), which seeds the
+        :meth:`is_legitimate` memo for free.
+        """
+        kernel = self._kernel
+        kernel.load(config)
+        if key not in self._legit_cache:
+            self._legit_cache[key] = kernel.is_legitimate()
+        enabled = kernel.enabled()
+        if not enabled:
+            return ()
+        base = kernel.native_states(config)
+        digit = kernel.digit
+        weights = kernel.key_weights
+        updates = {}
+        delta = {}
+        for i in enabled:
+            updates[i] = up = kernel.update(i)
+            delta[i] = (digit(up) - digit(base[i])) * weights[i]
+        wrap = kernel.wrap_states
+        succs: List[Tuple[Any, Any]] = []
+        seen = set()
+        for sel in nonempty_subsets(enabled, self.max_selection):
+            k = key
+            for i in sel:
+                k += delta[i]
+            if k not in seen:
+                seen.add(k)
+                states = list(base)
+                for i in sel:
+                    states[i] = updates[i]
+                succs.append((k, wrap(tuple(states))))
+        return tuple(succs)
 
     def is_deadlocked(self, config: Any) -> bool:
         """True iff no process is enabled."""
+        if self._kernel is not None:
+            self._kernel.load(config)
+            return not self._kernel.enabled()
         return not self.algorithm.enabled_processes(config)
 
-    @staticmethod
-    def _key(config: Any) -> Any:
+    def is_legitimate(self, config: Any, key: Optional[Any] = None) -> bool:
+        """Memoized legitimacy test keyed like :meth:`successors`.
+
+        The model checker asks this for the same configuration along many
+        paths; memoization turns the repeated O(n) predicate into one dict
+        probe per revisit.  ``key`` may be passed when already known.
+        """
+        if key is None:
+            key = self._key(config)
+        cached = self._legit_cache.get(key)
+        if cached is None:
+            cached = self.algorithm.is_legitimate(config)
+            self._legit_cache[key] = cached
+        return cached
+
+    def is_legitimate_key(self, key: Any) -> bool:
+        """:meth:`is_legitimate` addressed purely by key.
+
+        Usually a dict hit — successor generation seeds the memo for every
+        configuration it loads.  On a miss the fast path decodes the key
+        into the kernel (no configuration object); the naive path rebuilds
+        the configuration.
+        """
+        cached = self._legit_cache.get(key)
+        if cached is None:
+            if self._kernel is not None:
+                self._kernel.load_key(key)
+                cached = self._kernel.is_legitimate()
+            else:
+                cached = self.algorithm.is_legitimate(self.config_for_key(key))
+            self._legit_cache[key] = cached
+        return cached
+
+    def _key(self, config: Any) -> Any:
+        """Hashable identity of ``config`` (packed int on the fast path)."""
+        if self._kernel is not None:
+            return self._kernel.pack_key(config)
         states = getattr(config, "states", None)
         return states if states is not None else config
 
@@ -117,8 +328,7 @@ class TransitionSystem:
         while frontier:
             nxt_frontier = []
             for c in frontier:
-                for s in self.successors(c):
-                    k = self._key(s)
+                for k, s in self.successor_items(c):
                     if k not in seen:
                         seen[k] = s
                         nxt_frontier.append(s)

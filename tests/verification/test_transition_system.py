@@ -76,3 +76,66 @@ class TestTransitionSystem:
         for config in ts.states():
             reached = ts.reachable_from([config])
             assert any(alg.is_legitimate(c) for c in reached.values())
+
+    def test_memoized_legitimacy_matches_algorithm(self):
+        alg = DijkstraKState(3, 4)
+        ts = TransitionSystem(alg)
+        for config in ts.states():
+            assert ts.is_legitimate(config) == alg.is_legitimate(config)
+            # Second query must hit the memo and agree.
+            assert ts.is_legitimate(config) == alg.is_legitimate(config)
+
+    def test_fastpath_and_naive_reachability_agree(self):
+        alg = SSRmin(3, 4)
+        fast = TransitionSystem(alg, daemon="central", use_fastpath=True)
+        naive = TransitionSystem(alg, daemon="central", use_fastpath=False)
+        start = alg.initial_configuration()
+        reached_fast = {c.states for c in fast.reachable_from([start]).values()}
+        reached_naive = {c.states for c in naive.reachable_from([start]).values()}
+        assert reached_fast == reached_naive
+
+
+class _RestrictedSpaceDijkstra(DijkstraKState):
+    """Overrides configuration_space: only staircase-reachable configs."""
+
+    def configuration_space(self):
+        for x in range(self.K):
+            for split in range(self.n):
+                step = (x + 1) % self.K
+                yield tuple(
+                    step if i < split else x for i in range(self.n)
+                )
+
+
+class _UncountableStateSpace(DijkstraKState):
+    """local_state_space cannot be materialized (len raises TypeError)."""
+
+    def local_state_space(self):
+        return iter(range(self.K))
+
+    def configuration_space(self):
+        yield (0,) * self.n
+        yield (1,) * self.n
+
+
+class TestStateCount:
+    def test_override_counted_by_iteration(self):
+        alg = _RestrictedSpaceDijkstra(3, 4)
+        ts = TransitionSystem(alg)
+        # K values x n splits — far fewer than K^n, so the product
+        # shortcut must not be trusted for overridden spaces.
+        assert ts.state_count() == 4 * 3
+
+    def test_expected_exceptions_fall_back_to_iteration(self):
+        alg = _UncountableStateSpace(3, 4)
+        ts = TransitionSystem(alg)
+        assert ts.state_count() == 2
+
+    def test_unexpected_exceptions_propagate(self):
+        class Broken(DijkstraKState):
+            def state_count_per_process(self):
+                raise RuntimeError("boom")
+
+        ts = TransitionSystem(Broken(3, 4))
+        with pytest.raises(RuntimeError):
+            ts.state_count()

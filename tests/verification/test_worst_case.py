@@ -51,6 +51,36 @@ class TestWorstCaseWitness:
         n = 3
         assert len(path) - 1 <= 60 * n * n + 600
 
+    def test_witness_on_tiny_dijkstra_ring_regression(self):
+        """Regression for the missing ``Dict`` import in model_checker.
+
+        ``worst_case_witness`` annotates its memo table with ``Dict`` at
+        function scope; with the name absent from the module namespace the
+        call was one evaluated-annotations switch away from a NameError.
+        The import now lives at module top — this pins the function working
+        end to end on the smallest ring.
+        """
+        import typing
+
+        import repro.verification.model_checker as mc
+
+        assert getattr(mc, "Dict") is typing.Dict
+        assert getattr(mc, "sys") is not None  # import sys at module top
+        alg = DijkstraKState(2, 3)
+        path = worst_case_witness(TransitionSystem(alg, "distributed"))
+        assert len(path) >= 1
+        assert alg.is_legitimate(path[-1])
+        for config in path[:-1]:
+            assert not alg.is_legitimate(config)
+
+    def test_witness_fastpath_matches_naive_value(self):
+        alg = SSRmin(3, 4)
+        fast = worst_case_witness(
+            TransitionSystem(alg, "distributed", use_fastpath=True))
+        naive = worst_case_witness(
+            TransitionSystem(alg, "distributed", use_fastpath=False))
+        assert len(fast) == len(naive)
+
     def test_central_daemon_worst_at_least_distributed_start_value(self):
         """The central daemon is a restriction of the distributed one, so
         its exact worst case cannot exceed the distributed daemon's."""
