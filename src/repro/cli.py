@@ -10,7 +10,11 @@ Commands
 * ``stats <trace.jsonl | manifest.json>`` — replay a telemetry artifact
   and print its metrics summary;
 * ``demo`` — a 30-second terminal demo: the inchworm trace (Figure 4) and a
-  message-passing timeline strip chart (Figure 13).
+  message-passing timeline strip chart (Figure 13);
+* ``fuzz run|shrink|replay|seed-corpus`` — the conformance harness: seeded
+  differential fuzz campaigns across the reference engine, fastpath kernels
+  and the CST projection, witness minimization, and corpus replay
+  (see ``docs/TESTING.md``).
 """
 
 from __future__ import annotations
@@ -143,6 +147,114 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.verification.conformance import run_campaign
+
+    kwargs = dict(
+        seed=args.seed,
+        trials=args.trials,
+        time_budget=args.time_budget,
+        algorithms=tuple(args.algorithms),
+        ns=tuple(args.ns),
+        daemon_families=tuple(args.daemons),
+        fault_ops=args.fault_ops,
+        use_cst=not args.no_cst,
+        shrink=not args.no_shrink,
+        corpus_dir=args.corpus_dir,
+        max_divergences=args.max_divergences,
+    )
+    if args.trials is None and args.time_budget is None:
+        kwargs["time_budget"] = 30.0
+
+    if args.no_telemetry:
+        result = run_campaign(**kwargs)
+    else:
+        from repro.telemetry import (
+            build_manifest, telemetry_session, write_manifest,
+        )
+
+        run_dir = os.path.join(args.telemetry_dir, f"fuzz-seed{args.seed}")
+        os.makedirs(run_dir, exist_ok=True)
+        trace_path = os.path.join(run_dir, "trace.jsonl")
+        with telemetry_session(trace_path=trace_path) as tel:
+            result = run_campaign(**kwargs)
+        manifest = build_manifest(
+            tel,
+            experiment_id=f"fuzz-seed{args.seed}",
+            command=f"repro fuzz run --seed {args.seed}",
+            trace_file=trace_path,
+            extra={"campaign": result.to_json()},
+        )
+        write_manifest(os.path.join(run_dir, "manifest.json"), manifest)
+        print(f"telemetry: {run_dir}/ (manifest.json, trace.jsonl)")
+
+    print(result.summary())
+    for rec in result.divergences:
+        print(f"  trial {rec.trial} [{rec.scenario.algorithm}/"
+              f"{rec.scenario.daemon_family}]: "
+              f"{rec.divergence['kind']} at step {rec.divergence['step']}")
+        if rec.path:
+            print(f"    shrunk witness: {rec.path}")
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    return 0 if result.ok else 1
+
+
+def _cmd_fuzz_shrink(args: argparse.Namespace) -> int:
+    from repro.verification.conformance import Witness, shrink_witness
+
+    witness = Witness.load(args.witness)
+    try:
+        shrunk, stats = shrink_witness(
+            witness, max_replays=args.max_replays, use_cst=not args.no_cst
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    out = args.output or args.witness
+    shrunk.save(out)
+    print(stats.summary())
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.verification.conformance import (
+        corpus_files, replay_witness_file,
+    )
+    import os
+
+    paths = []
+    for target in args.paths:
+        if os.path.isdir(target):
+            paths.extend(corpus_files(target))
+        else:
+            paths.append(target)
+    if not paths:
+        print("no witness files to replay", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in paths:
+        outcome = replay_witness_file(path, use_cst=not args.no_cst)
+        status = "ok" if outcome.ok else "FAIL"
+        print(f"{status:4s} {path}: {outcome.message}")
+        if not outcome.ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_fuzz_seed_corpus(args: argparse.Namespace) -> int:
+    from repro.verification.conformance import seed_corpus
+
+    paths = seed_corpus(args.directory, verify=not args.no_verify)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = argparse.ArgumentParser(
@@ -199,6 +311,71 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_verify.add_argument("--daemon", choices=["central", "distributed"],
                           default="distributed")
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="conformance harness: fuzz, shrink, replay, seed-corpus"
+    )
+    fuzz_sub = p_fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    pf_run = fuzz_sub.add_parser(
+        "run", help="run a seeded differential fuzz campaign"
+    )
+    pf_run.add_argument("--seed", type=int, default=0)
+    pf_run.add_argument("--trials", type=int, default=None,
+                        help="exact trial count (fully deterministic)")
+    pf_run.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock bound (default 30s if no --trials)")
+    pf_run.add_argument("--algorithms", nargs="+",
+                        default=["ssrmin", "dijkstra"],
+                        choices=["ssrmin", "dijkstra"])
+    pf_run.add_argument("--ns", nargs="+", type=int,
+                        default=[3, 4, 5, 6, 7, 8], metavar="N",
+                        help="ring sizes to draw from")
+    pf_run.add_argument("--daemons", nargs="+",
+                        default=["central", "distributed", "adversarial",
+                                 "weighted"],
+                        choices=["central", "distributed", "adversarial",
+                                 "weighted"])
+    pf_run.add_argument("--fault-ops", type=int, default=4,
+                        help="max fault-script ops per trial")
+    pf_run.add_argument("--no-cst", action="store_true",
+                        help="skip the CST projection leg")
+    pf_run.add_argument("--no-shrink", action="store_true",
+                        help="keep failing witnesses unminimized")
+    pf_run.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="write shrunk failing witnesses here")
+    pf_run.add_argument("--max-divergences", type=int, default=5)
+    pf_run.add_argument("--telemetry-dir", default="runs", metavar="DIR")
+    pf_run.add_argument("--no-telemetry", action="store_true")
+    pf_run.add_argument("--json", action="store_true",
+                        help="also print the JSON campaign summary")
+    pf_run.set_defaults(fn=_cmd_fuzz_run)
+
+    pf_shrink = fuzz_sub.add_parser(
+        "shrink", help="minimize a failing witness file"
+    )
+    pf_shrink.add_argument("witness", help="path to a witness .jsonl")
+    pf_shrink.add_argument("-o", "--output", default=None,
+                           help="output path (default: overwrite input)")
+    pf_shrink.add_argument("--max-replays", type=int, default=250)
+    pf_shrink.add_argument("--no-cst", action="store_true")
+    pf_shrink.set_defaults(fn=_cmd_fuzz_shrink)
+
+    pf_replay = fuzz_sub.add_parser(
+        "replay", help="replay witness files / corpus directories"
+    )
+    pf_replay.add_argument("paths", nargs="+",
+                           help="witness .jsonl files or directories")
+    pf_replay.add_argument("--no-cst", action="store_true")
+    pf_replay.set_defaults(fn=_cmd_fuzz_replay)
+
+    pf_seed = fuzz_sub.add_parser(
+        "seed-corpus", help="regenerate the checked-in replay corpus"
+    )
+    pf_seed.add_argument("directory", nargs="?", default="tests/corpus")
+    pf_seed.add_argument("--no-verify", action="store_true")
+    pf_seed.set_defaults(fn=_cmd_fuzz_seed_corpus)
 
     args = parser.parse_args(argv)
     return args.fn(args)

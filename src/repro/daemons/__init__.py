@@ -16,6 +16,9 @@ scheduler — so this package provides a spectrum of schedulers to exercise it:
 * :class:`RoundRobinDaemon` — a fair central daemon;
 * :class:`AdversarialDaemon` — greedy lookahead trying to maximize
   convergence time (an *unfair* daemon by construction);
+* :class:`WeightedUnfairDaemon` — geometrically skewed selections that
+  starve a tail of the ring for long stretches (the conformance fuzzer's
+  fourth schedule family);
 * :class:`ReplayDaemon` — replays a recorded selection sequence
   (deterministic regression tests, Figure 4).
 """
@@ -33,6 +36,7 @@ from repro.daemons.distributed import (
 )
 from repro.daemons.adversarial import AdversarialDaemon
 from repro.daemons.replay import ReplayDaemon
+from repro.daemons.weighted import WeightedUnfairDaemon
 
 __all__ = [
     "Daemon",
@@ -43,5 +47,6 @@ __all__ = [
     "RandomSubsetDaemon",
     "BernoulliDaemon",
     "AdversarialDaemon",
+    "WeightedUnfairDaemon",
     "ReplayDaemon",
 ]

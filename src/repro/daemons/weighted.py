@@ -1,0 +1,90 @@
+"""Weighted-unfair daemons: biased schedules that starve high-weight-deficit
+processes for long stretches.
+
+The unfair distributed daemon of the paper may delay any enabled process
+indefinitely as long as *some* enabled process moves.  Uniform random
+daemons are a poor approximation of that adversary: every process gets
+selected at roughly the same rate, so starvation-sensitive bugs never
+surface.  :class:`WeightedUnfairDaemon` skews the selection distribution
+geometrically (process ``i`` is ``bias**i`` times less likely to move than
+process 0 by default), producing schedules where a tail of the ring is
+starved for long—but not infinite—stretches, which is exactly the schedule
+family the conformance fuzzer uses to hunt for daemon-dependent divergence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.daemons.base import Daemon
+
+
+class WeightedUnfairDaemon(Daemon):
+    """Distributed daemon with a geometrically skewed selection distribution.
+
+    Parameters
+    ----------
+    weights:
+        Optional explicit per-process selection weights (index -> weight).
+        Unlisted processes default to ``bias ** -i``.
+    bias:
+        Geometric skew base (> 1); larger values starve high indices harder.
+        Ignored for processes with an explicit weight.
+    multi_p:
+        Probability of growing the selection by one more process at each
+        draw, so selection sizes are geometrically distributed starting at 1
+        (``multi_p=0`` gives a weighted *central* daemon).
+    seed:
+        RNG seed; runs replay deterministically from it.
+    """
+
+    def __init__(
+        self,
+        weights: Optional[dict] = None,
+        bias: float = 4.0,
+        multi_p: float = 0.3,
+        seed: Optional[int] = None,
+    ):
+        if bias <= 1.0:
+            raise ValueError(f"bias must exceed 1, got {bias}")
+        if not 0.0 <= multi_p < 1.0:
+            raise ValueError(f"multi_p must be in [0, 1), got {multi_p}")
+        self.weights = dict(weights) if weights else {}
+        self.bias = bias
+        self.multi_p = multi_p
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def weight(self, i: int) -> float:
+        """Selection weight of process ``i`` (explicit, else ``bias**-i``)."""
+        w = self.weights.get(i)
+        return w if w is not None else self.bias ** (-i)
+
+    def select(
+        self, enabled: Sequence[int], config: Any, step: int
+    ) -> Tuple[int, ...]:
+        rng = self._rng
+        pool = list(enabled)
+        size = 1
+        while size < len(pool) and rng.random() < self.multi_p:
+            size += 1
+        chosen = []
+        weights = [self.weight(i) for i in pool]
+        for _ in range(size):
+            pick = rng.choices(range(len(pool)), weights=weights)[0]
+            chosen.append(pool.pop(pick))
+            weights.pop(pick)
+        return tuple(sorted(chosen))
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def describe(self):
+        return dict(
+            super().describe(),
+            bias=self.bias,
+            multi_p=self.multi_p,
+            seed=self._seed,
+            explicit_weights=dict(self.weights),
+        )

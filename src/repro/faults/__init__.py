@@ -14,14 +14,18 @@ treated as a fresh initial configuration.
 
 from repro.faults.injection import (
     corrupt_process,
+    corrupt_process_to,
     corrupt_processes,
+    random_local_state,
     FaultInjector,
 )
 from repro.faults.scenarios import FaultScenario, periodic_faults, burst_fault
 
 __all__ = [
     "corrupt_process",
+    "corrupt_process_to",
     "corrupt_processes",
+    "random_local_state",
     "FaultInjector",
     "FaultScenario",
     "periodic_faults",

@@ -15,6 +15,35 @@ from typing import Any, Iterable, Optional, Sequence
 from repro.algorithms.base import RingAlgorithm
 
 
+def random_local_state(algorithm: RingAlgorithm, rng: random.Random) -> Any:
+    """A uniform random value of the algorithm's local-state domain.
+
+    The sampling primitive behind every injector here; the conformance
+    fuzzer also uses it to pre-draw *concrete* fault values at script
+    generation time, so fault scripts replay deterministically without an
+    RNG.
+    """
+    space = list(algorithm.local_state_space())
+    return rng.choice(space)
+
+
+def corrupt_process_to(
+    algorithm: RingAlgorithm, config: Any, i: int, new_state: Any
+) -> Any:
+    """Replace process ``i``'s local state with a *given* domain value.
+
+    The deterministic core of :func:`corrupt_process`; scripted fault
+    replay (``tests/corpus/``) calls this directly with recorded values.
+    Returns the corrupted configuration (configurations are immutable).
+    """
+    replace = getattr(config, "replace", None)
+    if callable(replace):
+        return replace(i, new_state)
+    states = list(config)
+    states[i] = new_state
+    return algorithm.normalize_configuration(states)
+
+
 def corrupt_process(
     algorithm: RingAlgorithm, config: Any, i: int, rng: random.Random
 ) -> Any:
@@ -22,14 +51,9 @@ def corrupt_process(
 
     Returns the corrupted configuration (configurations are immutable).
     """
-    space = list(algorithm.local_state_space())
-    new_state = rng.choice(space)
-    replace = getattr(config, "replace", None)
-    if callable(replace):
-        return replace(i, new_state)
-    states = list(config)
-    states[i] = new_state
-    return algorithm.normalize_configuration(states)
+    return corrupt_process_to(
+        algorithm, config, i, random_local_state(algorithm, rng)
+    )
 
 
 def corrupt_processes(

@@ -1,0 +1,204 @@
+"""Synchronous CST projection — the lockstep shadow of the transformed system.
+
+The full message-passing deployment (:mod:`repro.messagepassing.network`) is
+asynchronous: timers, delays and dwell make its interleavings incomparable
+step-for-step with the shared-memory engine.  The conformance oracle instead
+uses this *projection*: real :class:`~repro.messagepassing.node.CSTNode`
+objects with real caches and the real ``on_receive`` cache-update path, but
+driven at the quiescent points of the transformed execution — each
+composite-atomicity step of the state-reading model corresponds to a window
+in which every CST timer has fired and every cache has been refreshed
+(the Lemma 9 repair machinery, collapsed to a deterministic sweep).
+
+One lockstep step is:
+
+1. **channel phase** — scripted channel faults perturb the post-write
+   broadcasts of the previous step: a ``lose`` op models a dropped
+   broadcast (the cache simply keeps its current content), a ``delay`` op
+   delivers the sender's *previous* state (a stale in-flight message), a
+   ``duplicate`` op delivers the current state twice (retransmission);
+   scripted cache corruptions land here too;
+2. **timer sweep** — every node reliably broadcasts its current state to
+   its CST recipients, and each recipient runs ``on_receive``.  On correct
+   code this restores coherence whatever phase 1 did, which is exactly why
+   an unmutated tree shows zero divergence under loss/delay/duplication
+   scripts while a broken cache-update path is caught immediately;
+3. **rule phase** — the oracle evaluates guards on each node's *cached
+   view* and applies the selected commands with composite atomicity via
+   :meth:`apply`.
+
+The projection exposes the same observables the oracle compares across
+models: node states, enabled set, resolved rules, own-view token holders
+(Definition 3's ``h_i``) and per-node view coherence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+from repro.messagepassing.node import CSTNode
+
+
+class SynchronousCSTProjection:
+    """Lockstep CST shadow of one algorithm instance.
+
+    Parameters
+    ----------
+    algorithm:
+        The state-reading algorithm (its ``ring`` decides message flow:
+        bidirectional for SSRmin, forward-only for Dijkstra's SSToken).
+    initial_states:
+        Initial ``q_i`` per node; caches start coherent (the projection
+        models the post-stabilization cache regime — incoherence enters
+        only through scripted faults).
+    """
+
+    def __init__(self, algorithm: RingAlgorithm, initial_states: Sequence[Any]):
+        n = algorithm.n
+        if len(initial_states) != n:
+            raise ValueError(f"need {n} initial states, got {len(initial_states)}")
+        self.algorithm = algorithm
+        ring = getattr(algorithm, "ring", None)
+        if ring is not None:
+            self._readable_of = ring.readable_neighbors
+            self._recipients_of = ring.message_neighbors
+        else:  # pragma: no cover - all shipped algorithms carry a ring
+            self._readable_of = lambda i: ((i - 1) % n, (i + 1) % n)
+            self._recipients_of = lambda i: ((i - 1) % n, (i + 1) % n)
+        self.nodes: List[CSTNode] = [
+            CSTNode(
+                index=i,
+                algorithm=algorithm,
+                neighbors=self._readable_of(i),
+                initial_state=initial_states[i],
+                initial_cache={
+                    k: initial_states[k] for k in self._readable_of(i)
+                },
+                # Deferred-action mode: a throwaway scheduler keeps
+                # ``on_receive`` from executing rules inline — the oracle
+                # owns the rule phase.
+                scheduler=lambda delay, fn: None,
+                dwell_model=_NullDwell(),
+            )
+            for i in range(n)
+        ]
+        #: States as of *before* the most recent :meth:`apply` — what a
+        #: delayed (in-flight) message from the previous window carries.
+        self._prev_states: List[Any] = list(initial_states)
+
+    @property
+    def n(self) -> int:
+        return self.algorithm.n
+
+    # -- observables ---------------------------------------------------------
+    def states(self) -> Tuple[Any, ...]:
+        """The vector of true node states."""
+        return tuple(node.state for node in self.nodes)
+
+    def view(self, i: int) -> List[Any]:
+        """Node ``i``'s cached pseudo-configuration."""
+        return self.nodes[i].view()
+
+    def enabled(self) -> Tuple[int, ...]:
+        """Processes with an enabled rule *in their own cached view*."""
+        alg = self.algorithm
+        return tuple(
+            i for i in range(self.n)
+            if alg.enabled_rule(self.nodes[i].view(), i) is not None
+        )
+
+    def rule_name(self, i: int) -> Optional[str]:
+        """Name of node ``i``'s enabled rule in its cached view, or None."""
+        rule = self.algorithm.enabled_rule(self.nodes[i].view(), i)
+        return rule.name if rule is not None else None
+
+    def own_view_holders(self) -> Tuple[int, ...]:
+        """Nodes whose own-view token predicate ``h_i`` holds (Def. 3)."""
+        alg = self.algorithm
+        return tuple(
+            i for i in range(self.n)
+            if alg.node_holds_token(self.nodes[i].view(), i)
+        )
+
+    def incoherent_entries(
+        self, reference: Sequence[Any]
+    ) -> List[Tuple[int, int, Any, Any]]:
+        """Cache entries disagreeing with ``reference`` true states.
+
+        Returns ``(node, neighbor, cached, true)`` tuples; empty means every
+        view equals the reference neighborhood (full coherence).
+        """
+        out = []
+        for node in self.nodes:
+            for k, cached in node.cache.items():
+                if cached != reference[k]:
+                    out.append((node.index, k, cached, reference[k]))
+        return out
+
+    # -- fault hooks (mirror MessagePassingNetwork's) ------------------------
+    def corrupt_node(self, index: int, new_state: Any) -> None:
+        """Transient fault: overwrite a node's true state."""
+        self.nodes[index].state = new_state
+
+    def corrupt_cache(self, index: int, neighbor: int, value: Any) -> None:
+        """Transient fault: overwrite one cache entry."""
+        node = self.nodes[index]
+        if neighbor not in node.cache:
+            raise ValueError(f"node {index} has no cache entry for {neighbor}")
+        node.cache[neighbor] = value
+
+    # -- the lockstep window -------------------------------------------------
+    def deliver_stale(self, src: int, dst: int) -> None:
+        """A delayed in-flight message: ``src``'s *previous* state reaches
+        ``dst`` now (channel-phase ``delay`` op)."""
+        self.nodes[dst].on_receive(src, self._prev_states[src])
+
+    def deliver_current(self, src: int, dst: int, copies: int = 1) -> None:
+        """``copies`` (re)transmissions of ``src``'s current state to ``dst``
+        (channel-phase ``duplicate`` op)."""
+        state = self.nodes[src].state
+        for _ in range(copies):
+            self.nodes[dst].on_receive(src, state)
+
+    def timer_sweep(self) -> None:
+        """Every node broadcasts its current state to its CST recipients.
+
+        This is the deterministic collapse of "all interval timers fire and
+        their messages arrive": the repair pass that makes channel faults
+        survivable.  Deliveries go through the real ``on_receive`` path so a
+        broken cache update is observable.
+        """
+        for i in range(self.n):
+            state = self.nodes[i].state
+            for j in self._recipients_of(i):
+                self.nodes[j].on_receive(i, state)
+
+    def apply(self, selection: Sequence[int]) -> None:
+        """Composite-atomicity rule phase: all selected nodes read their
+        cached views, then all writes land simultaneously."""
+        alg = self.algorithm
+        writes: Dict[int, Any] = {}
+        for i in set(selection):
+            view = self.nodes[i].view()
+            rule = alg.enabled_rule(view, i)
+            if rule is None:
+                raise ValueError(
+                    f"node {i} has no enabled rule in its cached view"
+                )
+            writes[i] = rule.execute(view, i)
+        if not writes:
+            raise ValueError("selection must be non-empty")
+        self._prev_states = [node.state for node in self.nodes]
+        for i, new_state in writes.items():
+            node = self.nodes[i]
+            node.rules_executed += 1
+            node.state = new_state
+
+
+class _NullDwell:
+    """Dwell model whose scheduled action never runs (the no-op scheduler
+    swallows it) — the projection owns the rule phase."""
+
+    def sample(self, rng: Any) -> float:
+        return 0.0

@@ -18,6 +18,11 @@ Transition relations are available for the central daemon (all single-process
 moves) and the distributed daemon (all non-empty subsets of enabled
 processes, optionally capped).  These checks also validate the reconstructed
 Dijkstra 3-/4-state algorithms before experiments rely on them.
+
+:mod:`repro.verification.conformance` complements the exhaustive checks
+with a *differential* harness: a lockstep oracle across the reference
+engine, fastpath kernels and CST projection, an adversarial fuzzer, a
+witness shrinker and the ``tests/corpus`` replay format.
 """
 
 from repro.verification.transition_system import TransitionSystem

@@ -1,0 +1,246 @@
+"""Builders for the checked-in replay corpus (``tests/corpus/*.jsonl``).
+
+Each seed is an ``expect: pass`` witness capturing a scenario the paper (or
+our verification layer) singles out as interesting:
+
+* the **exact worst-case convergence witnesses** from the model checker —
+  the longest adversarial path into Lambda for SSRmin and Dijkstra on the
+  exhaustively-checked n=3 instances (``verification.model_checker.
+  worst_case_witness``), with daemon selections recovered from the
+  configuration path;
+* a **Figure 11/12 model-gap scenario** — a legitimate SSRmin run whose
+  channels lose, delay and duplicate state broadcasts and whose caches get
+  corrupted, exercising the CST repair path (timer rebroadcast, Lemma 9)
+  that keeps the lockstep models coherent;
+* a **chaos-recovery scenario** — transient state corruption mid-run, after
+  which all three models must track the same recovery;
+* a **weighted-unfair scenario** — the n=8 biased daemon that starves
+  high-index processes.
+
+Regenerate with ``python -m repro fuzz seed-corpus``; every file is
+replayed and judged at generation time, so a failing build here means the
+tree itself is broken.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, List, Sequence, Tuple
+
+from repro.daemons.central import RandomCentralDaemon
+from repro.daemons.weighted import WeightedUnfairDaemon
+from repro.verification.conformance.oracle import LockstepOracle
+from repro.verification.conformance.witness import (
+    Witness,
+    build_algorithm,
+    replay_witness_file,
+)
+
+
+def _states(config: Any) -> Tuple[Any, ...]:
+    states = getattr(config, "states", None)
+    return states if states is not None else tuple(config)
+
+
+def selections_from_path(algorithm, path: Sequence[Any]) -> List[Tuple[int, ...]]:
+    """Recover daemon selections from a configuration path.
+
+    The changed-index diff is the natural candidate; when a selected
+    process's rule happens to leave its state unchanged the diff under-
+    approximates, so we fall back to searching subsets of the enabled set.
+    """
+    selections: List[Tuple[int, ...]] = []
+    for before, after in zip(path, path[1:]):
+        sa, sb = _states(before), _states(after)
+        config = algorithm.normalize_configuration(list(sa))
+        changed = tuple(i for i in range(algorithm.n) if sa[i] != sb[i])
+        if changed and _states(algorithm.step(config, changed)) == sb:
+            selections.append(changed)
+            continue
+        enabled = algorithm.enabled_processes(config)
+        found = None
+        for r in range(1, len(enabled) + 1):
+            for subset in itertools.combinations(enabled, r):
+                if _states(algorithm.step(config, subset)) == sb:
+                    found = subset
+                    break
+            if found is not None:
+                break
+        if found is None:
+            raise ValueError(
+                f"no daemon selection maps {sa} to {sb} in one step"
+            )
+        selections.append(found)
+    return selections
+
+
+def worst_case_seed(name: str, n: int = 3, K: int = 4) -> Witness:
+    """The model checker's exact worst-case convergence path as a witness."""
+    from repro.verification.model_checker import worst_case_witness
+    from repro.verification.transition_system import TransitionSystem
+
+    algorithm = build_algorithm(name, n, K)
+    path = worst_case_witness(TransitionSystem(algorithm, "distributed"))
+    schedule = selections_from_path(algorithm, path)
+    return Witness(
+        algorithm=name,
+        n=n,
+        K=K,
+        config=list(_states(path[0])),
+        schedule=schedule,
+        note=(
+            f"exact worst-case convergence path for {name}({n},{K}) from "
+            f"the exhaustive model checker ({len(schedule)} adversarial "
+            f"steps into Lambda)"
+        ),
+    )
+
+
+def _daemon_schedule(
+    algorithm, initial, daemon, steps: int, faults: Sequence[dict] = ()
+) -> List[Tuple[int, ...]]:
+    """Run the oracle in generative mode; a clean run yields the schedule."""
+    report = LockstepOracle(algorithm).run_daemon(
+        initial, daemon, steps, faults=faults
+    )
+    if not report.ok:
+        d = report.divergences[0]
+        raise AssertionError(
+            f"seed generation hit a real divergence at step {d.step} "
+            f"[{d.kind}]: {d.detail}"
+        )
+    return report.schedule
+
+
+def modelgap_seed() -> Witness:
+    """Figure 11/12-flavoured channel faults on a legitimate SSRmin run."""
+    n, K = 5, 6
+    algorithm = build_algorithm("ssrmin", n, K)
+    initial = list(_states(algorithm.initial_configuration()))
+    faults = [
+        {"step": 3, "kind": "lose", "src": 1, "dst": 2},
+        {"step": 6, "kind": "delay", "src": 2, "dst": 1},
+        {"step": 9, "kind": "duplicate", "src": 3, "dst": 4},
+        {"step": 12, "kind": "corrupt-cache",
+         "node": 0, "neighbor": 4, "value": [3, 1, 0]},
+        {"step": 15, "kind": "lose", "src": 4, "dst": 0},
+        {"step": 18, "kind": "delay", "src": 0, "dst": 4},
+    ]
+    schedule = _daemon_schedule(
+        algorithm, initial, RandomCentralDaemon(seed=11), 24, faults
+    )
+    return Witness(
+        algorithm="ssrmin", n=n, K=K, config=initial,
+        schedule=schedule, faults=faults, seed=11,
+        note=(
+            "fig11/12 model-gap scenario: legitimate start, lossy/delaying/"
+            "duplicating channels plus one corrupted cache entry; the CST "
+            "timer rebroadcast must repair every perturbation before the "
+            "next rule fires"
+        ),
+    )
+
+
+def chaos_recovery_seed() -> Witness:
+    """Transient state corruption mid-run; all models track the recovery."""
+    n, K = 4, 5
+    algorithm = build_algorithm("ssrmin", n, K)
+    initial = list(_states(algorithm.initial_configuration()))
+    faults = [
+        {"step": 5, "kind": "corrupt-state", "process": 2, "value": [4, 1, 1]},
+        {"step": 13, "kind": "corrupt-state", "process": 0, "value": [2, 0, 1]},
+        {"step": 13, "kind": "corrupt-cache",
+         "node": 1, "neighbor": 0, "value": [0, 1, 0]},
+    ]
+    schedule = _daemon_schedule(
+        algorithm, initial, RandomCentralDaemon(seed=7), 30, faults
+    )
+    return Witness(
+        algorithm="ssrmin", n=n, K=K, config=initial,
+        schedule=schedule, faults=faults, seed=7,
+        note=(
+            "chaos recovery: two transient state corruptions (plus a "
+            "coinciding cache hit) treated as fresh initial configurations; "
+            "engine, kernel and CST projection must re-converge in lockstep"
+        ),
+    )
+
+
+def weighted_unfair_seed() -> Witness:
+    """The biased daemon on the largest campaign ring size."""
+    n, K = 8, 9
+    algorithm = build_algorithm("ssrmin", n, K)
+    import random as _random
+
+    rng = _random.Random(42)
+    initial = list(_states(algorithm.random_configuration(rng)))
+    daemon = WeightedUnfairDaemon(bias=4.0, multi_p=0.35, seed=42)
+    schedule = _daemon_schedule(algorithm, initial, daemon, 40)
+    return Witness(
+        algorithm="ssrmin", n=n, K=K, config=initial,
+        schedule=schedule, seed=42,
+        note=(
+            "weighted-unfair daemon on n=8: geometrically biased toward "
+            "low-index processes with occasional multi-process selections, "
+            "from an arbitrary (post-fault) configuration"
+        ),
+    )
+
+
+def dijkstra_channel_seed() -> Witness:
+    """Dijkstra's unidirectional CST projection under channel faults."""
+    n, K = 4, 5
+    algorithm = build_algorithm("dijkstra", n, K)
+    import random as _random
+
+    rng = _random.Random(3)
+    initial = list(_states(algorithm.random_configuration(rng)))
+    faults = [
+        {"step": 2, "kind": "lose", "src": 0, "dst": 1},
+        {"step": 5, "kind": "delay", "src": 1, "dst": 2},
+        {"step": 8, "kind": "duplicate", "src": 3, "dst": 0},
+        {"step": 11, "kind": "corrupt-cache",
+         "node": 2, "neighbor": 1, "value": 3},
+    ]
+    schedule = _daemon_schedule(
+        algorithm, initial, RandomCentralDaemon(seed=3), 20, faults
+    )
+    return Witness(
+        algorithm="dijkstra", n=n, K=K, config=initial,
+        schedule=schedule, faults=faults, seed=3,
+        note=(
+            "Dijkstra K-state under unidirectional channel faults: tokens "
+            "flow one way, caches repair through the same timer path"
+        ),
+    )
+
+
+#: ``filename -> builder`` for the checked-in corpus.
+SEEDS = {
+    "ssrmin_worst_case_n3.jsonl": lambda: worst_case_seed("ssrmin"),
+    "dijkstra_worst_case_n3.jsonl": lambda: worst_case_seed("dijkstra"),
+    "ssrmin_modelgap_channel_faults.jsonl": modelgap_seed,
+    "ssrmin_chaos_recovery.jsonl": chaos_recovery_seed,
+    "ssrmin_weighted_unfair_n8.jsonl": weighted_unfair_seed,
+    "dijkstra_channel_faults.jsonl": dijkstra_channel_seed,
+}
+
+
+def seed_corpus(directory: str, verify: bool = True) -> List[str]:
+    """Build every seed witness into ``directory``; returns written paths.
+
+    With ``verify`` (default), each file is immediately replayed through
+    :func:`~.witness.replay_witness_file` and must judge OK.
+    """
+    import os
+
+    paths = []
+    for filename, builder in sorted(SEEDS.items()):
+        witness = builder()
+        path = witness.save(os.path.join(directory, filename))
+        if verify:
+            outcome = replay_witness_file(path)
+            if not outcome.ok:
+                raise AssertionError(f"{filename}: {outcome.message}")
+        paths.append(path)
+    return paths

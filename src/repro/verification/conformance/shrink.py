@@ -1,0 +1,300 @@
+"""Witness minimization: shrink a failing conformance scenario.
+
+Given a witness whose replay diverges, produce the smallest witness we can
+find (greedy delta debugging) whose replay *still* diverges.  Because the
+oracle replays schedules with filtering semantics — recorded selections are
+intersected with the current enabled set and empty intersections skip the
+step — every structural mutation below yields a *valid* witness; the only
+question each candidate answers is "does it still fail?".
+
+Shrink passes, applied to a fixpoint (bounded by rounds and a replay
+budget):
+
+1. **truncation** — cut the schedule right after the first divergence and
+   drop fault ops past it (always sound: the oracle stops at the first
+   divergence, so the tail was never consumed);
+2. **ring-size reduction** — remove one process, reindexing selections and
+   fault targets and dropping ops that no longer name a ring edge;
+3. **schedule-prefix bisection** — repeatedly try to keep only the first
+   half of the schedule;
+4. **step dropping** — remove single schedule entries (later fault steps
+   shift down);
+5. **selection thinning** — drop single processes from multi-process
+   selections;
+6. **fault-op dropping** — remove single fault-script entries.
+
+The returned witness carries the divergence of its *own* final replay in
+its header, so the corpus file documents exactly what it reproduces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.verification.conformance.witness import Witness, build_algorithm
+
+#: Smallest meaningful ring per algorithm (SSRmin is defined for n >= 3,
+#: Dijkstra's K-state for n >= 2).
+MIN_RING = {"ssrmin": 3, "dijkstra": 2}
+
+_INDEX_KEYS = ("src", "dst", "node", "neighbor", "process")
+
+
+@dataclass
+class ShrinkStats:
+    """Bookkeeping for one shrink run."""
+
+    replays: int = 0
+    rounds: int = 0
+    accepted: int = 0
+    initial_size: Tuple[int, int, int] = (0, 0, 0)  # (n, |schedule|, |faults|)
+    final_size: Tuple[int, int, int] = (0, 0, 0)
+
+    def summary(self) -> str:
+        """One-line description of the size reduction achieved."""
+        i, f = self.initial_size, self.final_size
+        return (
+            f"shrunk (n={i[0]}, steps={i[1]}, faults={i[2]}) -> "
+            f"(n={f[0]}, steps={f[1]}, faults={f[2]}) in {self.replays} "
+            f"replays / {self.rounds} rounds"
+        )
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def take(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _size(w: Witness) -> Tuple[int, int, int]:
+    return (w.n, len(w.schedule), len(w.faults))
+
+
+def _rebuilt(w: Witness, **changes) -> Witness:
+    return dataclasses.replace(w, **changes)
+
+
+def _still_fails(
+    w: Witness, budget: _Budget, use_cst: bool
+) -> Optional[Witness]:
+    """Replay ``w``; on divergence return it with its header updated."""
+    if not budget.take():
+        return None
+    report = w.replay(use_cst=use_cst)
+    if report.ok:
+        return None
+    d = report.divergences[0]
+    return _rebuilt(
+        w,
+        expect="divergence",
+        divergence=d.to_json(),
+    )
+
+
+# -- individual passes --------------------------------------------------------
+def _truncate_after_divergence(w: Witness) -> Witness:
+    if w.divergence is None:
+        return w
+    cut = int(w.divergence["step"]) + 1
+    if cut >= len(w.schedule):
+        return w
+    return _rebuilt(
+        w,
+        schedule=list(w.schedule[:cut]),
+        faults=[op for op in w.faults if int(op["step"]) < cut],
+    )
+
+
+def _remove_process(w: Witness, j: int) -> Optional[Witness]:
+    if w.n <= MIN_RING.get(w.algorithm, 3):
+        return None
+    new_n = w.n - 1
+    alg = build_algorithm(w.algorithm, new_n, w.K)
+
+    def remap(i: int) -> int:
+        return i - 1 if i > j else i
+
+    schedule = [
+        tuple(remap(i) for i in sel if i != j) for sel in w.schedule
+    ]
+    faults: List[dict] = []
+    for op in w.faults:
+        keys = [k for k in _INDEX_KEYS if k in op]
+        if any(int(op[k]) == j for k in keys):
+            continue
+        new_op = dict(op)
+        for k in keys:
+            new_op[k] = remap(int(op[k]))
+        # A reindexed channel/cache op must still name a real ring edge of
+        # the smaller instance; otherwise removing j orphaned it.
+        if "src" in new_op and new_op["dst"] not in alg.ring.message_neighbors(
+            new_op["src"]
+        ):
+            continue
+        if "node" in new_op and new_op[
+            "neighbor"
+        ] not in alg.ring.readable_neighbors(new_op["node"]):
+            continue
+        faults.append(new_op)
+    config = [s for i, s in enumerate(w.config) if i != j]
+    return _rebuilt(
+        w, n=new_n, config=config, schedule=schedule, faults=faults
+    )
+
+
+def _keep_prefix(w: Witness, length: int) -> Optional[Witness]:
+    if length >= len(w.schedule) or length < 1:
+        return None
+    return _rebuilt(
+        w,
+        schedule=list(w.schedule[:length]),
+        faults=[op for op in w.faults if int(op["step"]) < length],
+    )
+
+
+def _drop_step(w: Witness, t: int) -> Optional[Witness]:
+    if len(w.schedule) <= 1:
+        return None
+    schedule = [sel for i, sel in enumerate(w.schedule) if i != t]
+    faults = []
+    for op in w.faults:
+        new_op = dict(op)
+        if int(op["step"]) > t:
+            new_op["step"] = int(op["step"]) - 1
+        if int(new_op["step"]) >= len(schedule):
+            continue
+        faults.append(new_op)
+    return _rebuilt(w, schedule=schedule, faults=faults)
+
+
+def _thin_selection(w: Witness, t: int, i: int) -> Optional[Witness]:
+    sel = w.schedule[t]
+    if len(sel) <= 1 or i not in sel:
+        return None
+    schedule = list(w.schedule)
+    schedule[t] = tuple(p for p in sel if p != i)
+    return _rebuilt(w, schedule=schedule)
+
+
+def _drop_fault(w: Witness, k: int) -> Optional[Witness]:
+    faults = [op for i, op in enumerate(w.faults) if i != k]
+    return _rebuilt(w, faults=faults)
+
+
+# -- the driver ---------------------------------------------------------------
+def shrink_witness(
+    witness: Witness,
+    max_rounds: int = 8,
+    max_replays: int = 250,
+    use_cst: bool = True,
+) -> Tuple[Witness, ShrinkStats]:
+    """Minimize a failing witness; returns ``(shrunk, stats)``.
+
+    Raises ``ValueError`` if the witness does not fail to begin with (there
+    is nothing to shrink — the caller's mutation may no longer be active).
+    """
+    budget = _Budget(max_replays)
+    stats = ShrinkStats(initial_size=_size(witness))
+
+    current = _still_fails(witness, budget, use_cst)
+    if current is None:
+        raise ValueError(
+            "witness replay reported no divergence; nothing to shrink"
+        )
+    stats.replays = budget.used
+
+    truncated = _still_fails(
+        _truncate_after_divergence(current), budget, use_cst
+    )
+    if truncated is not None:
+        current = truncated
+
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        improved = False
+
+        # Ring-size reduction (largest wins first).
+        j = current.n - 1
+        while j >= 0 and budget.used < budget.limit:
+            candidate = _remove_process(current, j)
+            accepted = (
+                _still_fails(candidate, budget, use_cst)
+                if candidate is not None else None
+            )
+            if accepted is not None:
+                current = accepted
+                stats.accepted += 1
+                improved = True
+                j = min(j, current.n - 1)
+            else:
+                j -= 1
+
+        # Schedule-prefix bisection.
+        while len(current.schedule) > 1 and budget.used < budget.limit:
+            candidate = _keep_prefix(current, len(current.schedule) // 2)
+            accepted = (
+                _still_fails(candidate, budget, use_cst)
+                if candidate is not None else None
+            )
+            if accepted is None:
+                break
+            current = accepted
+            stats.accepted += 1
+            improved = True
+
+        # Step dropping, back to front.
+        t = len(current.schedule) - 1
+        while t >= 0 and budget.used < budget.limit:
+            candidate = _drop_step(current, t)
+            accepted = (
+                _still_fails(candidate, budget, use_cst)
+                if candidate is not None else None
+            )
+            if accepted is not None:
+                current = accepted
+                stats.accepted += 1
+                improved = True
+            t -= 1
+            t = min(t, len(current.schedule) - 1)
+
+        # Selection thinning.
+        for t in range(len(current.schedule)):
+            for i in list(current.schedule[t]):
+                if budget.used >= budget.limit:
+                    break
+                candidate = _thin_selection(current, t, i)
+                accepted = (
+                    _still_fails(candidate, budget, use_cst)
+                    if candidate is not None else None
+                )
+                if accepted is not None:
+                    current = accepted
+                    stats.accepted += 1
+                    improved = True
+
+        # Fault-op dropping, back to front.
+        for k in range(len(current.faults) - 1, -1, -1):
+            if budget.used >= budget.limit or k >= len(current.faults):
+                continue
+            accepted = _still_fails(
+                _drop_fault(current, k), budget, use_cst
+            )
+            if accepted is not None:
+                current = accepted
+                stats.accepted += 1
+                improved = True
+
+        if not improved or budget.used >= budget.limit:
+            break
+
+    stats.replays = budget.used
+    stats.final_size = _size(current)
+    return current, stats

@@ -1,0 +1,70 @@
+"""Tests for the weighted-unfair daemon (the fuzzer's fourth family)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.daemons.weighted import WeightedUnfairDaemon
+
+
+class TestValidation:
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError, match="bias"):
+            WeightedUnfairDaemon(bias=1.0)
+
+    def test_rejects_bad_multi_p(self):
+        with pytest.raises(ValueError, match="multi_p"):
+            WeightedUnfairDaemon(multi_p=1.0)
+
+
+class TestSelection:
+    def test_selections_are_valid_subsets(self):
+        daemon = WeightedUnfairDaemon(seed=1)
+        enabled = (0, 2, 5, 7)
+        for step in range(200):
+            sel = daemon.select(enabled, None, step)
+            assert sel
+            assert set(sel) <= set(enabled)
+            assert len(set(sel)) == len(sel)
+
+    def test_bias_starves_high_indices(self):
+        daemon = WeightedUnfairDaemon(bias=4.0, multi_p=0.0, seed=2)
+        enabled = tuple(range(8))
+        counts = Counter()
+        for step in range(3000):
+            counts.update(daemon.select(enabled, None, step))
+        # Geometric bias: process 0 should dominate process 7 heavily.
+        assert counts[0] > 50 * max(1, counts[7])
+        assert counts[0] > counts[1] > counts[3]
+
+    def test_explicit_weights_override_bias(self):
+        daemon = WeightedUnfairDaemon(
+            weights={0: 0.0, 1: 1.0}, multi_p=0.0, seed=3
+        )
+        for step in range(100):
+            assert daemon.select((0, 1), None, step) == (1,)
+
+    def test_multi_p_yields_multi_process_selections(self):
+        daemon = WeightedUnfairDaemon(bias=2.0, multi_p=0.5, seed=4)
+        enabled = tuple(range(6))
+        sizes = {len(daemon.select(enabled, None, s)) for s in range(300)}
+        assert 1 in sizes
+        assert any(k > 1 for k in sizes)
+
+
+class TestDeterminism:
+    def test_reset_restores_the_sequence(self):
+        daemon = WeightedUnfairDaemon(seed=5)
+        enabled = (1, 3, 4)
+        first = [daemon.select(enabled, None, s) for s in range(50)]
+        daemon.reset()
+        second = [daemon.select(enabled, None, s) for s in range(50)]
+        assert first == second
+
+    def test_describe_names_the_family(self):
+        d = WeightedUnfairDaemon(bias=3.0, multi_p=0.25, seed=6)
+        desc = d.describe()
+        assert desc["name"] == "WeightedUnfairDaemon"
+        assert desc["distributed"] is True
+        assert desc["bias"] == 3.0

@@ -1,0 +1,135 @@
+"""Unit tests for the lockstep differential oracle."""
+
+import random
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.daemons.central import RandomCentralDaemon, RoundRobinDaemon
+from repro.daemons.distributed import SynchronousDaemon
+from repro.verification.conformance import LockstepOracle, TOKEN_BOUNDS
+
+
+def _random_config(alg, seed):
+    return alg.random_configuration(random.Random(seed))
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ssrmin_daemon_run_has_zero_divergences(self, seed):
+        alg = SSRmin(5, 6)
+        report = LockstepOracle(alg).run_daemon(
+            _random_config(alg, seed), RandomCentralDaemon(seed=seed), 40
+        )
+        assert report.ok, report.divergences[0]
+        assert report.fired_steps == 40
+        assert len(report.schedule) == 40
+
+    def test_dijkstra_daemon_run_has_zero_divergences(self):
+        alg = DijkstraKState(5, 6)
+        report = LockstepOracle(alg).run_daemon(
+            _random_config(alg, 1), SynchronousDaemon(), 30
+        )
+        assert report.ok, report.divergences[0]
+
+    def test_without_cst_leg(self):
+        alg = SSRmin(4, 5)
+        report = LockstepOracle(alg, use_cst=False).run_daemon(
+            _random_config(alg, 2), RoundRobinDaemon(), 25
+        )
+        assert report.ok
+
+
+class TestScheduleReplay:
+    def test_recorded_schedule_replays_identically(self):
+        alg = SSRmin(4, 5)
+        init = _random_config(alg, 3)
+        generated = LockstepOracle(alg).run_daemon(
+            init, RandomCentralDaemon(seed=3), 30
+        )
+        assert generated.ok
+        replayed = LockstepOracle(alg).run_schedule(
+            list(init), generated.schedule
+        )
+        assert replayed.ok
+        assert replayed.final_config == generated.final_config
+        assert replayed.fired_steps == generated.fired_steps
+
+    def test_filtering_semantics_skip_inapplicable_selections(self):
+        alg = SSRmin(3, 4)
+        init = alg.initial_configuration()
+        enabled = alg.enabled_processes(init)
+        disabled = next(i for i in range(3) if i not in enabled)
+        # A selection of only-disabled processes filters to empty: skipped.
+        report = LockstepOracle(alg).run_schedule(
+            list(init.states), [(disabled,), tuple(enabled)]
+        )
+        assert report.ok
+        assert report.steps == 2
+        assert report.fired_steps == 1
+
+
+class TestFaultScripts:
+    def test_channel_faults_are_absorbed_by_timer_sweep(self):
+        alg = SSRmin(4, 5)
+        faults = [
+            {"step": 1, "kind": "lose", "src": 0, "dst": 1},
+            {"step": 2, "kind": "delay", "src": 1, "dst": 2},
+            {"step": 3, "kind": "duplicate", "src": 2, "dst": 3},
+            {"step": 4, "kind": "corrupt-cache",
+             "node": 3, "neighbor": 0, "value": (2, 1, 1)},
+        ]
+        report = LockstepOracle(alg).run_daemon(
+            _random_config(alg, 4), RandomCentralDaemon(seed=4), 20,
+            faults=faults,
+        )
+        assert report.ok, report.divergences[0]
+
+    def test_state_corruption_keeps_models_in_lockstep(self):
+        alg = SSRmin(4, 5)
+        faults = [
+            {"step": 5, "kind": "corrupt-state", "process": 1,
+             "value": (3, 1, 1)},
+        ]
+        report = LockstepOracle(alg).run_daemon(
+            list(alg.initial_configuration().states),
+            RandomCentralDaemon(seed=5), 25, faults=faults,
+        )
+        assert report.ok, report.divergences[0]
+
+    def test_unknown_fault_kind_raises(self):
+        alg = SSRmin(3, 4)
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            LockstepOracle(alg).run_daemon(
+                list(alg.initial_configuration().states),
+                RandomCentralDaemon(seed=0), 3,
+                faults=[{"step": 0, "kind": "meteor"}],
+            )
+
+
+class TestDivergenceCapture:
+    def test_missing_timer_sweep_is_caught_as_incoherence(self, monkeypatch):
+        """Disable the timer sweep: post-write broadcasts never happen, so
+        caches go stale right after the first state change and the oracle
+        must flag a coherence divergence."""
+        from repro.messagepassing.projection import SynchronousCSTProjection
+
+        monkeypatch.setattr(
+            SynchronousCSTProjection, "timer_sweep", lambda self: None
+        )
+        alg = SSRmin(4, 5)
+        report = LockstepOracle(alg).run_daemon(
+            list(alg.initial_configuration().states),
+            RandomCentralDaemon(seed=6), 10,
+        )
+        assert not report.ok
+        d = report.divergences[0]
+        assert d.kind == "coherence"
+        # The diverging-step schedule entry exists, so a replayed witness
+        # reaches the same check.
+        assert len(report.schedule) == d.step + 1
+
+    def test_token_bounds_registered_for_both_algorithms(self):
+        assert TOKEN_BOUNDS["SSRmin"] == (1, 2)
+        assert TOKEN_BOUNDS["DijkstraKState"] == (1, 1)

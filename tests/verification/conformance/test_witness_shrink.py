@@ -1,0 +1,161 @@
+"""Unit tests for the witness format and the shrinker."""
+
+import random
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.central import RandomCentralDaemon
+from repro.verification.conformance import (
+    LockstepOracle,
+    Witness,
+    corpus_files,
+    replay_witness_file,
+    shrink_witness,
+)
+
+
+def _clean_witness(seed=0, n=4, K=5, steps=20, faults=()):
+    alg = SSRmin(n, K)
+    init = alg.random_configuration(random.Random(seed))
+    report = LockstepOracle(alg).run_daemon(
+        init, RandomCentralDaemon(seed=seed), steps, faults=list(faults)
+    )
+    assert report.ok
+    return Witness(
+        algorithm="ssrmin", n=n, K=K,
+        config=list(init.states),
+        schedule=report.schedule,
+        faults=list(faults),
+        seed=seed,
+    )
+
+
+class TestWitnessFormat:
+    def test_save_load_round_trip(self, tmp_path):
+        faults = [
+            {"step": 3, "kind": "lose", "src": 0, "dst": 1},
+            {"step": 7, "kind": "corrupt-state", "process": 2,
+             "value": [3, 1, 0]},
+        ]
+        w = _clean_witness(seed=1, faults=faults)
+        path = w.save(str(tmp_path / "w.jsonl"))
+        loaded = Witness.load(path)
+        assert loaded.algorithm == w.algorithm
+        assert (loaded.n, loaded.K) == (w.n, w.K)
+        assert loaded.config == w.config
+        assert loaded.schedule == w.schedule
+        assert loaded.faults == w.faults
+        assert loaded.expect == "pass"
+        assert loaded.seed == 1
+
+    def test_serialization_is_deterministic(self, tmp_path):
+        w = _clean_witness(seed=2)
+        assert w.to_lines() == w.to_lines()
+        p1 = w.save(str(tmp_path / "a.jsonl"))
+        p2 = w.save(str(tmp_path / "b.jsonl"))
+        assert open(p1).read() == open(p2).read()
+
+    def test_replay_judges_expectation(self, tmp_path):
+        w = _clean_witness(seed=3)
+        path = w.save(str(tmp_path / "pass.jsonl"))
+        outcome = replay_witness_file(path)
+        assert outcome.ok
+        assert "pass as expected" in outcome.message
+
+        # The same scenario with expect=divergence is a stale repro.
+        stale = Witness(
+            algorithm=w.algorithm, n=w.n, K=w.K, config=list(w.config),
+            schedule=list(w.schedule), expect="divergence",
+        )
+        stale_path = stale.save(str(tmp_path / "stale.jsonl"))
+        outcome = replay_witness_file(stale_path)
+        assert not outcome.ok
+        assert "stale" in outcome.message
+
+    def test_load_rejects_malformed_files(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            Witness.load(str(bad))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="incomplete"):
+            Witness.load(str(empty))
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="unknown format"):
+            Witness.load(str(wrong))
+
+    def test_invalid_expect_rejected(self):
+        with pytest.raises(ValueError, match="expect"):
+            Witness(algorithm="ssrmin", n=3, K=4, config=[(0, 0, 0)] * 3,
+                    schedule=[(0,)], expect="maybe")
+
+    def test_corpus_files_sorted_and_filtered(self, tmp_path):
+        (tmp_path / "b.jsonl").write_text("")
+        (tmp_path / "a.jsonl").write_text("")
+        (tmp_path / "README.md").write_text("")
+        files = corpus_files(str(tmp_path))
+        assert [f.rsplit("/", 1)[1] for f in files] == ["a.jsonl", "b.jsonl"]
+        assert corpus_files(str(tmp_path / "missing")) == []
+
+
+class TestShrinker:
+    def test_shrinking_a_passing_witness_raises(self):
+        w = _clean_witness(seed=4)
+        with pytest.raises(ValueError, match="no divergence"):
+            shrink_witness(w)
+
+    def test_shrinks_mutated_divergence(self, monkeypatch):
+        """Plant a rule-table bug, record a long failing run, and check the
+        shrinker reduces it without losing the failure."""
+        import repro.simulation.fastpath.ssrmin_kernel as sk
+
+        mutated = bytearray(sk.RULE_TABLE)
+        mutated[1 << 6] = 0
+        monkeypatch.setattr(sk, "RULE_TABLE", bytes(mutated))
+
+        alg = SSRmin(4, 5)
+        init = alg.random_configuration(random.Random(11))
+        report = LockstepOracle(alg).run_daemon(
+            init, RandomCentralDaemon(seed=11), 60
+        )
+        assert not report.ok
+        w = Witness(
+            algorithm="ssrmin", n=4, K=5, config=list(init.states),
+            schedule=report.schedule, expect="divergence",
+            divergence=report.divergences[0].to_json(),
+        )
+        shrunk, stats = shrink_witness(w)
+        assert len(shrunk.schedule) <= len(w.schedule)
+        assert stats.replays > 0
+        assert stats.final_size <= stats.initial_size
+        # The shrunk witness still fails under the mutation.
+        assert not shrunk.replay().ok
+        assert shrunk.expect == "divergence"
+        assert shrunk.divergence is not None
+
+    def test_truncates_past_divergence_step(self, monkeypatch):
+        import repro.simulation.fastpath.ssrmin_kernel as sk
+
+        mutated = bytearray(sk.RULE_TABLE)
+        mutated[1 << 6] = 0
+        monkeypatch.setattr(sk, "RULE_TABLE", bytes(mutated))
+
+        alg = SSRmin(4, 5)
+        init = alg.random_configuration(random.Random(11))
+        report = LockstepOracle(alg).run_daemon(
+            init, RandomCentralDaemon(seed=11), 60
+        )
+        assert not report.ok
+        d = report.divergences[0]
+        w = Witness(
+            algorithm="ssrmin", n=4, K=5, config=list(init.states),
+            schedule=report.schedule, expect="divergence",
+            divergence=d.to_json(),
+        )
+        shrunk, _ = shrink_witness(w)
+        # Everything past the (possibly re-discovered, earlier) divergence
+        # point is gone.
+        assert len(shrunk.schedule) <= d.step + 1

@@ -1,0 +1,124 @@
+"""Exhaustive audit of the packed rule-resolution tables.
+
+``RULE_TABLE`` in :mod:`repro.simulation.fastpath.ssrmin_kernel` is the
+single source of truth for SSRmin guard resolution on the fastpath and in
+the vectorized batch engine.  Its 128 entries are indexed by the local
+neighborhood ``(G_i, h_{i-1}, h_i, h_{i+1})``; this audit realizes *every*
+neighborhood as a concrete configuration and compares each entry against a
+direct evaluation of the five prioritized guards in
+:class:`repro.core.ssrmin.SSRmin`'s rule set — at an interior process and
+at the bottom process (whose Dijkstra guard reads the other ring edge).
+The Dijkstra kernel's comparison-driven resolution gets the same treatment
+over its full n=3 configuration space.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.simulation.fastpath.dijkstra_kernel import DIJKSTRA_RULE_NAMES
+from repro.simulation.fastpath.ssrmin_kernel import (
+    RULE_TABLE,
+    SSRMIN_RULE_NAMES,
+)
+
+ALL_NEIGHBORHOODS = list(
+    itertools.product((0, 1), range(4), range(4), range(4))
+)
+
+
+def _unpack_h(code):
+    return (code >> 1, code & 1)
+
+
+def _index(g, hp, h, hs):
+    return (g << 6) | (hp << 4) | (h << 2) | hs
+
+
+def _reference_id(alg, config, i):
+    rule = alg.enabled_rule(config, i)
+    return 0 if rule is None else SSRMIN_RULE_NAMES.index(rule.name)
+
+
+def test_table_shape():
+    assert len(RULE_TABLE) == 128
+    assert set(RULE_TABLE) <= set(range(6))
+    # Every rule id occurs: the table is not degenerate.
+    assert set(RULE_TABLE) == set(range(6))
+
+
+def test_all_128_entries_match_reference_guards_interior():
+    """Each entry equals the prioritized guard walk at an interior process.
+
+    Process 1 of SSRmin(3,4): ``G_1 = (x_1 != x_0)`` is realized by
+    ``x = (0, g, 0)``; the three handshake codes map directly onto the
+    neighborhood's ``(rts, tra)`` pairs.
+    """
+    alg = SSRmin(3, 4)
+    for g, hp, h, hs in ALL_NEIGHBORHOODS:
+        states = [
+            (0, *_unpack_h(hp)),
+            (1 if g else 0, *_unpack_h(h)),
+            (0, *_unpack_h(hs)),
+        ]
+        config = alg.normalize_configuration(states)
+        expected = _reference_id(alg, config, 1)
+        assert RULE_TABLE[_index(g, hp, h, hs)] == expected, (
+            f"neighborhood g={g} h_pred={hp:02b} h={h:02b} h_succ={hs:02b}: "
+            f"table says {RULE_TABLE[_index(g, hp, h, hs)]}, "
+            f"reference guards say {expected}"
+        )
+
+
+def test_all_128_entries_match_reference_guards_bottom():
+    """Same audit at the bottom process, whose guard is ``x_0 == x_{n-1}``.
+
+    For process 0 the predecessor is process ``n-1`` and the successor is
+    process 1; ``x = (1 - g, 0, 0)`` realizes ``G_0 = g``.
+    """
+    alg = SSRmin(3, 4)
+    for g, hp, h, hs in ALL_NEIGHBORHOODS:
+        states = [
+            (0 if g else 1, *_unpack_h(h)),
+            (0, *_unpack_h(hs)),
+            (0, *_unpack_h(hp)),
+        ]
+        config = alg.normalize_configuration(states)
+        expected = _reference_id(alg, config, 0)
+        assert RULE_TABLE[_index(g, hp, h, hs)] == expected, (
+            f"bottom neighborhood g={g} h_pred={hp:02b} h={h:02b} "
+            f"h_succ={hs:02b}"
+        )
+
+
+def test_kernel_rule_resolution_uses_audited_entries():
+    """The scalar kernel resolves exactly the audited table entry."""
+    alg = SSRmin(3, 4)
+    kernel = alg.fast_kernel()
+    for g, hp, h, hs in ALL_NEIGHBORHOODS:
+        states = [
+            (0, *_unpack_h(hp)),
+            (1 if g else 0, *_unpack_h(h)),
+            (0, *_unpack_h(hs)),
+        ]
+        kernel.load(alg.normalize_configuration(states))
+        assert kernel.rule_id(1) == RULE_TABLE[_index(g, hp, h, hs)]
+
+
+@pytest.mark.parametrize("n,K", [(3, 4), (4, 5)])
+def test_dijkstra_kernel_resolution_exhaustive(n, K):
+    """Dijkstra kernel rule ids match the reference rule set on the whole
+    configuration space (K^n configurations)."""
+    alg = DijkstraKState(n, K)
+    kernel = alg.fast_kernel()
+    for xs in itertools.product(range(K), repeat=n):
+        config = alg.normalize_configuration(list(xs))
+        kernel.load(config)
+        for i in range(n):
+            rule = alg.enabled_rule(config, i)
+            expected = (
+                0 if rule is None else DIJKSTRA_RULE_NAMES.index(rule.name)
+            )
+            assert kernel.rule_id(i) == expected, (xs, i)
