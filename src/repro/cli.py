@@ -147,6 +147,139 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _live_common_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        algorithm=args.algorithm,
+        n=args.n,
+        K=args.K,
+        transport=args.transport,
+        seed=args.seed,
+        timer_interval=args.timer_interval,
+        initial=args.initial,
+        stabilize_timeout=args.stabilize_timeout,
+    )
+
+
+def _live_finish(args: argparse.Namespace, report: dict, run_id: str,
+                 command: str) -> int:
+    """Shared tail of `live run|chaos`: manifest + summary + exit code."""
+    import os
+
+    from repro.runtime import render_live_report
+
+    if not args.no_telemetry:
+        from repro.telemetry import build_manifest, write_manifest
+
+        run_dir = os.path.join(args.telemetry_dir, run_id)
+        os.makedirs(run_dir, exist_ok=True)
+        manifest = build_manifest(
+            args._session,
+            experiment_id=run_id,
+            command=command,
+            trace_file=None,
+            extra={"live": report},
+        )
+        write_manifest(os.path.join(run_dir, "manifest.json"), manifest)
+        print(f"telemetry: {run_dir}/ (manifest.json)")
+    for line in render_live_report(report):
+        print(line)
+    health = report.get("health", {})
+    ok = bool(health.get("stabilized")) and not any(
+        v.get("epoch_index") == len(health.get("epochs", [])) - 1
+        for v in health.get("guarantee_violations", [])
+    )
+    print("result: " + ("HEALTHY" if ok else "UNHEALTHY"))
+    return 0 if ok else 1
+
+
+def _with_live_session(args: argparse.Namespace, fn) -> int:
+    """Run ``fn()`` (run + finish) under a telemetry session unless disabled."""
+    if args.no_telemetry:
+        args._session = None
+        return fn()
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as tel:
+        args._session = tel
+        return fn()
+
+
+def _cmd_live_run(args: argparse.Namespace) -> int:
+    from repro.runtime import live_run
+
+    run_id = f"live-run-{args.algorithm}-n{args.n}-seed{args.seed}"
+    command = (
+        f"repro live run --algorithm {args.algorithm} --n {args.n} "
+        f"--transport {args.transport} --seed {args.seed} "
+        f"--duration {args.duration}"
+    )
+
+    def go() -> int:
+        report = live_run(duration=args.duration, **_live_common_kwargs(args))
+        return _live_finish(args, report, run_id, command)
+
+    return _with_live_session(args, go)
+
+
+def _cmd_live_chaos(args: argparse.Namespace) -> int:
+    from repro.runtime import live_chaos
+
+    run_id = (
+        f"live-chaos-{args.script}-{args.algorithm}-n{args.n}-seed{args.seed}"
+    )
+    command = (
+        f"repro live chaos --script {args.script} --algorithm "
+        f"{args.algorithm} --n {args.n} --transport {args.transport} "
+        f"--seed {args.seed}"
+    )
+
+    def go() -> int:
+        report = live_chaos(
+            script=args.script,
+            extra_duration=args.duration,
+            **_live_common_kwargs(args),
+        )
+        return _live_finish(args, report, run_id, command)
+
+    return _with_live_session(args, go)
+
+
+def _cmd_live_status(args: argparse.Namespace) -> int:
+    import glob
+    import os
+
+    from repro.telemetry import read_manifest
+
+    pattern = os.path.join(args.telemetry_dir, "live-*", "manifest.json")
+    paths = sorted(glob.glob(pattern))
+    if not paths:
+        print(f"no live run manifests under {args.telemetry_dir}/live-*/")
+        return 1
+    failures = 0
+    for path in paths:
+        try:
+            manifest = read_manifest(path)
+        except (OSError, ValueError) as exc:
+            print(f"??   {path}: unreadable ({exc})")
+            failures += 1
+            continue
+        live = (manifest.get("extra") or {}).get("live", {})
+        health = live.get("health", {})
+        ok = bool(health.get("stabilized"))
+        ttr = health.get("time_to_restabilize")
+        status = "ok" if ok else "FAIL"
+        print(
+            f"{status:4s} {manifest.get('experiment_id')}: "
+            f"{live.get('algorithm')} n={live.get('n')} "
+            f"transport={live.get('transport')}"
+            + (f" restabilized in {ttr:.3f}s" if ttr is not None else "")
+            + f" ({manifest.get('created_utc')})"
+        )
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
+
+
 def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     import json
     import os
@@ -376,6 +509,57 @@ def main(argv: Optional[List[str]] = None) -> int:
     pf_seed.add_argument("directory", nargs="?", default="tests/corpus")
     pf_seed.add_argument("--no-verify", action="store_true")
     pf_seed.set_defaults(fn=_cmd_fuzz_seed_corpus)
+
+    p_live = sub.add_parser(
+        "live", help="live asyncio ring deployment: run, chaos, status"
+    )
+    live_sub = p_live.add_subparsers(dest="live_command", required=True)
+
+    def _live_common_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--algorithm", choices=["ssrmin", "dijkstra"],
+                       default="ssrmin")
+        p.add_argument("--n", type=int, default=5, help="ring size")
+        p.add_argument("--K", type=int, default=None,
+                       help="counter modulus (default: algorithm minimum)")
+        p.add_argument("--transport", choices=["loopback", "udp"],
+                       default="loopback")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--timer-interval", type=float, default=0.1,
+                       metavar="SECONDS",
+                       help="CST retransmission timer period (default 0.1)")
+        p.add_argument("--initial", choices=["legitimate", "random"],
+                       default="legitimate",
+                       help="boot from a legitimate or arbitrary configuration")
+        p.add_argument("--stabilize-timeout", type=float, default=10.0,
+                       metavar="SECONDS")
+        p.add_argument("--duration", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="steady-state run time after stabilization")
+        p.add_argument("--telemetry-dir", default="runs", metavar="DIR")
+        p.add_argument("--no-telemetry", action="store_true")
+
+    pl_run = live_sub.add_parser(
+        "run", help="boot a live ring, stabilize, circulate, drain"
+    )
+    _live_common_args(pl_run)
+    pl_run.set_defaults(fn=_cmd_live_run)
+
+    pl_chaos = live_sub.add_parser(
+        "chaos", help="run a scripted fault campaign against a live ring"
+    )
+    _live_common_args(pl_chaos)
+    from repro.runtime.chaos import SCRIPTS as _LIVE_SCRIPTS
+
+    pl_chaos.add_argument("--script", choices=sorted(_LIVE_SCRIPTS),
+                          default="loss_burst")
+    pl_chaos.set_defaults(fn=_cmd_live_chaos, n=8, transport="udp",
+                          duration=0.0)
+
+    pl_status = live_sub.add_parser(
+        "status", help="summarize recorded live-run manifests"
+    )
+    pl_status.add_argument("--telemetry-dir", default="runs", metavar="DIR")
+    pl_status.set_defaults(fn=_cmd_live_status)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -12,30 +12,37 @@ the precondition after which Theorem 3's guarantee applies forever.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.messagepassing.network import MessagePassingNetwork
 
 
+def stale_entries(nodes: Sequence) -> List[Tuple[int, int]]:
+    """All ``(node, neighbor)`` pairs whose cache entry is stale.
+
+    Operates on any collection of node-like objects exposing ``index``,
+    ``state`` and ``cache`` (DES :class:`~repro.messagepassing.node.CSTNode`
+    collections and the live runtime's server-held nodes alike); the
+    collection must be indexable by process index.
+    """
+    out = []
+    for node in nodes:
+        for k, cached in node.cache.items():
+            if cached != nodes[k].state:
+                out.append((node.index, k))
+    return out
+
+
 def is_cache_coherent(network: MessagePassingNetwork) -> bool:
     """Definition 2: every cache entry equals the neighbour's current state."""
-    for node in network.nodes:
-        for k, cached in node.cache.items():
-            if cached != network.nodes[k].state:
-                return False
-    return True
+    return not stale_entries(network.nodes)
 
 
 def incoherent_entries(
     network: MessagePassingNetwork,
 ) -> List[Tuple[int, int]]:
     """All ``(node, neighbor)`` pairs whose cache entry is stale."""
-    out = []
-    for node in network.nodes:
-        for k, cached in node.cache.items():
-            if cached != network.nodes[k].state:
-                out.append((node.index, k))
-    return out
+    return stale_entries(network.nodes)
 
 
 class CoherenceTracker:

@@ -119,7 +119,11 @@ class Link:
         self.deliver = deliver
         self.delay_model = delay_model
         self.loss_probability = loss_probability
-        self.rng = rng or random.Random()
+        # Derive the fallback from the global stream (seeded by callers /
+        # the test suite) rather than OS entropy; see docs/TESTING.md.
+        self.rng = rng if rng is not None else random.Random(
+            random.getrandbits(64)
+        )
         self.label = label
         #: Simulation time until which every transmission is lost (an
         #: outage/partition window; see :meth:`set_outage`).

@@ -101,7 +101,13 @@ class CSTNode:
         self.on_state_change = on_state_change
         self.scheduler = scheduler
         self.dwell_model = dwell_model
-        self.rng = rng or random.Random()
+        # Fallback stream derives from the global ``random`` state so a
+        # caller (or the test suite's autouse seed fixture) controls it;
+        # a bare ``Random()`` here would be OS-entropy-seeded and make
+        # nominally-seeded runs irreproducible.
+        self.rng = rng if rng is not None else random.Random(
+            random.getrandbits(64)
+        )
         self.chatty = chatty
         #: Outgoing links, filled in by the network layer: neighbor -> Link.
         self.links: Dict[int, Any] = {}

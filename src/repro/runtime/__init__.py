@@ -1,0 +1,66 @@
+"""Live asyncio deployment of the CST-transformed ring algorithms.
+
+Where :mod:`repro.messagepassing` *simulates* the transformed system on a
+deterministic event queue, this package *runs* it: real
+:class:`~repro.messagepassing.node.CSTNode` step logic inside asyncio
+tasks, talking over pluggable transports (in-process loopback, UDP on
+localhost), optionally through a chaos layer that injects loss, delay,
+duplication, reorder and partitions; a supervisor boots, watches,
+restarts and drains the nodes; and an online health monitor applies the
+conformance predicates (legitimacy + cache coherence + token-census
+bounds) so a live ring can report "stabilized in T seconds after fault
+script F".
+
+Entry points: ``repro live run|chaos|status`` on the CLI, or
+:func:`~repro.runtime.harness.live_run` /
+:func:`~repro.runtime.harness.live_chaos` from Python.
+"""
+
+from repro.runtime.chaos import (
+    SCRIPTS,
+    ChaosDirector,
+    ChaosOp,
+    ChaosScript,
+    build_script,
+)
+from repro.runtime.harness import (
+    build_algorithm,
+    live_chaos,
+    live_run,
+    render_live_report,
+)
+from repro.runtime.health import Epoch, HealthMonitor, HealthSnapshot
+from repro.runtime.server import LinkPort, RingNodeServer
+from repro.runtime.supervisor import RingSupervisor
+from repro.runtime.transport import (
+    ChaosTransport,
+    LoopbackTransport,
+    Transport,
+    UdpTransport,
+)
+from repro.runtime.wire import WireError, decode_message, encode_message
+
+__all__ = [
+    "SCRIPTS",
+    "ChaosDirector",
+    "ChaosOp",
+    "ChaosScript",
+    "ChaosTransport",
+    "Epoch",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "LinkPort",
+    "LoopbackTransport",
+    "RingNodeServer",
+    "RingSupervisor",
+    "Transport",
+    "UdpTransport",
+    "WireError",
+    "build_algorithm",
+    "build_script",
+    "decode_message",
+    "encode_message",
+    "live_chaos",
+    "live_run",
+    "render_live_report",
+]

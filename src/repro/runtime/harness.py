@@ -1,0 +1,188 @@
+"""Synchronous entry points for live runs (CLI and test harness).
+
+These wrap the asyncio machinery in ``asyncio.run`` so callers (argparse
+handlers, plain pytest functions) need no event-loop plumbing:
+
+* :func:`live_run` — boot a ring, require stabilization within a deadline,
+  run for a duration, drain, return the report;
+* :func:`live_chaos` — boot, stabilize, execute a named chaos script,
+  require *re*-stabilization after its last disturbance, drain, return
+  the report (including ``health.time_to_restabilize``).
+
+Both build the algorithm from its name the same way the conformance CLI
+does, and both leave manifest writing to the caller — the report dict is
+shaped to drop into ``build_manifest(extra={"live": report})``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, List, Optional, Union
+
+from repro.runtime.chaos import ChaosScript, build_script
+from repro.runtime.supervisor import RingSupervisor
+
+
+def build_algorithm(name: str, n: int, K: Optional[int] = None):
+    """Instantiate ``ssrmin`` or ``dijkstra`` for a live deployment."""
+    if name == "ssrmin":
+        from repro.core.ssrmin import SSRmin
+
+        return SSRmin(n, K)
+    if name == "dijkstra":
+        from repro.algorithms.dijkstra import DijkstraKState
+
+        return DijkstraKState(n, K if K is not None else n + 1)
+    raise ValueError(f"unknown algorithm {name!r} (ssrmin, dijkstra)")
+
+
+async def _run(
+    supervisor: RingSupervisor,
+    duration: float,
+    stabilize_timeout: float,
+    script: Optional[ChaosScript],
+) -> dict:
+    try:
+        await supervisor.boot()
+        try:
+            await supervisor.wait_stabilized(stabilize_timeout)
+        except TimeoutError:
+            # Not an exceptional control path for a CLI: the report (and
+            # the exit code derived from it) carries stabilized=False.
+            pass
+        if script is not None:
+            await supervisor.run_chaos(script)
+            if not supervisor.health.stabilized:
+                # The settle window wasn't enough; give the ring the same
+                # budget it had at boot before declaring failure.
+                try:
+                    await supervisor.wait_stabilized(stabilize_timeout)
+                except TimeoutError:
+                    pass  # reported as stabilized=False in the report
+        if duration > 0:
+            await supervisor.run_for(duration)
+    finally:
+        await supervisor.shutdown()
+    report = supervisor.report()
+    if script is not None:
+        report["script"] = script.to_json()
+    return report
+
+
+def _make_supervisor(
+    algorithm: str,
+    n: int,
+    K: Optional[int],
+    transport: str,
+    chaos: bool,
+    seed: int,
+    timer_interval: float,
+    initial: Union[str, List[Any]],
+    **kwargs: Any,
+) -> RingSupervisor:
+    alg = build_algorithm(algorithm, n, K)
+    return RingSupervisor(
+        alg,
+        transport=transport,
+        chaos=chaos,
+        initial=initial,
+        seed=seed,
+        timer_interval=timer_interval,
+        **kwargs,
+    )
+
+
+def live_run(
+    algorithm: str = "ssrmin",
+    n: int = 5,
+    K: Optional[int] = None,
+    transport: str = "loopback",
+    duration: float = 2.0,
+    seed: int = 0,
+    timer_interval: float = 0.2,
+    initial: Union[str, List[Any]] = "legitimate",
+    stabilize_timeout: float = 10.0,
+    **kwargs: Any,
+) -> dict:
+    """Boot a live ring, stabilize, run, drain; returns the run report."""
+    supervisor = _make_supervisor(
+        algorithm, n, K, transport, False, seed, timer_interval, initial,
+        **kwargs,
+    )
+    return asyncio.run(_run(supervisor, duration, stabilize_timeout, None))
+
+
+def live_chaos(
+    script: Union[str, ChaosScript] = "loss_burst",
+    algorithm: str = "ssrmin",
+    n: int = 8,
+    K: Optional[int] = None,
+    transport: str = "udp",
+    seed: int = 0,
+    timer_interval: float = 0.1,
+    initial: Union[str, List[Any]] = "legitimate",
+    stabilize_timeout: float = 10.0,
+    extra_duration: float = 0.0,
+    **kwargs: Any,
+) -> dict:
+    """Run a chaos script against a live ring; returns the run report.
+
+    The report's ``health`` block answers the operational questions:
+    ``stabilized`` (did the final epoch re-stabilize),
+    ``time_to_restabilize`` (seconds from the last disturbance), and
+    ``guarantee_violations`` (own-view token-census breaches observed
+    after stabilization).
+    """
+    supervisor = _make_supervisor(
+        algorithm, n, K, transport, True, seed, timer_interval, initial,
+        **kwargs,
+    )
+    if isinstance(script, str):
+        script = build_script(script, n, seed)
+    return asyncio.run(
+        _run(supervisor, extra_duration, stabilize_timeout, script)
+    )
+
+
+def render_live_report(report: dict) -> List[str]:
+    """Human-readable one-liners for a live run report."""
+    health = report.get("health", {})
+    lines = [
+        f"ring:       {report.get('algorithm')} n={report.get('n')} "
+        f"K={report.get('K')} seed={report.get('seed')}",
+        f"transport:  {report.get('transport')}"
+        + (" + chaos" if report.get("chaos") else ""),
+        f"wall clock: {report.get('wall_clock', 0.0):.2f}s "
+        f"(timer interval {report.get('timer_interval')}s)",
+        f"stabilized: {health.get('stabilized')}",
+    ]
+    ttr = health.get("time_to_restabilize")
+    if ttr is not None:
+        lines.append(f"time to (re)stabilize: {ttr:.3f}s "
+                     f"after {health.get('epochs', [{}])[-1].get('label')}")
+    lo = health.get("post_stab_min_holders")
+    hi = health.get("post_stab_max_holders")
+    if lo is not None:
+        lines.append(f"own-view token census post-stabilization: "
+                     f"[{lo}, {hi}] (bounds {health.get('token_bounds')})")
+    violations = health.get("guarantee_violations", [])
+    lines.append(f"guarantee violations: {len(violations)}")
+    if not health.get("graceful_handover", True):
+        lines.append(
+            f"own-view vacancy instants (non-graceful handover): "
+            f"{health.get('vacancy_instants')}"
+        )
+    if report.get("restarts"):
+        lines.append(f"node restarts: {report['restarts']}")
+    tstats = report.get("transport_stats", {})
+    if tstats:
+        lines.append(
+            "messages: " + ", ".join(f"{k}={v}" for k, v in tstats.items())
+        )
+    for epoch in health.get("epochs", ()):
+        t = epoch.get("time_to_stabilize")
+        lines.append(
+            f"  epoch {epoch.get('label')}: "
+            + (f"stabilized in {t:.3f}s" if t is not None else "NOT stabilized")
+        )
+    return lines

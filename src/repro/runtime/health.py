@@ -1,0 +1,243 @@
+"""Online health checking for a live ring.
+
+The conformance oracle already knows what "healthy" means for these
+algorithms: the true configuration is **legitimate**, the caches are
+**coherent** (Definition 2, via
+:func:`repro.messagepassing.coherence.stale_entries`), and on legitimate
+configurations the own-view token census stays inside the paper's bounds
+(:data:`repro.verification.conformance.oracle.TOKEN_BOUNDS` — 1..2 for
+SSRmin, exactly 1 for Dijkstra).  :class:`HealthMonitor` applies those
+predicates *online*: the supervisor notifies it after every state change,
+cache update and timer fire, and the monitor tracks stabilization epochs.
+
+An **epoch** starts at boot and at every disturbance (a chaos op, a node
+crash/restart).  Within an epoch the monitor looks for the first instant
+that is simultaneously legitimate + cache-coherent — Theorem 4's entry
+condition, after which Theorem 3's token guarantee must hold — and from
+that instant on it audits the own-view census on every notification.  A
+live ring can therefore report "stabilized in T seconds after fault script
+F" and "the ≥1-token guarantee held throughout" without any offline
+analysis.
+
+Instantaneous coherence requires rule execution to be *delayed* past cache
+repair (the dwell model); with inline execution a non-silent ring hops
+from one incoherent instant to the next and the entry condition is never
+observable.  The supervisor's default dwell provides the window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.algorithms.base import RingAlgorithm
+from repro.messagepassing.coherence import stale_entries
+from repro.verification.conformance.oracle import TOKEN_BOUNDS
+
+#: Algorithms whose handover is *graceful* (Theorem 3): at least one node
+#: sees the token in its own view at **every** instant after a legitimate
+#: + coherent start.  For anything else (Dijkstra under CST being the
+#: paper's counter-example) the own-view census transiently drops to zero
+#: mid-handover, so the lower bound is only audited on coherent instants
+#: — and the vacancies themselves are counted as an observable.
+GRACEFUL_HANDOVER = frozenset({"SSRmin"})
+
+
+@dataclass
+class Epoch:
+    """One disturbance-to-stabilization interval."""
+
+    label: str
+    started_at: float
+    stabilized_at: Optional[float] = None
+
+    @property
+    def time_to_stabilize(self) -> Optional[float]:
+        if self.stabilized_at is None:
+            return None
+        return self.stabilized_at - self.started_at
+
+    def to_json(self) -> dict:
+        """JSON-able form for the health report."""
+        return {
+            "label": self.label,
+            "started_at": self.started_at,
+            "stabilized_at": self.stabilized_at,
+            "time_to_stabilize": self.time_to_stabilize,
+        }
+
+
+@dataclass
+class HealthSnapshot:
+    """One instantaneous reading of the ring's global state."""
+
+    time: float
+    states: Tuple[Any, ...]
+    legitimate: bool
+    coherent: bool
+    own_view_holders: Tuple[int, ...]
+
+    def to_json(self) -> dict:
+        """JSON-able form for the health report."""
+        return {
+            "time": self.time,
+            "states": [list(s) if isinstance(s, tuple) else s
+                       for s in self.states],
+            "legitimate": self.legitimate,
+            "coherent": self.coherent,
+            "own_view_holders": list(self.own_view_holders),
+        }
+
+
+class HealthMonitor:
+    """Event-driven legitimacy + coherence + census tracking.
+
+    Parameters
+    ----------
+    algorithm:
+        The algorithm instance the ring runs.
+    nodes:
+        ``nodes()`` returns the current node objects, indexable by process
+        index (restarts swap node objects, so the monitor re-reads).
+    clock:
+        ``clock()`` in seconds since boot (the supervisor's run clock).
+    """
+
+    def __init__(
+        self,
+        algorithm: RingAlgorithm,
+        nodes: Callable[[], Sequence[Any]],
+        clock: Callable[[], float],
+    ):
+        self.algorithm = algorithm
+        self._nodes = nodes
+        self.clock = clock
+        self.token_bounds = TOKEN_BOUNDS.get(type(algorithm).__name__)
+        self.guaranteed_throughout = (
+            type(algorithm).__name__ in GRACEFUL_HANDOVER
+        )
+        self.epochs: List[Epoch] = [Epoch(label="boot", started_at=0.0)]
+        self.checks = 0
+        #: Post-stabilization instants with zero own-view tokens.  Always
+        #: zero for graceful-handover algorithms (else it's a violation);
+        #: for Dijkstra this live-counts the handover gap of Figure 13.
+        self.vacancy_instants = 0
+        #: Census bookkeeping over post-stabilization instants of the
+        #: current epoch (reset at every disturbance).
+        self.post_stab_min_holders: Optional[int] = None
+        self.post_stab_max_holders: Optional[int] = None
+        #: Notifications where a stabilized epoch had zero own-view tokens
+        #: (a Theorem 3 violation) or exceeded the upper bound.
+        self.guarantee_violations: List[dict] = []
+
+    # -- epoch control -------------------------------------------------------
+    @property
+    def current_epoch(self) -> Epoch:
+        return self.epochs[-1]
+
+    @property
+    def stabilized(self) -> bool:
+        return self.current_epoch.stabilized_at is not None
+
+    def note_disturbance(self, label: str) -> None:
+        """A fault just happened: open a fresh epoch."""
+        self.epochs.append(Epoch(label=label, started_at=self.clock()))
+        self.post_stab_min_holders = None
+        self.post_stab_max_holders = None
+
+    # -- the online check ----------------------------------------------------
+    def snapshot(self) -> HealthSnapshot:
+        """Read the ring's global state (single-threaded, hence consistent)."""
+        nodes = self._nodes()
+        alg = self.algorithm
+        states = tuple(node.state for node in nodes)
+        config = alg.normalize_configuration(states)
+        holders = tuple(
+            node.index for node in nodes
+            if alg.node_holds_token(node.view(), node.index)
+        )
+        return HealthSnapshot(
+            time=self.clock(),
+            states=states,
+            legitimate=alg.is_legitimate(config),
+            coherent=not stale_entries(nodes),
+            own_view_holders=holders,
+        )
+
+    def notify(self) -> HealthSnapshot:
+        """Run the health check now; called after every observable event."""
+        self.checks += 1
+        snap = self.snapshot()
+        epoch = self.current_epoch
+        if epoch.stabilized_at is None:
+            if snap.legitimate and snap.coherent:
+                epoch.stabilized_at = snap.time
+        if epoch.stabilized_at is not None:
+            count = len(snap.own_view_holders)
+            if self.post_stab_min_holders is None:
+                self.post_stab_min_holders = count
+                self.post_stab_max_holders = count
+            else:
+                self.post_stab_min_holders = min(
+                    self.post_stab_min_holders, count)
+                self.post_stab_max_holders = max(
+                    self.post_stab_max_holders, count)
+            if count == 0:
+                self.vacancy_instants += 1
+            if self.token_bounds is not None:
+                lo, hi = self.token_bounds
+                # The upper bound is only guaranteed on *legitimate*
+                # instants.  The lower bound (token existence) is the
+                # graceful-handover guarantee: it must hold *throughout*
+                # for SSRmin, but only on coherent instants for
+                # non-graceful algorithms, whose census legitimately dips
+                # to zero while a handover message is in flight.
+                low_breach = (
+                    count < lo
+                    if self.guaranteed_throughout
+                    else (snap.legitimate and snap.coherent and count < lo)
+                )
+                if low_breach or (snap.legitimate and count > hi):
+                    self.guarantee_violations.append({
+                        "time": snap.time,
+                        "holders": list(snap.own_view_holders),
+                        "legitimate": snap.legitimate,
+                        "epoch": epoch.label,
+                        "epoch_index": len(self.epochs) - 1,
+                    })
+        return snap
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """Stabilized in the current epoch, which shows no violations.
+
+        Earlier epochs may legitimately contain violations (a reorder
+        window can perturb the guarantee mid-chaos); what a healthy ring
+        must deliver is a clean *final* epoch — re-stabilized after the
+        last disturbance with the token guarantee intact since.
+        """
+        final = len(self.epochs) - 1
+        return self.stabilized and not any(
+            v["epoch_index"] == final for v in self.guarantee_violations
+        )
+
+    def time_to_restabilize(self) -> Optional[float]:
+        """Stabilization latency of the most recent disturbance epoch."""
+        return self.current_epoch.time_to_stabilize
+
+    def to_json(self) -> dict:
+        """The report's ``health`` block (epochs, census, violations)."""
+        return {
+            "checks": self.checks,
+            "stabilized": self.stabilized,
+            "graceful_handover": self.guaranteed_throughout,
+            "vacancy_instants": self.vacancy_instants,
+            "epochs": [e.to_json() for e in self.epochs],
+            "time_to_restabilize": self.time_to_restabilize(),
+            "post_stab_min_holders": self.post_stab_min_holders,
+            "post_stab_max_holders": self.post_stab_max_holders,
+            "guarantee_violations": list(self.guarantee_violations),
+            "token_bounds": list(self.token_bounds)
+            if self.token_bounds else None,
+        }

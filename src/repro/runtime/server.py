@@ -1,0 +1,286 @@
+"""One live ring node: a CST emulation task over a transport.
+
+:class:`RingNodeServer` hosts the *existing* CST step logic — a real
+:class:`~repro.messagepassing.node.CSTNode` — inside an asyncio task
+group:
+
+* **ingress** — the transport delivers ``<state, q>`` datagrams straight
+  into ``CSTNode.on_receive`` (cache update, optional echo, rule check);
+* **interval timer** — a task fires ``CSTNode.on_timer`` every
+  ``interval + U(0, jitter)`` seconds (the cache-repair heartbeat of
+  Algorithm 4, lines 11-12; jitter doubles as the randomization the
+  transformation literature requires for non-silent algorithms);
+* **dwell** — rule execution is deferred via ``loop.call_later`` (the
+  critical-section dwell of the DES model), which also creates the
+  observable legitimate+coherent instants the health monitor looks for;
+* **egress** — each neighbour direction gets a :class:`LinkPort`, a
+  coalescing rate-limited port mirroring the DES capacity-one link: when
+  messages are produced faster than ``min_gap`` allows, only the newest
+  state is kept pending (a newer CST state always supersedes an older
+  one), which bounds traffic under chatty receive-echo storms.
+
+A server can be *crashed* (``kill -9`` semantics: tasks cancelled, state
+lost mid-flight) and later rebuilt by the supervisor with a fresh —
+arbitrary — state; self-stabilization is what makes that recovery story
+sound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.algorithms.base import RingAlgorithm
+from repro.messagepassing.links import DelayModel, FixedDelay
+from repro.messagepassing.node import CSTNode
+from repro.runtime.transport import Transport
+
+
+class LinkPort:
+    """Outgoing port for one ring direction with capacity-one coalescing.
+
+    Presents the DES ``Link.send(payload)`` surface to ``CSTNode`` (so the
+    node code runs unmodified) but transmits over a live transport.  At
+    most one datagram leaves per ``min_gap`` seconds; excess sends replace
+    the pending payload (newest state wins) exactly like the DES link's
+    coalescing — the property Lemma 9's convergence argument needs.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        src: int,
+        dst: int,
+        min_gap: float = 0.005,
+    ):
+        self.transport = transport
+        self.src = src
+        self.dst = dst
+        self.min_gap = min_gap
+        self._last_sent = float("-inf")
+        self._pending: Optional[Any] = None
+        self._flush_scheduled = False
+        self.closed = False
+        # -- statistics (DES Link-compatible names) -------------------------
+        self.sent = 0
+        self.coalesced = 0
+
+    def send(self, payload: Any) -> None:
+        """Send (or coalesce) ``(sender, state)`` toward ``dst``."""
+        if self.closed:
+            return
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if now - self._last_sent >= self.min_gap:
+            self._transmit(payload, now)
+            return
+        if self._pending is not None:
+            self.coalesced += 1
+        self._pending = payload
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            loop.call_at(self._last_sent + self.min_gap, self._flush)
+
+    def _transmit(self, payload: Any, now: float) -> None:
+        sender, state = payload
+        self._last_sent = now
+        self.sent += 1
+        self.transport.post(sender, self.dst, state)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        if self.closed or self._pending is None:
+            return
+        payload, self._pending = self._pending, None
+        self._transmit(payload, asyncio.get_running_loop().time())
+
+
+class RingNodeServer:
+    """The asyncio life-support around one :class:`CSTNode`.
+
+    Parameters
+    ----------
+    index, algorithm:
+        Which process this server emulates, of which algorithm.
+    transport:
+        The shared (possibly chaos-wrapped) transport.
+    initial_state, initial_cache:
+        Starting condition (arbitrary, per self-stabilization).
+    timer_interval, timer_jitter:
+        Heartbeat cadence in (real) seconds.
+    dwell_model:
+        Seconds between a rule becoming enabled and executing; ``None``
+        executes inline (degenerate: coherent instants become
+        unobservable — see :mod:`repro.runtime.health`).
+    min_gap:
+        LinkPort rate limit (capacity-one emulation).
+    rng:
+        Seeded per-node RNG (jitter + dwell sampling).
+    on_event:
+        ``on_event(kind, **fields)`` telemetry/health hook; kinds:
+        ``receive``, ``state_change``, ``timer``.
+    chatty:
+        Echo state on every receipt (Algorithm 4 verbatim).  The link
+        ports make this safe; ``False`` relies on change+timer broadcasts.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        algorithm: RingAlgorithm,
+        transport: Transport,
+        initial_state: Any,
+        initial_cache: Optional[Dict[int, Any]] = None,
+        timer_interval: float = 0.2,
+        timer_jitter: float = 0.1,
+        dwell_model: Optional[DelayModel] = FixedDelay(0.02),
+        min_gap: float = 0.005,
+        rng: Optional[random.Random] = None,
+        on_event: Optional[Callable[..., None]] = None,
+        chatty: bool = True,
+    ):
+        self.index = index
+        self.algorithm = algorithm
+        self.transport = transport
+        self.timer_interval = timer_interval
+        self.timer_jitter = timer_jitter
+        self.rng = rng or random.Random(index)
+        self.on_event = on_event
+        self.running = False
+        self._timer_task: Optional[asyncio.Task] = None
+        self._dwell_handles: List[asyncio.TimerHandle] = []
+        self.restarts = 0
+        #: Monotonic loop time of the last observable activity (timer fire
+        #: or delivery) — the liveness watchdog's wedge signal.
+        self.last_activity = 0.0
+
+        neighbors = algorithm.ring.readable_neighbors(index)
+        self.node = CSTNode(
+            index=index,
+            algorithm=algorithm,
+            neighbors=neighbors,
+            initial_state=initial_state,
+            initial_cache=initial_cache,
+            on_state_change=self._state_changed,
+            scheduler=self._schedule_dwell,
+            dwell_model=dwell_model,
+            rng=self.rng,
+            chatty=chatty,
+        )
+        self.ports: Dict[int, LinkPort] = {}
+        for j in algorithm.ring.message_neighbors(index):
+            port = LinkPort(transport, index, j, min_gap=min_gap)
+            self.ports[j] = port
+            self.node.links[j] = port
+
+    # -- CSTNode integration -------------------------------------------------
+    def _schedule_dwell(self, delay: float, fn: Callable[[], None]) -> None:
+        loop = asyncio.get_running_loop()
+
+        def guarded() -> None:
+            # A crashed server must not execute rules from beyond the grave.
+            if self.running:
+                fn()
+
+        self._dwell_handles.append(loop.call_later(delay, guarded))
+        if len(self._dwell_handles) > 64:
+            self._dwell_handles = [
+                h for h in self._dwell_handles
+                if not h.cancelled() and h.when() > loop.time()
+            ]
+
+    def _state_changed(self, node: CSTNode, old: Any, new: Any) -> None:
+        if self.on_event is not None:
+            self.on_event("state_change", node=self.index, old=old, new=new)
+
+    def deliver(self, sender: int, state: Any) -> None:
+        """Transport ingress: one ``<state, q>`` datagram arrived."""
+        if not self.running:
+            return
+        if sender not in self.node.cache:
+            # Not a readable neighbour (stray/forged datagram): ignore, as
+            # a deployed node must.  (CSTNode would raise — correct for the
+            # DES where this is a wiring bug, wrong for an open socket.)
+            return
+        self.node.on_receive(sender, state)
+        self.last_activity = asyncio.get_running_loop().time()
+        if self.on_event is not None:
+            self.on_event("receive", node=self.index, src=sender)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        """Register ingress, arm the heartbeat, announce state."""
+        if self.running:
+            raise RuntimeError(f"node {self.index} already running")
+        self.running = True
+        loop = asyncio.get_running_loop()
+        self.last_activity = loop.time()
+        self.transport.register(self.index, self.deliver)
+        self._timer_task = loop.create_task(
+            self._timer_loop(), name=f"ring-node-{self.index}-timer"
+        )
+        # Boot announcement (the DES start() does the same): neighbours'
+        # caches begin healing before the first timer.
+        self.node.broadcast_state()
+
+    async def _timer_loop(self) -> None:
+        while self.running:
+            await asyncio.sleep(
+                self.timer_interval + self.rng.uniform(0.0, self.timer_jitter)
+            )
+            if not self.running:  # crashed while sleeping
+                return
+            self.node.on_timer()
+            self.last_activity = asyncio.get_running_loop().time()
+            if self.on_event is not None:
+                self.on_event("timer", node=self.index)
+
+    def crash(self) -> None:
+        """``kill -9``: stop everything now, drop in-progress work."""
+        self.running = False
+        self.transport.unregister(self.index)
+        if self._timer_task is not None:
+            self._timer_task.cancel()
+            self._timer_task = None
+        for handle in self._dwell_handles:
+            handle.cancel()
+        self._dwell_handles.clear()
+        for port in self.ports.values():
+            port.closed = True
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop the heartbeat, let pending sends flush."""
+        self.running = False
+        if self._timer_task is not None:
+            self._timer_task.cancel()
+            try:
+                await self._timer_task
+            except asyncio.CancelledError:
+                pass
+            self._timer_task = None
+        for handle in self._dwell_handles:
+            handle.cancel()
+        self._dwell_handles.clear()
+        self.transport.unregister(self.index)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the server's heartbeat task is still running."""
+        return (
+            self.running
+            and self._timer_task is not None
+            and not self._timer_task.done()
+        )
+
+    # -- statistics ----------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Per-node counters for the run report and metrics flush."""
+        return {
+            "rules_executed": self.node.rules_executed,
+            "messages_received": self.node.messages_received,
+            "timer_fires": self.node.timer_fires,
+            "sent": sum(p.sent for p in self.ports.values()),
+            "coalesced": sum(p.coalesced for p in self.ports.values()),
+            "restarts": self.restarts,
+        }

@@ -1,0 +1,309 @@
+"""Pluggable datagram transports for the live asyncio ring.
+
+Three implementations share one tiny contract (:class:`Transport`):
+
+* :class:`LoopbackTransport` — in-process delivery through the event loop.
+  Every message still round-trips the wire format, so loopback runs
+  exercise the exact serialization path UDP uses, just without sockets.
+* :class:`UdpTransport` — one UDP datagram socket per node on localhost.
+  Ports are OS-assigned (bind to port 0) and collected into a routing
+  table, so parallel test runs never collide.
+* :class:`ChaosTransport` — a decorator over either of the above that
+  injects loss, extra delay, duplication, reorder and partitions from a
+  seeded RNG; the knobs are mutable so a
+  :class:`~repro.runtime.chaos.ChaosScript` can open and close fault
+  windows while the ring runs.
+
+Delivery is always *asynchronous with respect to the sender*: a send never
+invokes the receiver's handler on the sender's stack (loopback uses
+``call_soon``), mirroring real network decoupling and keeping CST's
+receive-handler recursion bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.runtime.wire import WireError, decode_message, encode_message
+
+#: ``deliver(sender, state)`` — a node's ingress callback.
+Deliver = Callable[[int, Any], None]
+
+
+class Transport:
+    """Abstract point-to-point datagram transport between node indices."""
+
+    def __init__(self) -> None:
+        self._receivers: Dict[int, Deliver] = {}
+        # -- statistics -----------------------------------------------------
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def register(self, index: int, deliver: Deliver) -> None:
+        """Attach (or replace) the ingress callback for ``index``.
+
+        Re-registration is how a restarted node takes over its identity —
+        datagrams in flight toward a dead node are delivered to the new
+        incarnation or dropped, never to the old object.
+        """
+        self._receivers[index] = deliver
+
+    def unregister(self, index: int) -> None:
+        """Detach ``index``; its datagrams are dropped until re-registered."""
+        self._receivers.pop(index, None)
+
+    async def start(self) -> None:
+        """Bring the transport up (bind sockets, ...)."""
+
+    def post(self, src: int, dst: int, state: Any) -> None:
+        """Fire-and-forget one ``<state, q>`` message (synchronous API).
+
+        Called from CST link ports inside the event loop; implementations
+        must not block and must not deliver on the caller's stack.
+        """
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Tear the transport down; in-flight messages may be dropped."""
+
+    def stats(self) -> Dict[str, int]:
+        """Delivery counters (decorators extend with their own)."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+        }
+
+    # -- helpers for implementations ---------------------------------------
+    def _handoff(self, dst: int, data: bytes) -> None:
+        """Decode and deliver a received datagram to the ``dst`` callback."""
+        deliver = self._receivers.get(dst)
+        if deliver is None:
+            self.dropped += 1
+            return
+        try:
+            sender, state = decode_message(data)
+        except WireError:
+            # A malformed datagram is treated as lost; the periodic CST
+            # timer re-sends the state anyway (self-stabilization absorbs
+            # arbitrary channel garbage).
+            self.dropped += 1
+            return
+        self.delivered += 1
+        deliver(sender, state)
+
+
+class LoopbackTransport(Transport):
+    """In-process transport: encode, hop through the event loop, decode."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+
+    def post(self, src: int, dst: int, state: Any) -> None:
+        if self._closed or self._loop is None:
+            return
+        self.sent += 1
+        data = encode_message(src, state)
+        self._loop.call_soon(self._handoff, dst, data)
+
+    async def close(self) -> None:
+        self._closed = True
+
+
+class _NodeDatagramProtocol(asyncio.DatagramProtocol):
+    """Receives datagrams for one node index and hands them to the owner."""
+
+    def __init__(self, owner: "UdpTransport", index: int):
+        self.owner = owner
+        self.index = index
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self.owner._handoff(self.index, data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        # ICMP errors (port unreachable during a restart window) are
+        # indistinguishable from loss for a self-stabilizing ring.
+        pass
+
+
+class UdpTransport(Transport):
+    """One UDP socket per node on ``127.0.0.1``; OS-assigned ports.
+
+    ``bind(i)`` must run (via :meth:`start`) before any ``post`` toward
+    ``i`` can route; the supervisor binds every index it boots.
+    """
+
+    def __init__(self, indices: Iterable[int], host: str = "127.0.0.1"):
+        super().__init__()
+        self.host = host
+        self.indices = tuple(indices)
+        self._endpoints: Dict[int, asyncio.DatagramTransport] = {}
+        #: ``index -> (host, port)`` routing table, filled at bind time.
+        self.routes: Dict[int, Tuple[str, int]] = {}
+        self._closed = False
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        for i in self.indices:
+            if i in self._endpoints:
+                continue
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda i=i: _NodeDatagramProtocol(self, i),
+                local_addr=(self.host, 0),
+            )
+            self._endpoints[i] = transport
+            sockname = transport.get_extra_info("sockname")
+            self.routes[i] = (self.host, sockname[1])
+
+    def post(self, src: int, dst: int, state: Any) -> None:
+        if self._closed:
+            return
+        endpoint = self._endpoints.get(src)
+        route = self.routes.get(dst)
+        if endpoint is None or route is None:
+            self.dropped += 1
+            return
+        self.sent += 1
+        endpoint.sendto(encode_message(src, state), route)
+
+    async def close(self) -> None:
+        self._closed = True
+        for transport in self._endpoints.values():
+            transport.close()
+        self._endpoints.clear()
+        # Give the loop one tick to run the transports' close callbacks.
+        await asyncio.sleep(0)
+
+
+class ChaosTransport(Transport):
+    """Fault-injecting decorator over another transport.
+
+    All knobs start neutral (no chaos); a chaos script opens fault windows
+    by mutating them and closes the windows by restoring the defaults.
+    Randomness is drawn from one seeded RNG, so a given script + seed
+    injects the same loss/duplication decisions run after run.
+    """
+
+    def __init__(self, inner: Transport, seed: int = 0):
+        super().__init__()
+        self.inner = inner
+        self.rng = random.Random(seed)
+        # -- fault knobs ----------------------------------------------------
+        #: Bernoulli per-message loss probability.
+        self.loss_p = 0.0
+        #: Extra per-message latency window ``[low, high]`` seconds.
+        self.delay_range: Optional[Tuple[float, float]] = None
+        #: Probability a message is sent twice.
+        self.duplicate_p = 0.0
+        #: Probability a message is held back ``reorder_jitter`` seconds
+        #: (later messages overtake it — reordering).
+        self.reorder_p = 0.0
+        self.reorder_jitter = 0.05
+        #: Directed edges currently cut (``(src, dst)``).
+        self.cut_edges: Set[Tuple[int, int]] = set()
+        # -- statistics -----------------------------------------------------
+        self.injected_losses = 0
+        self.injected_duplicates = 0
+        self.injected_delays = 0
+        self.blocked_by_partition = 0
+        self._handles: List[asyncio.TimerHandle] = []
+        self._closed = False
+
+    # -- Transport contract (register/start/close proxy to inner) ----------
+    def register(self, index: int, deliver: Deliver) -> None:
+        self.inner.register(index, deliver)
+
+    def unregister(self, index: int) -> None:
+        self.inner.unregister(index)
+
+    async def start(self) -> None:
+        await self.inner.start()
+
+    async def close(self) -> None:
+        self._closed = True
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()
+        await self.inner.close()
+
+    # -- fault windows -------------------------------------------------------
+    def cut(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Partition: cut the given edges in *both* directions."""
+        for a, b in edges:
+            self.cut_edges.add((a, b))
+            self.cut_edges.add((b, a))
+
+    def heal(self, edges: Optional[Iterable[Tuple[int, int]]] = None) -> None:
+        """Restore cut edges (all of them when ``edges`` is None)."""
+        if edges is None:
+            self.cut_edges.clear()
+            return
+        for a, b in edges:
+            self.cut_edges.discard((a, b))
+            self.cut_edges.discard((b, a))
+
+    def calm(self) -> None:
+        """Reset every knob to the neutral (no chaos) position."""
+        self.loss_p = 0.0
+        self.delay_range = None
+        self.duplicate_p = 0.0
+        self.reorder_p = 0.0
+        self.cut_edges.clear()
+
+    # -- the data path -------------------------------------------------------
+    def post(self, src: int, dst: int, state: Any) -> None:
+        if self._closed:
+            return
+        self.sent += 1
+        if (src, dst) in self.cut_edges:
+            self.blocked_by_partition += 1
+            return
+        if self.loss_p > 0.0 and self.rng.random() < self.loss_p:
+            self.injected_losses += 1
+            return
+        copies = 1
+        if self.duplicate_p > 0.0 and self.rng.random() < self.duplicate_p:
+            self.injected_duplicates += 1
+            copies = 2
+        delay = 0.0
+        if self.delay_range is not None:
+            delay += self.rng.uniform(*self.delay_range)
+        if self.reorder_p > 0.0 and self.rng.random() < self.reorder_p:
+            delay += self.rng.uniform(0.0, self.reorder_jitter)
+        for _ in range(copies):
+            if delay > 0.0:
+                self.injected_delays += 1
+                self._later(delay, src, dst, state)
+            else:
+                self.inner.post(src, dst, state)
+
+    def _later(self, delay: float, src: int, dst: int, state: Any) -> None:
+        loop = asyncio.get_running_loop()
+        handle = loop.call_later(delay, self.inner.post, src, dst, state)
+        self._handles.append(handle)
+        # Bound the handle list: drop completed handles opportunistically.
+        if len(self._handles) > 256:
+            self._handles = [h for h in self._handles if not h.cancelled()
+                             and h.when() > loop.time()]
+
+    # -- statistics ----------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Chaos counters plus the inner transport's delivery counters."""
+        return {
+            "sent": self.sent,
+            "inner_sent": self.inner.sent,
+            "delivered": self.inner.delivered,
+            "dropped": self.inner.dropped,
+            "injected_losses": self.injected_losses,
+            "injected_duplicates": self.injected_duplicates,
+            "injected_delays": self.injected_delays,
+            "blocked_by_partition": self.blocked_by_partition,
+        }

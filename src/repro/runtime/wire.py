@@ -1,0 +1,63 @@
+"""Wire format for live CST rings: one datagram per ``<state, q>`` message.
+
+The DES layer passes ``(sender, state)`` tuples by reference; a live
+deployment has to serialize them.  Messages are single JSON objects —
+small (a ring state is a few ints), self-delimiting as UDP datagrams, and
+line-delimited on stream-ish transports.  Local states survive the round
+trip structurally: SSRmin's ``(x, rts, tra)`` tuples become JSON arrays and
+are restored to tuples on decode (the cache/guard layer compares states
+with ``==``, so list/tuple confusion would silently break coherence).
+
+A decode failure raises :class:`WireError` rather than crashing the node:
+a self-stabilizing server treats a malformed datagram exactly like a lost
+one (the periodic timer re-sends state anyway).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Tuple
+
+#: Wire schema version; a node ignores datagrams from other versions.
+WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """A datagram that does not parse as a CST state message."""
+
+
+def restore_state(value: Any) -> Any:
+    """JSON round-trip normalization: lists back to (nested) tuples."""
+    if isinstance(value, list):
+        return tuple(restore_state(v) for v in value)
+    return value
+
+
+def encode_message(sender: int, state: Any) -> bytes:
+    """Serialize ``<state, q>`` from ``sender`` into one datagram."""
+    return json.dumps(
+        {"v": WIRE_VERSION, "s": sender, "q": state}, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_message(data: bytes) -> Tuple[int, Any]:
+    """Parse a datagram back into ``(sender, state)``.
+
+    Raises
+    ------
+    WireError
+        On malformed JSON, a wrong schema version, or missing fields.
+    """
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable datagram: {exc}") from None
+    if not isinstance(obj, dict) or obj.get("v") != WIRE_VERSION:
+        raise WireError(f"unknown wire version in {obj!r}")
+    try:
+        sender = int(obj["s"])
+    except (KeyError, TypeError, ValueError):
+        raise WireError(f"missing/invalid sender in {obj!r}") from None
+    if "q" not in obj:
+        raise WireError(f"missing state in {obj!r}")
+    return sender, restore_state(obj["q"])

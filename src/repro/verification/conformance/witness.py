@@ -223,11 +223,16 @@ def replay_witness_file(path: str, use_cst: bool = True) -> ReplayOutcome:
 
 
 def corpus_files(directory: str) -> List[str]:
-    """Sorted ``*.jsonl`` witness files under ``directory``."""
+    """Sorted ``*.jsonl`` witness files under ``directory``.
+
+    ``golden_*.jsonl`` files are skipped: those are frozen figure traces
+    (:mod:`repro.experiments.golden`) that share the corpus directory but
+    are replayed by their own regression test, not the witness harness.
+    """
     if not os.path.isdir(directory):
         return []
     return sorted(
         os.path.join(directory, name)
         for name in os.listdir(directory)
-        if name.endswith(".jsonl")
+        if name.endswith(".jsonl") and not name.startswith("golden_")
     )

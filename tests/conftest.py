@@ -3,11 +3,29 @@
 from __future__ import annotations
 
 import random
+import zlib
 
 import pytest
 
 from repro.core.ssrmin import SSRmin
 from repro.algorithms.dijkstra import DijkstraKState
+
+
+@pytest.fixture(autouse=True)
+def _pin_global_random_seed(request):
+    """Seed the module-level ``random`` stream per test, deterministically.
+
+    Every test starts from ``random.seed(crc32(nodeid))``, so code that
+    falls back to the global stream (or to ``random.Random()`` seeded
+    from it — see ``CSTNode`` and ``Link``) behaves identically across
+    runs and is independent of test execution order.  Tests that need
+    their own stream should take the ``rng`` fixture or seed explicitly;
+    see docs/TESTING.md ("Determinism and seeding").
+    """
+    state = random.getstate()
+    random.seed(zlib.crc32(request.node.nodeid.encode()))
+    yield
+    random.setstate(state)
 
 
 @pytest.fixture

@@ -1,0 +1,137 @@
+"""Property-based tests for the cache-coherence predicate (Definition 2).
+
+The predicate :func:`repro.messagepassing.coherence.stale_entries` is the
+load-bearing half of the stabilization entry condition ("legitimate AND
+cache-coherent"), used by both the DES conformance oracle and the live
+runtime's health monitor.  Three angles:
+
+1. it agrees with an independently-written brute-force oracle on
+   arbitrary cache/state assignments;
+2. on an abstract broadcast/deliver/coalesce message model, an entry is
+   stale **iff** the neighbour changed state and the newest announcement
+   is still in flight — i.e. coherent <=> every cache entry equals the
+   neighbour's current state, with the in-flight message carrying the
+   only permissible difference;
+3. on the real lossless DES network, every stale entry is witnessed by
+   an in-flight message on the corresponding link direction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ssrmin import SSRmin
+from repro.messagepassing.coherence import is_cache_coherent, stale_entries
+from repro.messagepassing.cst import transformed
+from repro.messagepassing.links import UniformDelay
+
+
+class StubNode:
+    """The minimal node-like surface ``stale_entries`` consumes."""
+
+    def __init__(self, index, state, cache):
+        self.index = index
+        self.state = state
+        self.cache = cache
+
+
+def _ring_neighbors(i, n):
+    return ((i - 1) % n, (i + 1) % n)
+
+
+@st.composite
+def arbitrary_ring_caches(draw):
+    """A ring of stub nodes with arbitrary states and cache contents."""
+    n = draw(st.integers(3, 8))
+    values = st.integers(0, 3)
+    nodes = []
+    for i in range(n):
+        cache = {k: draw(values) for k in _ring_neighbors(i, n)}
+        nodes.append(StubNode(i, draw(values), cache))
+    return nodes
+
+
+@given(arbitrary_ring_caches())
+@settings(max_examples=200, deadline=None)
+def test_stale_entries_matches_bruteforce_oracle(nodes):
+    expected = sorted(
+        (i, k)
+        for i in range(len(nodes))
+        for k in nodes[i].cache
+        if nodes[i].cache[k] != nodes[k].state
+    )
+    assert sorted(stale_entries(nodes)) == expected
+
+
+# -- random message histories on the abstract broadcast model ----------------
+#
+# Operations: node k increments its state and announces it to both ring
+# neighbours (one in-flight slot per directed edge, newest announcement
+# supersedes older undelivered ones — the capacity-one coalescing of the
+# DES links); or one in-flight announcement is delivered into the
+# receiver's cache.  Starting coherent, this models every reachable
+# cache/state/channel configuration of a lossless CST system.
+
+@st.composite
+def message_history(draw):
+    n = draw(st.integers(3, 6))
+    n_changes = draw(st.integers(0, 8))
+    # Interleave: after each change, an arbitrary subset of the currently
+    # in-flight edges delivers, in an arbitrary order.
+    script = []
+    for _ in range(n_changes):
+        script.append(("change", draw(st.integers(0, n - 1))))
+        script.append(("deliver_some", draw(st.randoms(use_true_random=False))))
+    return n, script
+
+
+@given(message_history())
+@settings(max_examples=200, deadline=None)
+def test_coherent_iff_no_newer_state_in_flight(params):
+    n, script = params
+    states = [0] * n
+    caches = [{k: 0 for k in _ring_neighbors(i, n)} for i in range(n)]
+    in_flight = {}  # (src, dst) -> announced state (newest supersedes)
+
+    for op in script:
+        if op[0] == "change":
+            k = op[1]
+            states[k] += 1
+            for dst in _ring_neighbors(k, n):
+                in_flight[(k, dst)] = states[k]
+        else:
+            rng = op[1]
+            edges = sorted(in_flight)
+            rng.shuffle(edges)
+            for edge in edges[: rng.randint(0, len(edges))]:
+                src, dst = edge
+                caches[dst][src] = in_flight.pop(edge)
+
+    nodes = [StubNode(i, states[i], caches[i]) for i in range(n)]
+    stale = set(stale_entries(nodes))
+    # Stale (i, k)  <=>  k announced a newer state still in flight to i.
+    undelivered = {(dst, src) for (src, dst) in in_flight}
+    assert stale == undelivered
+    # And the <=> restated as Definition 2: coherent means no message in
+    # flight carries information the receiver lacks.
+    assert (not stale) == (not in_flight)
+
+
+# -- the real DES network ----------------------------------------------------
+
+@given(st.integers(0, 2 ** 16), st.floats(0.5, 20.0))
+@settings(max_examples=25, deadline=None)
+def test_des_stale_entries_witnessed_by_in_flight_messages(seed, duration):
+    """On a lossless network, a stale cache entry can only exist while the
+    repairing announcement is in transit (busy link or coalesced pending)."""
+    alg = SSRmin(5, 6)
+    net = transformed(alg, seed=seed, delay_model=UniformDelay(0.5, 1.5))
+    net.start()
+    net.run(duration)
+    stale = stale_entries(net.nodes)
+    for (i, k) in stale:
+        link = net.nodes[k].links[i]
+        assert link.busy or link._has_pending, (
+            f"stale entry ({i}, {k}) with nothing in flight on {k}->{i} "
+            f"at t={net.queue.now}"
+        )
+    assert is_cache_coherent(net) == (not stale)

@@ -1,0 +1,136 @@
+"""Chaos campaigns against live rings, including the CLI acceptance run.
+
+The fast tests use short hand-rolled scripts (sub-second fault windows);
+the full named scripts — several seconds of scripted faults plus settle
+time each — are exercised by the ``slow``-marked tests.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import cli
+from repro.runtime import ChaosOp, ChaosScript, build_script, live_chaos
+
+STABILIZE_TIMEOUT = 20.0
+
+
+def _final_epoch_violations(health):
+    final = len(health["epochs"]) - 1
+    return [v for v in health["guarantee_violations"]
+            if v["epoch_index"] == final]
+
+
+def test_loss_window_end_to_end():
+    """Bernoulli loss stales the caches; timers repair them (Theorem 4)."""
+    script = ChaosScript(
+        name="mini_loss",
+        ops=(ChaosOp(at=0.2, kind="loss", duration=0.4, params={"p": 0.7}),),
+        settle=1.0,
+    )
+    report = live_chaos(
+        script=script, algorithm="ssrmin", n=4, transport="loopback",
+        seed=41, timer_interval=0.05, stabilize_timeout=STABILIZE_TIMEOUT,
+    )
+    health = report["health"]
+    assert health["stabilized"]
+    assert _final_epoch_violations(health) == []
+    assert health["time_to_restabilize"] is not None
+    assert report["transport_stats"]["injected_losses"] > 0
+    # Epochs: boot, window open, window healed.
+    labels = [e["label"] for e in health["epochs"]]
+    assert any(lbl.startswith("loss@") for lbl in labels)
+    assert any(lbl.startswith("loss-healed@") for lbl in labels)
+
+
+def test_partition_window_end_to_end():
+    script = ChaosScript(
+        name="mini_partition",
+        ops=(ChaosOp(at=0.2, kind="partition", duration=0.4,
+                     params={"edges": [(0, 1)]}),),
+        settle=1.0,
+    )
+    report = live_chaos(
+        script=script, algorithm="ssrmin", n=4, transport="loopback",
+        seed=43, timer_interval=0.05, stabilize_timeout=STABILIZE_TIMEOUT,
+    )
+    health = report["health"]
+    assert health["stabilized"]
+    assert _final_epoch_violations(health) == []
+    assert report["transport_stats"]["blocked_by_partition"] > 0
+
+
+def test_cache_scramble_end_to_end():
+    """Transient state/cache corruption — the paper's section 5 faults."""
+    report = live_chaos(
+        script="cache_scramble", algorithm="ssrmin", n=4,
+        transport="loopback", seed=47, timer_interval=0.05,
+        stabilize_timeout=STABILIZE_TIMEOUT,
+    )
+    health = report["health"]
+    assert health["stabilized"]
+    assert _final_epoch_violations(health) == []
+    labels = [e["label"] for e in health["epochs"]]
+    assert any(lbl.startswith("corrupt-state") for lbl in labels)
+    assert any(lbl.startswith("corrupt-cache") for lbl in labels)
+
+
+@pytest.mark.slow
+def test_crash_restart_script_restabilizes():
+    report = live_chaos(
+        script="crash_restart", algorithm="ssrmin", n=4,
+        transport="loopback", seed=53, timer_interval=0.05,
+        stabilize_timeout=STABILIZE_TIMEOUT,
+    )
+    health = report["health"]
+    assert health["stabilized"]
+    assert report["restarts"] >= 1
+    assert _final_epoch_violations(health) == []
+
+
+def test_build_script_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown chaos script"):
+        build_script("no_such_script", 4)
+
+
+def test_script_shape_is_replayable():
+    script = build_script("loss_burst", 8, seed=7)
+    blob = script.to_json()
+    assert blob["name"] == "loss_burst"
+    assert all(op["kind"] == "loss" for op in blob["ops"])
+    assert script.last_disturbance == pytest.approx(3.2)
+
+
+@pytest.mark.slow
+def test_acceptance_cli_loss_burst_over_udp(tmp_path):
+    """ISSUE acceptance: ``repro live chaos --n 8 --script loss_burst``
+    runs SSRmin over the asyncio UDP transport, keeps >=1 own-view token
+    post-stabilization, and records time-to-restabilize in the manifest.
+    Deterministic seed; asserts on the recorded manifest, not stdout."""
+    rc = cli.main([
+        "live", "chaos", "--n", "8", "--script", "loss_burst",
+        "--transport", "udp", "--seed", "7", "--timer-interval", "0.05",
+        "--stabilize-timeout", str(STABILIZE_TIMEOUT),
+        "--telemetry-dir", str(tmp_path),
+    ])
+    assert rc == 0
+    manifest_path = os.path.join(
+        tmp_path, "live-chaos-loss_burst-ssrmin-n8-seed7", "manifest.json"
+    )
+    with open(manifest_path) as fh:
+        manifest = json.load(fh)
+    live = manifest["extra"]["live"]
+    assert live["algorithm"] == "SSRmin" and live["n"] == 8
+    assert live["transport"] == "udp" and live["chaos"]
+    assert live["script"]["name"] == "loss_burst"
+    health = live["health"]
+    # Survived: re-stabilized after the last loss window, with the
+    # >=1-own-view-token guarantee intact throughout stabilized instants.
+    assert health["stabilized"]
+    assert health["time_to_restabilize"] is not None
+    assert health["time_to_restabilize"] < STABILIZE_TIMEOUT
+    assert health["post_stab_min_holders"] >= 1
+    assert _final_epoch_violations(health) == []
+    # The chaos actually bit: losses were injected on the wire.
+    assert live["transport_stats"]["injected_losses"] > 0

@@ -1,0 +1,193 @@
+"""Unit tests for the live transports and the wire format."""
+
+import asyncio
+
+import pytest
+
+from repro.runtime.transport import (
+    ChaosTransport,
+    LoopbackTransport,
+    UdpTransport,
+)
+from repro.runtime.wire import WireError, decode_message, encode_message
+
+
+# -- wire format --------------------------------------------------------------
+
+def test_wire_roundtrip_tuple_state():
+    sender, state = 3, (2, (1, 0), (0, 1))
+    assert decode_message(encode_message(sender, state)) == (sender, state)
+
+
+def test_wire_roundtrip_int_state():
+    assert decode_message(encode_message(0, 7)) == (0, 7)
+
+
+@pytest.mark.parametrize("garbage", [
+    b"", b"not json", b"[1,2]", b'{"v": 999, "s": 0, "q": 1}',
+    b'{"v": 1, "q": 1}', b'{"v": 1, "s": "zero", "q": 1}',
+])
+def test_wire_rejects_garbage(garbage):
+    with pytest.raises(WireError):
+        decode_message(garbage)
+
+
+# -- loopback -----------------------------------------------------------------
+
+def _collect(transport, indices):
+    """Register recording receivers; returns {index: [(sender, state)]}."""
+    inbox = {i: [] for i in indices}
+
+    def receiver(i):
+        return lambda sender, state: inbox[i].append((sender, state))
+
+    for i in indices:
+        transport.register(i, receiver(i))
+    return inbox
+
+
+def test_loopback_delivers_between_registered_nodes():
+    async def scenario():
+        transport = LoopbackTransport()
+        await transport.start()
+        inbox = _collect(transport, [0, 1])
+        transport.post(0, 1, (1, (0, 0), (0, 0)))
+        transport.post(1, 0, 5)
+        await asyncio.sleep(0)  # one loop tick: call_soon deliveries land
+        await transport.close()
+        return inbox, transport.stats()
+
+    inbox, stats = asyncio.run(scenario())
+    assert inbox[1] == [(0, (1, (0, 0), (0, 0)))]
+    assert inbox[0] == [(1, 5)]
+    assert stats["sent"] == 2 and stats["delivered"] == 2
+
+
+def test_loopback_drops_for_unregistered_destination():
+    async def scenario():
+        transport = LoopbackTransport()
+        await transport.start()
+        _collect(transport, [0])
+        transport.post(0, 9, 1)
+        await asyncio.sleep(0)
+        await transport.close()
+        return transport.stats()
+
+    stats = asyncio.run(scenario())
+    assert stats["delivered"] == 0 and stats["dropped"] == 1
+
+
+# -- udp ----------------------------------------------------------------------
+
+def test_udp_delivers_over_localhost_sockets():
+    async def scenario():
+        transport = UdpTransport([0, 1, 2])
+        await transport.start()
+        inbox = _collect(transport, [0, 1, 2])
+        transport.post(0, 1, (3, (1, 1), (0, 0)))
+        transport.post(2, 0, (1, (0, 1), (1, 0)))
+        for _ in range(50):
+            await asyncio.sleep(0.01)
+            if inbox[1] and inbox[0]:
+                break
+        await transport.close()
+        return inbox
+
+    inbox = asyncio.run(scenario())
+    assert inbox[1] == [(0, (3, (1, 1), (0, 0)))]
+    assert inbox[0] == [(2, (1, (0, 1), (1, 0)))]
+
+
+# -- chaos decorator ----------------------------------------------------------
+
+def test_chaos_full_loss_drops_everything():
+    async def scenario():
+        chaos = ChaosTransport(LoopbackTransport(), seed=1)
+        await chaos.start()
+        inbox = _collect(chaos, [0, 1])
+        chaos.loss_p = 1.0
+        for _ in range(10):
+            chaos.post(0, 1, 7)
+        await asyncio.sleep(0)
+        await chaos.close()
+        return inbox, chaos.stats()
+
+    inbox, stats = asyncio.run(scenario())
+    assert inbox[1] == []
+    assert stats["injected_losses"] == 10
+    assert stats["delivered"] == 0
+
+
+def test_chaos_duplicate_delivers_twice():
+    async def scenario():
+        chaos = ChaosTransport(LoopbackTransport(), seed=1)
+        await chaos.start()
+        inbox = _collect(chaos, [0, 1])
+        chaos.duplicate_p = 1.0
+        chaos.post(0, 1, 7)
+        await asyncio.sleep(0.01)
+        await chaos.close()
+        return inbox, chaos.stats()
+
+    inbox, stats = asyncio.run(scenario())
+    assert inbox[1] == [(0, 7), (0, 7)]
+    assert stats["injected_duplicates"] == 1
+
+
+def test_chaos_partition_cut_and_heal():
+    async def scenario():
+        chaos = ChaosTransport(LoopbackTransport(), seed=1)
+        await chaos.start()
+        inbox = _collect(chaos, [0, 1])
+        chaos.cut([(0, 1)])  # cuts both directions
+        chaos.post(0, 1, 1)
+        chaos.post(1, 0, 2)
+        await asyncio.sleep(0)
+        blocked = dict(chaos.stats())
+        chaos.heal([(0, 1)])
+        chaos.post(0, 1, 3)
+        await asyncio.sleep(0)
+        await chaos.close()
+        return inbox, blocked
+
+    inbox, blocked = asyncio.run(scenario())
+    assert blocked["blocked_by_partition"] == 2
+    assert inbox[1] == [(0, 3)]
+    assert inbox[0] == []
+
+
+def test_chaos_calm_resets_all_knobs():
+    async def scenario():
+        chaos = ChaosTransport(LoopbackTransport(), seed=1)
+        await chaos.start()
+        inbox = _collect(chaos, [0, 1])
+        chaos.loss_p = 1.0
+        chaos.duplicate_p = 1.0
+        chaos.cut([(0, 1)])
+        chaos.calm()
+        chaos.post(0, 1, 42)
+        await asyncio.sleep(0)
+        await chaos.close()
+        return inbox
+
+    inbox = asyncio.run(scenario())
+    assert inbox[1] == [(0, 42)]
+
+
+def test_chaos_delay_window_defers_delivery():
+    async def scenario():
+        chaos = ChaosTransport(LoopbackTransport(), seed=1)
+        await chaos.start()
+        inbox = _collect(chaos, [0, 1])
+        chaos.delay_range = (0.03, 0.05)
+        chaos.post(0, 1, 9)
+        await asyncio.sleep(0)
+        immediate = list(inbox[1])
+        await asyncio.sleep(0.1)
+        await chaos.close()
+        return immediate, inbox[1], chaos.stats()
+
+    immediate, eventual, stats = asyncio.run(scenario())
+    assert immediate == []
+    assert eventual == [(0, 9)]
+    assert stats["injected_delays"] == 1
