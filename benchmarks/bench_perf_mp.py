@@ -1,0 +1,74 @@
+"""Before/after benchmark for the packed message-passing fastpath (PR artifact).
+
+Measures the packed CST/DES engine against the reference heap-of-objects
+engine and writes ``BENCH_perf_mp.json``:
+
+* **DES single run** — one chaos-start run at n=64 (n=32 quick), fixed
+  duration, 10% loss;
+* **run_thm4** — the full Theorem 4 Monte-Carlo experiment, wall clock;
+* **reference micro-bench** — the payload-interning satellite A/B'd on the
+  reference engine itself.
+
+Every timed pair cross-checks equivalence inline (token timelines, final
+states, caches, message statistics, event counts), so the numbers cannot
+silently come from diverging semantics.  Exit status is non-zero when a
+measured speedup falls below the ``--min-*-speedup`` gates, which is how
+the CI smoke job uses it (``--quick --min-mp-speedup 5``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_mp.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf_mp.py --quick
+
+(``python -m repro bench mp`` is the same benchmark behind the CLI.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.messagepassing.fastpath.bench import (
+    check_gates,
+    format_report,
+    run_mp_bench,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes: n=32 DES run, fast-trial thm4")
+    parser.add_argument(
+        "--output", default="BENCH_perf_mp.json",
+        help="artifact path (default: %(default)s)")
+    parser.add_argument(
+        "--min-mp-speedup", type=float, default=None,
+        help="fail if the DES single-run speedup is below this factor")
+    parser.add_argument(
+        "--min-thm4-speedup", type=float, default=None,
+        help="fail if the run_thm4 speedup is below this factor")
+    args = parser.parse_args(argv)
+
+    payload = run_mp_bench(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(format_report(payload))
+    print(f"artifact       : {args.output}")
+
+    failures = check_gates(
+        payload,
+        min_mp_speedup=args.min_mp_speedup,
+        min_thm4_speedup=args.min_thm4_speedup,
+    )
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

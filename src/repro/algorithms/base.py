@@ -154,6 +154,17 @@ class RingAlgorithm(abc.ABC, Generic[C, S]):
         """
         return None
 
+    def mp_codec(self) -> Optional[Any]:
+        """A packed message-passing codec, or ``None`` (the default).
+
+        Algorithms with an :class:`repro.messagepassing.fastpath.codecs.
+        MPCodec` encoding override this; ``build_cst_network`` and the
+        synchronous CST projection probe it and transparently keep the
+        reference object-graph path when it returns ``None``.  Codecs are
+        stateless translators, so returning a shared instance is fine.
+        """
+        return None
+
     # -- optional conveniences ---------------------------------------------
     def configuration_space(self) -> Iterator[C]:
         """Iterate every configuration (|Q|^n of them) — small n only.

@@ -157,6 +157,12 @@ class DijkstraKState(RingAlgorithm[DijkstraConfig, int]):
 
         return DijkstraKernel(self)
 
+    def mp_codec(self):
+        """A :class:`~repro.messagepassing.fastpath.codecs.DijkstraMPCodec`."""
+        from repro.messagepassing.fastpath.codecs import DijkstraMPCodec
+
+        return DijkstraMPCodec(self)
+
     # -- helpers -----------------------------------------------------------
     def initial_configuration(self, x: int = 0) -> DijkstraConfig:
         """The all-equal legitimate configuration ``(x, ..., x)``."""

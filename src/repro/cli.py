@@ -33,19 +33,34 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        # Pin the message-passing engine for every experiment in this
+        # invocation; the choice is recorded in each run manifest.
+        from repro.messagepassing.fastpath import mp_fastpath_override
+
+        engine_ctx = lambda: mp_fastpath_override(engine == "fast")
+    else:
+        engine_ctx = nullcontext
+    extra = {"mp_engine": engine} if engine is not None else None
+
     failures = 0
     for eid in args.ids:
         if args.no_telemetry:
             from repro.experiments import run_experiment
 
-            result = run_experiment(eid, fast=args.fast)
+            with engine_ctx():
+                result = run_experiment(eid, fast=args.fast)
         else:
             from repro.experiments.registry import run_experiment_instrumented
 
-            result, run_dir = run_experiment_instrumented(
-                eid, fast=args.fast, outdir=args.telemetry_dir,
-                trace=not args.no_trace,
-            )
+            with engine_ctx():
+                result, run_dir = run_experiment_instrumented(
+                    eid, fast=args.fast, outdir=args.telemetry_dir,
+                    trace=not args.no_trace, extra=extra,
+                )
         print(result.render())
         if not args.no_telemetry:
             artifacts = "manifest.json" + (
@@ -388,6 +403,31 @@ def _cmd_fuzz_seed_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_mp(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.messagepassing.fastpath.bench import (
+        check_gates,
+        format_report,
+        run_mp_bench,
+    )
+
+    payload = run_mp_bench(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(format_report(payload))
+    print(f"artifact       : {args.output}")
+    failures = check_gates(
+        payload,
+        min_mp_speedup=args.min_mp_speedup,
+        min_thm4_speedup=args.min_thm4_speedup,
+    )
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     parser = argparse.ArgumentParser(
@@ -408,6 +448,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="skip manifest + trace artifacts")
     p_run.add_argument("--no-trace", action="store_true",
                        help="write the manifest but not the JSONL trace")
+    p_run.add_argument("--engine", choices=["fast", "reference"], default=None,
+                       help="message-passing engine: packed fastpath or "
+                            "reference DES (default: ambient "
+                            "REPRO_FASTPATH_MP; recorded in the manifest "
+                            "when set)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_report = sub.add_parser("report", help="run everything, write EXPERIMENTS.md")
@@ -509,6 +554,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     pf_seed.add_argument("directory", nargs="?", default="tests/corpus")
     pf_seed.add_argument("--no-verify", action="store_true")
     pf_seed.set_defaults(fn=_cmd_fuzz_seed_corpus)
+
+    p_bench = sub.add_parser(
+        "bench", help="performance benchmarks (JSON artifacts + gates)"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    pb_mp = bench_sub.add_parser(
+        "mp", help="message-passing fastpath vs reference DES engine"
+    )
+    pb_mp.add_argument("--quick", action="store_true",
+                       help="CI smoke sizes: n=32 DES run, fast-trial thm4")
+    pb_mp.add_argument("--output", default="BENCH_perf_mp.json",
+                       help="artifact path (default: %(default)s)")
+    pb_mp.add_argument("--min-mp-speedup", type=float, default=None,
+                       help="fail if the DES single-run speedup is below "
+                            "this factor")
+    pb_mp.add_argument("--min-thm4-speedup", type=float, default=None,
+                       help="fail if the run_thm4 speedup is below this "
+                            "factor")
+    pb_mp.set_defaults(fn=_cmd_bench_mp)
 
     p_live = sub.add_parser(
         "live", help="live asyncio ring deployment: run, chaos, status"

@@ -249,6 +249,17 @@ class SSRmin(RingAlgorithm[Configuration, StateTuple]):
 
         return SSRminKernel(self)
 
+    def mp_codec(self):
+        """A :class:`~repro.messagepassing.fastpath.codecs.SSRminMPCodec`.
+
+        The packed local-view encoding the message-passing fastpath probes
+        for; exhaustively differential-tested against the rule set over
+        every cached neighbourhood.
+        """
+        from repro.messagepassing.fastpath.codecs import SSRminMPCodec
+
+        return SSRminMPCodec(self)
+
     def dijkstra_projection(self) -> "SSRminDijkstraProjection":
         """View of this instance's embedded Dijkstra K-state ring.
 

@@ -150,3 +150,62 @@ def run_experiments_parallel(
 def results_by_id(results: Sequence[ExperimentResult]) -> Dict[str, ExperimentResult]:
     """Index results by experiment id."""
     return {r.experiment_id: r for r in results}
+
+
+#: Parent-side completion callback for generic tasks:
+#: (payload_index, result, done, total).
+OnTaskResult = Callable[[int, object, int, int], None]
+
+
+def run_tasks_parallel(
+    worker: Callable,
+    payloads: Sequence,
+    workers: int = 2,
+    on_result: Optional[OnTaskResult] = None,
+) -> List:
+    """Fan arbitrary picklable tasks across a process pool, results in
+    input order.
+
+    The generic sibling of :func:`run_experiments_parallel`: ``worker`` must
+    be a module-level callable (picklable) taking one payload.  Used by the
+    message-passing Monte-Carlo sweep engine and the parallel Theorem 4
+    runner, whose units of work are (seed, n, loss) cells rather than
+    registry experiment ids.
+
+    ``workers=1`` — or any caller already inside a daemonized pool worker,
+    which cannot spawn children — degenerates to sequential in-process
+    execution.  ``on_result`` fires in *completion* order with
+    ``(payload_index, result, done, total)``.
+    """
+    import multiprocessing
+
+    payloads = list(payloads)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    total = len(payloads)
+    if workers == 1 or multiprocessing.current_process().daemon:
+        results = []
+        for k, payload in enumerate(payloads):
+            result = worker(payload)
+            results.append(result)
+            if on_result is not None:
+                on_result(k, result, k + 1, total)
+        return results
+    results_by_index: Dict[int, object] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(worker, payload): i
+            for i, payload in enumerate(payloads)
+        }
+        pending = set(futures)
+        done_count = 0
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                result = future.result()
+                results_by_index[index] = result
+                done_count += 1
+                if on_result is not None:
+                    on_result(index, result, done_count, total)
+    return [results_by_index[i] for i in range(total)]

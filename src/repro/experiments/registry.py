@@ -141,6 +141,7 @@ def run_experiment_instrumented(
     outdir: str = "runs",
     trace: bool = True,
     subscribers: Sequence[Callable] = (),
+    extra: Optional[Dict[str, object]] = None,
 ) -> Tuple[ExperimentResult, str]:
     """Run one experiment under a telemetry session, with artifacts.
 
@@ -164,6 +165,10 @@ def run_experiment_instrumented(
         Extra event subscribers (e.g. a
         :class:`~repro.telemetry.progress.ProgressEmitter`) attached to
         the session for the duration of the run.
+    extra:
+        Additional key/value pairs recorded in the manifest's ``extra``
+        block alongside the defaults (e.g. the CLI's explicit
+        ``mp_engine`` choice).
 
     Returns
     -------
@@ -192,7 +197,8 @@ def run_experiment_instrumented(
                     + (" --fast" if fast else ""),
             phases=stopwatch.splits,
             trace_file=trace_file,
-            extra={"fast": fast, "title": result.title, "match": result.match},
+            extra={"fast": fast, "title": result.title,
+                   "match": result.match, **(extra or {})},
         )
     write_manifest(os.path.join(run_dir, "manifest.json"), manifest)
     return result, run_dir

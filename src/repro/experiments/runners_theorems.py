@@ -13,9 +13,6 @@ from repro.core.ssrmin import SSRmin
 from repro.daemons.adversarial import AdversarialDaemon
 from repro.daemons.distributed import BernoulliDaemon, RandomSubsetDaemon
 from repro.experiments.registry import ExperimentResult
-from repro.messagepassing.coherence import CoherenceTracker
-from repro.messagepassing.cst import transformed_from_chaos
-from repro.messagepassing.modelgap import evaluate_gap
 from repro.simulation.convergence import converge, convergence_steps
 from repro.simulation.engine import SharedMemorySimulator
 from repro.simulation.initial import random_legitimate
@@ -270,26 +267,47 @@ def run_lem5(fast: bool = False) -> ExperimentResult:
 
 
 def run_thm4(fast: bool = False) -> ExperimentResult:
-    """Theorem 4: chaos + message loss -> stabilization -> 1..2 tokens forever."""
+    """Theorem 4: chaos + message loss -> stabilization -> 1..2 tokens forever.
+
+    The seed grid fans across worker processes via the Monte-Carlo sweep
+    engine (:mod:`repro.messagepassing.fastpath.sweep`); each cell derives
+    its RNG stream from its own seed value alone, so the rows are
+    bit-identical to the historical serial loop at any worker count.  When
+    an ambient telemetry session is active the sweep stays in-process —
+    worker processes could not publish their network events into the
+    parent's bus, and run manifests must keep their full event streams.
+    """
+    import os
+
+    from repro.messagepassing.fastpath.sweep import run_loss_sweep
+    from repro.telemetry.session import current_session
+
     seeds = range(3) if fast else range(10)
     post = 100.0 if fast else 300.0
+    loss_rates = (0.0, 0.1, 0.3)
+    workers = 1 if current_session() is not None else max(
+        1, min(len(loss_rates) * len(seeds), os.cpu_count() or 1)
+    )
+    cells = run_loss_sweep(
+        "ssrmin",
+        n_values=(5,),
+        loss_rates=loss_rates,
+        seeds=[s + 100 for s in seeds],
+        workers=workers,
+        slice_duration=5.0,
+        max_time=20_000.0,
+        gap_duration=post,
+    )
     rows = []
     ok = True
-    for loss in (0.0, 0.1, 0.3):
-        times = []
-        bounds_ok = True
-        for seed in seeds:
-            alg = SSRmin(5, 6)
-            net = transformed_from_chaos(alg, seed=seed + 100,
-                                         loss_probability=loss)
-            tracker = CoherenceTracker(net)
-            t = tracker.run_until_stabilized(slice_duration=5.0,
-                                             max_time=20_000.0)
-            times.append(t)
-            rep = evaluate_gap(net, duration=post, warmup=net.queue.now)
-            if not (rep.min_count >= 1 and rep.max_count <= 2
-                    and rep.zero_time == 0.0):
-                bounds_ok = False
+    per_loss = len(list(seeds))
+    for li, loss in enumerate(loss_rates):
+        group = cells[li * per_loss:(li + 1) * per_loss]
+        times = [c.stabilized_at for c in group]
+        bounds_ok = all(
+            c.min_tokens >= 1 and c.max_tokens <= 2 and c.zero_time == 0.0
+            for c in group
+        )
         s = summarize(times)
         ok = ok and bounds_ok
         rows.append([f"{loss:.0%}", f"{s.mean:.1f}", f"{s.maximum:.1f}",
@@ -308,5 +326,6 @@ def run_thm4(fast: bool = False) -> ExperimentResult:
                 "post bounds [1,2] held"],
         rows=rows,
         notes="random initial states AND random cache contents; randomized "
-        "delays/dwell per the transformation literature",
+        "delays/dwell per the transformation literature; seeds fanned "
+        "across worker processes (deterministic per-seed RNG derivation)",
     )

@@ -57,21 +57,54 @@ class CoherenceTracker:
 
     def __init__(self, network: MessagePassingNetwork):
         self.network = network
-        #: Simulation time at which legitimacy + coherence first held.
-        self.stabilized_at: Optional[float] = None
-        # Event-driven checking: the network calls us at every state/cache
-        # change, so coherent instants between run slices are not missed
-        # (they are fleeting in a non-silent system).
-        network.observers.append(lambda net: self.poll())
+        self._stabilized_at: Optional[float] = None
+        # The packed engine maintains staleness incrementally and evaluates
+        # this exact condition natively at every observation point; reading
+        # its latch is O(1), so no per-observe Python callback is needed.
+        self._native = bool(getattr(network, "native_stabilization", False))
+        if self._native:
+            # A tracker only reports condition-holds from its construction
+            # onward (the reference registers its observer here); clear any
+            # historical latch so the engine re-records from now.
+            if network.stabilized_time() is not None:
+                network.reset_stabilization()
+        else:
+            # Event-driven checking: the network calls us at every state/
+            # cache change, so coherent instants between run slices are not
+            # missed (they are fleeting in a non-silent system).
+            network.observers.append(lambda net: self.poll())
+
+    @property
+    def stabilized_at(self) -> Optional[float]:
+        """Simulation time at which legitimacy + coherence first held.
+
+        On the packed engine this reads the native latch, so it updates
+        mid-run exactly like the reference's observer-driven attribute.
+        """
+        if self._stabilized_at is None and self._native:
+            self._stabilized_at = self.network.stabilized_time()
+        return self._stabilized_at
+
+    @stabilized_at.setter
+    def stabilized_at(self, value: Optional[float]) -> None:
+        self._stabilized_at = value
 
     def poll(self) -> bool:
         """Check the condition now; returns whether it has *ever* held."""
         if self.stabilized_at is not None:
             return True
+        if self._native:
+            # The latch (read above) covers every observation point; polls
+            # can also land *between* observation points, where the
+            # reference checks the condition directly.
+            if self.network.stabilization_condition_now():
+                self._stabilized_at = self.network.queue.now
+                return True
+            return False
         alg = self.network.algorithm
         config = alg.normalize_configuration(self.network.true_configuration())
         if alg.is_legitimate(config) and is_cache_coherent(self.network):
-            self.stabilized_at = self.network.queue.now
+            self._stabilized_at = self.network.queue.now
             return True
         return False
 

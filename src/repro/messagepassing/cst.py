@@ -59,6 +59,7 @@ def transformed(
     timer_jitter: float = 1.0,
     seed: int = 0,
     token_predicate=None,
+    use_fastpath: Optional[bool] = None,
 ) -> MessagePassingNetwork:
     """CST network starting legitimate and cache-coherent (Theorem 3 setup)."""
     states = initial_states or legitimate_initial_states(algorithm)
@@ -72,6 +73,7 @@ def transformed(
         seed=seed,
         initial_caches=coherent_caches(list(states), algorithm.n),
         token_predicate=token_predicate,
+        use_fastpath=use_fastpath,
     )
 
 
@@ -83,6 +85,7 @@ def transformed_from_chaos(
     loss_probability: float = 0.0,
     timer_interval: float = 5.0,
     timer_jitter: float = 1.0,
+    use_fastpath: Optional[bool] = None,
 ) -> MessagePassingNetwork:
     """CST network with random states and random (incoherent) caches.
 
@@ -114,4 +117,5 @@ def transformed_from_chaos(
         seed=seed + 1,
         initial_caches=caches,
         dwell_model=UniformDelay(0.2, 0.8),
+        use_fastpath=use_fastpath,
     )

@@ -13,12 +13,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Ordered by ``(time, seq)``; the payload callable is excluded from
-    ordering.
+    ordering.  ``__slots__``-backed: the reference engine allocates one per
+    scheduled message/timer/dwell, so the dict-free layout is the cheapest
+    part of the reference-path allocation diet (see docs/PERFORMANCE.md).
     """
 
     time: float

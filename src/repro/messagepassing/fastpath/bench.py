@@ -1,0 +1,233 @@
+"""Message-passing fastpath benchmark library (PR artifact backend).
+
+Measures the workloads the packed DES engine was built for, fast vs
+reference, with inline equivalence enforcement — every timed pair is
+cross-checked (token timelines, final states, caches, message statistics,
+event counts), so a reported speedup can never silently come from diverging
+semantics.  Three sections:
+
+* **des_single_run** — one chaos-start run on a large ring (n=64 full /
+  n=32 quick), fixed duration, 10% loss: the packed event wheel vs the
+  heap-of-dataclasses reference, selected via
+  :func:`~repro.messagepassing.fastpath.mp_fastpath_override`;
+* **run_thm4** — the registered Theorem 4 experiment end to end (loss ×
+  seed Monte-Carlo grid), fast engine vs reference, asserting identical
+  result rows;
+* **reference_des_microbench** — the reference engine against itself with
+  :attr:`CSTNode.intern_payloads` on/off, isolating the payload-interning
+  satellite.  (``__slots__`` on ``Link``/``Event`` cannot be A/B-toggled
+  in-process — a class either has the attribute dict or it does not — so
+  its effect is folded into the interned baseline.)
+
+Both the standalone script (``benchmarks/bench_perf_mp.py``) and the CLI
+(``python -m repro bench mp``) are thin wrappers over :func:`run_mp_bench`
+/ :func:`format_report` / :func:`check_gates`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+from repro.messagepassing.fastpath import mp_fastpath_override
+
+
+def _fingerprint(net) -> tuple:
+    """Everything two equivalent runs must agree on, as one comparable value."""
+    return (
+        tuple(net.timeline.points),
+        tuple(net.true_configuration()),
+        tuple(tuple(sorted(node.cache.items())) for node in net.nodes),
+        tuple(sorted(net.message_stats().items())),
+        net.queue.executed,
+        net.queue.now,
+    )
+
+
+def bench_des_single_run(
+    n: int, duration: float, loss: float, seed: int
+) -> dict:
+    """Time one chaos-start DES run at fixed duration, both engines."""
+    from repro.core.ssrmin import SSRmin
+    from repro.messagepassing.cst import transformed_from_chaos
+
+    timings = {}
+    fingerprints = {}
+    events = {}
+    for label, use_fast in (("fastpath", True), ("reference", False)):
+        t0 = time.perf_counter()
+        net = transformed_from_chaos(
+            SSRmin(n, n + 1), seed=seed, loss_probability=loss,
+            use_fastpath=use_fast,
+        )
+        net.run(duration)
+        timings[label] = time.perf_counter() - t0
+        fingerprints[label] = _fingerprint(net)
+        events[label] = net.queue.executed
+
+    if fingerprints["fastpath"] != fingerprints["reference"]:
+        raise RuntimeError(
+            "fast and reference DES runs diverged (timeline/states/caches/"
+            f"stats mismatch at n={n}, loss={loss}, seed={seed})"
+        )
+    ev = events["fastpath"]
+    return {
+        "workload": f"SSRmin n={n} chaos start, duration={duration:g}, "
+                    f"loss={loss:g}, single run",
+        "n": n,
+        "duration": duration,
+        "loss_probability": loss,
+        "seed": seed,
+        "events": ev,
+        "reference_seconds": round(timings["reference"], 4),
+        "fastpath_seconds": round(timings["fastpath"], 4),
+        "reference_events_per_second": round(ev / timings["reference"], 1),
+        "fastpath_events_per_second": round(ev / timings["fastpath"], 1),
+        "speedup": round(timings["reference"] / timings["fastpath"], 2),
+    }
+
+
+def bench_thm4(fast_mode: bool) -> dict:
+    """Time the registered Theorem 4 experiment end to end, both engines."""
+    from repro.experiments.runners_theorems import run_thm4
+
+    timings = {}
+    rows = {}
+    for label, use_fast in (("fastpath", True), ("reference", False)):
+        with mp_fastpath_override(use_fast):
+            t0 = time.perf_counter()
+            result = run_thm4(fast=fast_mode)
+            timings[label] = time.perf_counter() - t0
+        rows[label] = result.rows
+        if not result.match:
+            raise RuntimeError(f"thm4 bounds check failed on the {label} engine")
+
+    if rows["fastpath"] != rows["reference"]:
+        raise RuntimeError(
+            "fast and reference thm4 result rows diverged: "
+            f"{rows['fastpath']} vs {rows['reference']}"
+        )
+    cells = len(rows["fastpath"]) * (3 if fast_mode else 10)
+    return {
+        "workload": "run_thm4 (Theorem 4 loss sweep, "
+                    f"{'fast' if fast_mode else 'full'} trial counts, "
+                    f"{cells} Monte-Carlo cells)",
+        "fast_trial_counts": fast_mode,
+        "rows": rows["fastpath"],
+        "reference_seconds": round(timings["reference"], 4),
+        "fastpath_seconds": round(timings["fastpath"], 4),
+        "speedup": round(timings["reference"] / timings["fastpath"], 2),
+    }
+
+
+def bench_reference_intern(n: int, duration: float, seed: int) -> dict:
+    """A/B the reference engine with payload interning on vs off."""
+    from repro.core.ssrmin import SSRmin
+    from repro.messagepassing.cst import transformed
+    from repro.messagepassing.node import CSTNode
+
+    timings = {}
+    fingerprints = {}
+    saved = CSTNode.intern_payloads
+    try:
+        for label, intern in (("interned", True), ("uninterned", False)):
+            CSTNode.intern_payloads = intern
+            with mp_fastpath_override(False):
+                t0 = time.perf_counter()
+                net = transformed(SSRmin(n, n + 1), seed=seed)
+                net.run(duration)
+                timings[label] = time.perf_counter() - t0
+            fingerprints[label] = _fingerprint(net)
+    finally:
+        CSTNode.intern_payloads = saved
+
+    if fingerprints["interned"] != fingerprints["uninterned"]:
+        raise RuntimeError("payload interning changed reference semantics")
+    return {
+        "workload": f"reference engine, SSRmin n={n} legitimate start, "
+                    f"duration={duration:g}, CSTNode.intern_payloads A/B",
+        "n": n,
+        "duration": duration,
+        "seed": seed,
+        "uninterned_seconds": round(timings["uninterned"], 4),
+        "interned_seconds": round(timings["interned"], 4),
+        "speedup": round(timings["uninterned"] / timings["interned"], 2),
+        "note": (
+            "isolates the Message-interning satellite on the reference "
+            "engine; the __slots__ conversion of Link/Event/DelayModel "
+            "cannot be toggled in-process and is included in both sides"
+        ),
+    }
+
+
+def run_mp_bench(quick: bool = False) -> dict:
+    """Run all sections and assemble the ``BENCH_perf_mp.json`` payload."""
+    if quick:
+        des = bench_des_single_run(n=32, duration=200.0, loss=0.1, seed=7)
+        thm4 = bench_thm4(fast_mode=True)
+        intern = bench_reference_intern(n=16, duration=150.0, seed=3)
+    else:
+        des = bench_des_single_run(n=64, duration=600.0, loss=0.1, seed=7)
+        thm4 = bench_thm4(fast_mode=False)
+        intern = bench_reference_intern(n=16, duration=600.0, seed=3)
+    return {
+        "schema": 1,
+        "suite": "perf_mp",
+        "mode": "quick" if quick else "full",
+        "des_single_run": des,
+        "run_thm4": thm4,
+        "reference_des_microbench": intern,
+        "equivalence": (
+            "fast and reference engines produced identical token timelines, "
+            "final states, caches, message statistics and event counts in "
+            "every timed run (enforced inline; see "
+            "tests/messagepassing/test_mp_fastpath.py for the full "
+            "differential suite)"
+        ),
+    }
+
+
+def format_report(payload: dict) -> str:
+    """Human-readable summary of a bench payload."""
+    des = payload["des_single_run"]
+    thm4 = payload["run_thm4"]
+    intern = payload["reference_des_microbench"]
+    return "\n".join([
+        f"DES single run : {des['speedup']}x "
+        f"({des['reference_seconds']}s -> {des['fastpath_seconds']}s, "
+        f"{des['events']} events, n={des['n']})",
+        f"run_thm4       : {thm4['speedup']}x "
+        f"({thm4['reference_seconds']}s -> {thm4['fastpath_seconds']}s, "
+        f"rows identical)",
+        f"payload intern : {intern['speedup']}x on the reference engine "
+        f"({intern['uninterned_seconds']}s -> {intern['interned_seconds']}s)",
+    ])
+
+
+def check_gates(
+    payload: dict,
+    min_mp_speedup: Optional[float] = None,
+    min_thm4_speedup: Optional[float] = None,
+) -> List[str]:
+    """Speedup gates; returns failure messages (empty = all gates pass)."""
+    failures = []
+    if min_mp_speedup is not None:
+        got = payload["des_single_run"]["speedup"]
+        if got < min_mp_speedup:
+            failures.append(
+                f"DES single-run speedup {got} < {min_mp_speedup}")
+    if min_thm4_speedup is not None:
+        got = payload["run_thm4"]["speedup"]
+        if got < min_thm4_speedup:
+            failures.append(f"run_thm4 speedup {got} < {min_thm4_speedup}")
+    return failures
+
+
+__all__ = [
+    "bench_des_single_run",
+    "bench_thm4",
+    "bench_reference_intern",
+    "run_mp_bench",
+    "format_report",
+    "check_gates",
+]

@@ -1,0 +1,220 @@
+"""Per-algorithm packed encodings for the message-passing fastpath.
+
+An :class:`MPCodec` translates between an algorithm's native local states
+and small integers, and evaluates the *local-view* semantics the CST nodes
+need — rule resolution, rule execution and the own-view token predicate —
+directly on packed integers.  A local view in the reference path is a
+length-n list with ``(cache_pred, own, cache_succ)`` at positions
+``i-1, i, i+1`` and ``None`` elsewhere; because every shipped guard only
+reads those three positions, the codec collapses the view to three ints.
+
+Encodings reuse the PR 2 conventions:
+
+* **SSRmin** — ``packed = (x << 2) | (rts << 1) | tra`` (the handshake code
+  ``h = packed & 3`` is exactly the fastpath kernel's ``h``), with guard
+  resolution through the shared 128-entry
+  :data:`~repro.simulation.fastpath.ssrmin_kernel.RULE_TABLE`;
+* **Dijkstra's K-state ring** — the bare counter (identity packing).
+
+Codecs are *stateless* translators (safe to share across networks); the
+engine owns all mutable arrays.  Equivalence with the
+:class:`~repro.core.rules.RuleSet` path over every local neighbourhood is
+enforced exhaustively in ``tests/messagepassing/test_mp_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.simulation.fastpath.ssrmin_kernel import RULE_TABLE, SSRMIN_RULE_NAMES
+
+
+class MPCodec:
+    """Base interface for packed message-passing encodings.
+
+    Attributes
+    ----------
+    bidirectional:
+        Whether nodes cache both neighbours (SSRmin) or only the
+        predecessor (Dijkstra).  Unidirectional codecs receive ``0`` for
+        the (nonexistent) successor cache in every local-view call.
+    rule_names:
+        Rule names by id; id 0 (disabled) maps to the empty string.
+    """
+
+    bidirectional: bool = True
+    rule_names: Tuple[str, ...] = ("",)
+
+    n: int
+    K: int
+
+    # -- state translation ---------------------------------------------------
+    def pack(self, state: Any) -> int:
+        """Encode a native local state; raises ``KeyError``/``ValueError``
+        for states outside the algorithm's domain."""
+        raise NotImplementedError
+
+    def try_pack(self, state: Any) -> Optional[int]:
+        """Encode, or ``None`` for out-of-domain states (caller falls back
+        to the reference path for that evaluation)."""
+        try:
+            return self.pack(state)
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def unpack(self, packed: int) -> Any:
+        """Decode to the native (interned) local state."""
+        raise NotImplementedError
+
+    # -- local-view semantics ------------------------------------------------
+    def rule_id(self, own: int, cpred: int, csucc: int, i: int) -> int:
+        """Id of the unique enabled rule at node ``i`` in its cached view
+        (priority resolved), or 0 when disabled."""
+        raise NotImplementedError
+
+    def execute(self, rid: int, own: int, cpred: int, csucc: int, i: int) -> int:
+        """Packed new local state after executing rule ``rid``."""
+        raise NotImplementedError
+
+    def holds_token(self, own: int, cpred: int, csucc: int, i: int) -> bool:
+        """Definition 3's own-view token predicate ``h_i``."""
+        raise NotImplementedError
+
+    def is_legitimate(self, packed_states: Sequence[int]) -> bool:
+        """Legitimacy of the *true* configuration, on packed states."""
+        raise NotImplementedError
+
+
+class SSRminMPCodec(MPCodec):
+    """Packed local-view semantics for :class:`repro.core.ssrmin.SSRmin`."""
+
+    bidirectional = True
+    rule_names = SSRMIN_RULE_NAMES
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        self.n = algorithm.n
+        self.K = algorithm.K
+        # Interned decode table: packed -> (x, rts, tra); pack is its inverse.
+        self._unpack: List[Tuple[int, int, int]] = [
+            (p >> 2, (p >> 1) & 1, p & 1) for p in range(self.K << 2)
+        ]
+        self._pack: Dict[Tuple[int, int, int], int] = {
+            s: p for p, s in enumerate(self._unpack)
+        }
+
+    def pack(self, state: Any) -> int:
+        return self._pack[tuple(state)]
+
+    def unpack(self, packed: int) -> Tuple[int, int, int]:
+        return self._unpack[packed]
+
+    def rule_id(self, own: int, cpred: int, csucc: int, i: int) -> int:
+        # G_i on the cached view: own x against the *cached* predecessor x
+        # (bottom process compares equal, others compare different) — the
+        # same table index layout as the shared-memory kernel.
+        if i == 0:
+            g = (own >> 2) == (cpred >> 2)
+        else:
+            g = (own >> 2) != (cpred >> 2)
+        return RULE_TABLE[
+            (g << 6) | ((cpred & 3) << 4) | ((own & 3) << 2) | (csucc & 3)
+        ]
+
+    def execute(self, rid: int, own: int, cpred: int, csucc: int, i: int) -> int:
+        if rid == 1:                      # R1: <rts.tra> <- 10
+            return (own & ~3) | 2
+        if rid == 3:                      # R3: <rts.tra> <- 01
+            return (own & ~3) | 1
+        if rid == 5:                      # R5: <rts.tra> <- 00
+            return own & ~3
+        if rid in (2, 4):                 # R2 / R4: x <- C_i, <rts.tra> <- 00
+            xp = cpred >> 2
+            nx = (xp + 1) % self.K if i == 0 else xp
+            return nx << 2
+        raise ValueError(f"unknown SSRmin rule id {rid}")
+
+    def holds_token(self, own: int, cpred: int, csucc: int, i: int) -> bool:
+        # Primary: G_i.  Secondary: tra_i, or rts_i with a quiet successor.
+        if i == 0:
+            if (own >> 2) == (cpred >> 2):
+                return True
+        elif (own >> 2) != (cpred >> 2):
+            return True
+        return bool((own & 1) or ((own & 2) and not (csucc & 3)))
+
+    def is_legitimate(self, packed_states: Sequence[int]) -> bool:
+        # Mirrors SSRminKernel: Dijkstra-legitimate x-vector (0 or 2 cyclic
+        # boundaries, wraparound being one of them, step of +1 mod K) plus
+        # the Definition 1 handshake shapes at the token position.
+        n, K = self.n, self.K
+        x = [p >> 2 for p in packed_states]
+        h = [p & 3 for p in packed_states]
+        diff_edges = sum(1 for i in range(n) if x[i] != x[i - 1])
+        if diff_edges == 0:
+            pos = 0
+        elif diff_edges == 2:
+            if x[0] == x[n - 1]:
+                return False
+            pos = next(b for b in range(1, n) if x[b] != x[b - 1])
+            if x[0] != (x[pos] + 1) % K:
+                return False
+        else:
+            return False
+        nz = sum(1 for v in h if v)
+        if nz == 1:
+            return h[pos] in (1, 2)
+        if nz == 2:
+            return h[pos] == 2 and h[(pos + 1) % n] == 1
+        return False
+
+
+class DijkstraMPCodec(MPCodec):
+    """Packed local-view semantics for Dijkstra's K-state token ring.
+
+    States are already small ints, so packing is the identity (with a
+    domain check); the ring is unidirectional — nodes cache only the
+    predecessor and the successor-cache argument is ignored.
+    """
+
+    bidirectional = False
+    rule_names = ("", "D1", "D2")
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        self.n = algorithm.n
+        self.K = algorithm.K
+
+    def pack(self, state: Any) -> int:
+        s = int(state)
+        if not 0 <= s < self.K or s != state:
+            raise ValueError(f"state {state!r} outside domain [0, {self.K})")
+        return s
+
+    def unpack(self, packed: int) -> int:
+        return packed
+
+    def rule_id(self, own: int, cpred: int, csucc: int, i: int) -> int:
+        if i == 0:
+            return 1 if own == cpred else 0
+        return 2 if own != cpred else 0
+
+    def execute(self, rid: int, own: int, cpred: int, csucc: int, i: int) -> int:
+        if rid == 1:
+            return (cpred + 1) % self.K
+        if rid == 2:
+            return cpred
+        raise ValueError(f"unknown Dijkstra rule id {rid}")
+
+    def holds_token(self, own: int, cpred: int, csucc: int, i: int) -> bool:
+        # Privilege == enabledness for Dijkstra's ring (the base-class
+        # node_holds_token default).
+        return (own == cpred) if i == 0 else (own != cpred)
+
+    def is_legitimate(self, packed_states: Sequence[int]) -> bool:
+        from repro.algorithms.dijkstra import is_dijkstra_legitimate
+
+        return is_dijkstra_legitimate(tuple(packed_states), self.K)
+
+
+__all__ = ["MPCodec", "SSRminMPCodec", "DijkstraMPCodec"]

@@ -1,0 +1,176 @@
+"""Monte-Carlo loss sweeps: seeds × n × loss-rate grids over worker processes.
+
+Loss-driven stabilization is statistical (Dolev & Herman's "unsupportive
+environments" regime): confidence comes from *many seeds* at realistic ring
+sizes, which is exactly what the packed engine plus a process pool deliver.
+This module fans a (algorithm, n, loss, seed) grid across
+:func:`repro.experiments.parallel.run_tasks_parallel`, one Theorem 4-style
+run per cell:
+
+* build ``transformed_from_chaos`` (arbitrary states + arbitrary caches),
+* run to the legitimate+coherent entry condition
+  (:class:`~repro.messagepassing.coherence.CoherenceTracker`),
+* evaluate the post-stabilization model gap
+  (:func:`~repro.messagepassing.modelgap.evaluate_gap`).
+
+**Determinism.**  Each cell's RNG derivation depends only on its own
+``seed`` value (``transformed_from_chaos`` seeds states with ``seed`` and
+the network with ``seed + 1``), never on execution order — so results are
+bit-identical across worker counts, and the returned list is always in
+grid order (``itertools.product`` over n values × loss rates × seeds).
+
+**Telemetry.**  Workers are separate processes, so their network-level
+events cannot reach the parent's bus; instead the parent streams one
+``("experiment", "sweep_cell")`` event per completed cell — in completion
+order, carrying the full result row — into the ambient telemetry session.
+Pass ``workers=1`` to keep everything in-process (cells then publish their
+network events into the session too, at serial-wall-clock cost).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Algorithm factories by name — names (not classes) cross the process
+#: boundary.  Each maps (n) -> RingAlgorithm with a packed MP codec.
+_ALGORITHMS: Dict[str, Callable[[int], object]] = {}
+
+
+def _make_ssrmin(n: int):
+    from repro.core.ssrmin import SSRmin
+
+    return SSRmin(n, n + 1)
+
+
+def _make_dijkstra(n: int):
+    from repro.algorithms.dijkstra import DijkstraKState
+
+    return DijkstraKState(n, n + 1)
+
+
+_ALGORITHMS["ssrmin"] = _make_ssrmin
+_ALGORITHMS["dijkstra"] = _make_dijkstra
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One completed Monte-Carlo cell (a full chaos-to-stabilized run)."""
+
+    algorithm: str
+    n: int
+    loss: float
+    seed: int
+    stabilized_at: float
+    min_tokens: int
+    max_tokens: int
+    zero_time: float
+    events: int
+    wall_seconds: float
+
+    def to_json(self) -> dict:
+        """Plain-dict form (telemetry event fields / JSON export)."""
+        return asdict(self)
+
+
+def _sweep_worker(payload: tuple) -> SweepCell:
+    """Worker entry point (module-level for pickling): run one cell."""
+    (algorithm, n, loss, seed, slice_duration, max_time, gap_duration,
+     use_fastpath) = payload
+    from repro.messagepassing.coherence import CoherenceTracker
+    from repro.messagepassing.cst import transformed_from_chaos
+    from repro.messagepassing.modelgap import evaluate_gap
+
+    alg = _ALGORITHMS[algorithm](n)
+    t0 = time.perf_counter()
+    net = transformed_from_chaos(
+        alg, seed=seed, loss_probability=loss, use_fastpath=use_fastpath,
+    )
+    tracker = CoherenceTracker(net)
+    stabilized = tracker.run_until_stabilized(
+        slice_duration=slice_duration, max_time=max_time,
+    )
+    report = evaluate_gap(net, duration=gap_duration, warmup=net.queue.now)
+    wall = time.perf_counter() - t0
+    return SweepCell(
+        algorithm=algorithm,
+        n=n,
+        loss=loss,
+        seed=seed,
+        stabilized_at=stabilized,
+        min_tokens=report.min_count,
+        max_tokens=report.max_count,
+        zero_time=report.zero_time,
+        events=net.queue.executed,
+        wall_seconds=wall,
+    )
+
+
+def run_loss_sweep(
+    algorithm: str = "ssrmin",
+    n_values: Sequence[int] = (8,),
+    loss_rates: Sequence[float] = (0.0, 0.1, 0.3),
+    seeds: Sequence[int] = range(10),
+    *,
+    workers: int = 2,
+    slice_duration: float = 5.0,
+    max_time: float = 20_000.0,
+    gap_duration: float = 100.0,
+    use_fastpath: Optional[bool] = None,
+    on_cell: Optional[Callable[[SweepCell, int, int], None]] = None,
+) -> List[SweepCell]:
+    """Run the full seeds × n × loss grid; results in grid order.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"ssrmin"`` or ``"dijkstra"`` (K is fixed at n+1, the minimal
+        legal alphabet).
+    n_values, loss_rates, seeds:
+        The grid axes; cells are ``product(n_values, loss_rates, seeds)``.
+    workers:
+        Worker processes (1 = in-process; also forced in-process when
+        already inside a daemonized pool worker).
+    slice_duration, max_time:
+        :meth:`CoherenceTracker.run_until_stabilized` parameters.
+    gap_duration:
+        Post-stabilization window for :func:`evaluate_gap`.
+    use_fastpath:
+        Explicit engine choice per cell (None = ambient default).  Results
+        are engine-independent either way — the packed engine is
+        draw-identical — so this is an A/B/debugging knob, not a semantic
+        one.
+    on_cell:
+        Parent-side callback ``(cell, done, total)`` in completion order.
+    """
+    from repro.experiments.parallel import run_tasks_parallel
+    from repro.telemetry.session import current_session
+
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; have {sorted(_ALGORITHMS)}"
+        )
+    grid = list(itertools.product(n_values, loss_rates, seeds))
+    payloads = [
+        (algorithm, n, loss, seed, slice_duration, max_time, gap_duration,
+         use_fastpath)
+        for n, loss, seed in grid
+    ]
+
+    def _on_result(index: int, cell: SweepCell, done: int, total: int) -> None:
+        session = current_session()
+        if session is not None:
+            session.bus.publish(
+                "experiment", "sweep_cell", float(done), **cell.to_json()
+            )
+        if on_cell is not None:
+            on_cell(cell, done, total)
+
+    return run_tasks_parallel(
+        _sweep_worker, payloads, workers=workers, on_result=_on_result,
+    )
+
+
+__all__ = ["SweepCell", "run_loss_sweep"]

@@ -22,20 +22,36 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, NamedTuple, Optional
 
 from repro.messagepassing.des import EventQueue
 
 
+class Message(NamedTuple):
+    """A CST payload ``<state, q>``: the sender's index and local state.
+
+    Tuple-compatible with the bare ``(sender, state)`` pairs the transform
+    historically shipped (receivers unpack positionally, telemetry reads
+    ``payload[1]``), but allocated once per *distinct* state via the
+    sender-side interning cache in :class:`~repro.messagepassing.node.
+    CSTNode` instead of once per transmission.
+    """
+
+    sender: int
+    state: Any
+
+
 class DelayModel:
     """Base class for per-message transmission-delay distributions."""
+
+    __slots__ = ()
 
     def sample(self, rng: random.Random) -> float:
         """Draw one transmission delay (> 0)."""
         raise NotImplementedError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FixedDelay(DelayModel):
     """Constant transmission delay."""
 
@@ -49,7 +65,7 @@ class FixedDelay(DelayModel):
         return self.delay
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UniformDelay(DelayModel):
     """Uniform transmission delay on ``[low, high]``."""
 
@@ -64,7 +80,7 @@ class UniformDelay(DelayModel):
         return rng.uniform(self.low, self.high)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExponentialDelay(DelayModel):
     """Exponential transmission delay with the given mean (plus a floor).
 
@@ -98,9 +114,30 @@ class Link:
     loss_probability:
         Bernoulli per-message loss probability in ``[0, 1)``.
     rng:
-        Random source for delays and losses (shared per network for
-        reproducibility).
+        Random source for delays, losses and duplications (shared per
+        network for reproducibility).
+    duplicate_probability:
+        Bernoulli per-message duplication probability in ``[0, 1)``.  A
+        duplicated message is delivered *twice at its single arrival
+        instant* — a link-layer retransmit race where the original and the
+        retransmission both land — which keeps the capacity-one invariant
+        (one message in transit per direction) intact.  The extra random
+        draw happens only when this is nonzero, so ``0.0`` (the default)
+        leaves existing seeded runs' RNG streams untouched.
+
+    Instances are ``__slots__``-backed: a CST run allocates two link
+    directions per ring edge but *touches* them on every event, so the
+    dict-free layout trims both per-link memory and the attribute-access
+    constant in ``_transmit``/``_arrive`` (micro-benched in
+    ``BENCH_perf_mp.json``'s reference-path note).
     """
+
+    __slots__ = (
+        "queue", "deliver", "delay_model", "loss_probability",
+        "duplicate_probability", "rng", "label", "outage_until", "observer",
+        "busy", "pending", "_has_pending", "sent", "delivered", "lost",
+        "coalesced", "duplicated",
+    )
 
     def __init__(
         self,
@@ -110,15 +147,22 @@ class Link:
         loss_probability: float = 0.0,
         rng: Optional[random.Random] = None,
         label: str = "",
+        duplicate_probability: float = 0.0,
     ):
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError(
                 f"loss_probability must be in [0, 1), got {loss_probability}"
             )
+        if not 0.0 <= duplicate_probability < 1.0:
+            raise ValueError(
+                f"duplicate_probability must be in [0, 1), got "
+                f"{duplicate_probability}"
+            )
         self.queue = queue
         self.deliver = deliver
         self.delay_model = delay_model
         self.loss_probability = loss_probability
+        self.duplicate_probability = duplicate_probability
         # Derive the fallback from the global stream (seeded by callers /
         # the test suite) rather than OS entropy; see docs/TESTING.md.
         self.rng = rng if rng is not None else random.Random(
@@ -143,6 +187,7 @@ class Link:
         self.delivered = 0
         self.lost = 0
         self.coalesced = 0
+        self.duplicated = 0
 
     def send(self, payload: Any) -> None:
         """Send (or coalesce) a payload on this link direction."""
@@ -172,24 +217,36 @@ class Link:
             self.rng.random() < self.loss_probability
             or self.queue.now < self.outage_until
         )
+        # Duplication draw comes after the loss draw and before the delay
+        # draw (the fastpath engine consumes the stream in this exact
+        # order); the draw is skipped entirely at probability zero so
+        # dup-free seeded runs keep their historical RNG streams.
+        copies = 1
+        if (
+            self.duplicate_probability > 0.0
+            and self.rng.random() < self.duplicate_probability
+        ):
+            copies = 2
+            self.duplicated += 1
         delay = self.delay_model.sample(self.rng)
         self.queue.schedule(
             delay,
-            lambda p=payload, lost=lost: self._arrive(p, lost),
+            lambda p=payload, lost=lost, c=copies: self._arrive(p, lost, c),
             label=f"link{self.label}",
         )
 
-    def _arrive(self, payload: Any, lost: bool) -> None:
+    def _arrive(self, payload: Any, lost: bool, copies: int = 1) -> None:
         self.busy = False
         if lost:
             self.lost += 1
             if self.observer is not None:
                 self.observer("loss", payload)
         else:
-            self.delivered += 1
-            if self.observer is not None:
-                self.observer("deliver", payload)
-            self.deliver(payload)
+            for _ in range(copies):
+                self.delivered += 1
+                if self.observer is not None:
+                    self.observer("deliver", payload)
+                self.deliver(payload)
         # The deliver callback may itself have sent on this link; only pump
         # the coalesced payload if the link is still free.
         if self._has_pending and not self.busy:

@@ -192,18 +192,20 @@ class MessagePassingNetwork:
     # -- statistics --------------------------------------------------------
     def message_stats(self) -> Dict[str, int]:
         """Aggregate link statistics over the whole network."""
-        sent = delivered = lost = coalesced = 0
+        sent = delivered = lost = coalesced = duplicated = 0
         for node in self.nodes:
             for link in node.links.values():
                 sent += link.sent
                 delivered += link.delivered
                 lost += link.lost
                 coalesced += link.coalesced
+                duplicated += getattr(link, "duplicated", 0)
         return {
             "sent": sent,
             "delivered": delivered,
             "lost": lost,
             "coalesced": coalesced,
+            "duplicated": duplicated,
         }
 
 
@@ -220,6 +222,8 @@ def build_cst_network(
     token_predicate: Optional[Callable[[CSTNode], bool]] = None,
     dwell_model: Optional[DelayModel] = FixedDelay(0.5),
     link_delay_overrides: Optional[Dict[tuple, DelayModel]] = None,
+    duplicate_probability: float = 0.0,
+    use_fastpath: Optional[bool] = None,
 ) -> MessagePassingNetwork:
     """Apply the CST transform (Algorithm 4) and wire up the network.
 
@@ -254,6 +258,18 @@ def build_cst_network(
         directions their own delay distribution — heterogeneous networks
         (one slow radio, asymmetric paths).  Unlisted directions use
         ``delay_model``.
+    duplicate_probability:
+        Bernoulli per-message duplication: a duplicated transmission is
+        delivered twice at its (single) arrival instant, modelling a
+        link-layer retransmit race without violating capacity one.
+    use_fastpath:
+        Explicit choice of the packed message-passing engine
+        (:class:`~repro.messagepassing.fastpath.network.FastCSTNetwork`).
+        ``None`` (the default) defers to the scoped override /
+        ``REPRO_FASTPATH_MP`` environment default; either way the packed
+        engine is only used when the algorithm provides an
+        ``mp_codec()`` and no custom ``token_predicate`` is installed —
+        otherwise the reference object-graph engine is built, silently.
     """
     n = algorithm.n
     if len(initial_states) != n:
@@ -325,17 +341,50 @@ def build_cst_network(
                 loss_probability=loss_probability,
                 rng=rng,
                 label=f"{i}->{j}",
+                duplicate_probability=duplicate_probability,
             )
 
-    net = MessagePassingNetwork(
-        algorithm=algorithm,
-        nodes=nodes,
-        queue=queue,
-        timer_interval=timer_interval,
-        timer_jitter=timer_jitter,
-        rng=rng,
-        token_predicate=predicate,
-    )
+    # Engine dispatch: the packed fastpath needs a codec, the *default*
+    # token predicate (custom predicates — the abl1 ablation — read facade
+    # nodes arbitrarily), and every initial state/cache inside the packed
+    # domain.  Anything else silently keeps the reference engine.
+    codec = None
+    if token_predicate is None:
+        from repro.messagepassing.fastpath import resolve_mp_codec
+
+        codec = resolve_mp_codec(algorithm, use_fastpath)
+        if codec is not None and codec.bidirectional and n < 3:
+            codec = None
+
+    net: Optional[MessagePassingNetwork] = None
+    if codec is not None:
+        from repro.messagepassing.fastpath.network import FastCSTNetwork
+
+        try:
+            net = FastCSTNetwork(
+                algorithm=algorithm,
+                nodes=nodes,
+                queue=queue,
+                timer_interval=timer_interval,
+                timer_jitter=timer_jitter,
+                rng=rng,
+                token_predicate=predicate,
+                codec=codec,
+            )
+        except ValueError:
+            # Out-of-domain initial state or cache value: the packed
+            # encoding cannot represent it, so run the reference engine.
+            net = None
+    if net is None:
+        net = MessagePassingNetwork(
+            algorithm=algorithm,
+            nodes=nodes,
+            queue=queue,
+            timer_interval=timer_interval,
+            timer_jitter=timer_jitter,
+            rng=rng,
+            token_predicate=predicate,
+        )
     net.seed = seed
     network_ref[0] = net
     return net

@@ -33,7 +33,7 @@ import random
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.algorithms.base import RingAlgorithm
-from repro.messagepassing.links import DelayModel
+from repro.messagepassing.links import DelayModel, Message
 
 
 class CSTNode:
@@ -112,6 +112,11 @@ class CSTNode:
         #: Outgoing links, filled in by the network layer: neighbor -> Link.
         self.links: Dict[int, Any] = {}
         self._action_pending = False
+        # Interned outgoing payload: re-used across broadcasts while the
+        # state is unchanged (the common case — timers re-announce the same
+        # state for long stretches).  Validated by *value* on every use
+        # because fault injection mutates ``state`` without notice.
+        self._payload: Optional[Message] = None
         # -- statistics -----------------------------------------------------
         self.rules_executed = 0
         self.messages_received = 0
@@ -198,10 +203,21 @@ class CSTNode:
                 self.on_state_change(self, old, new_state)
         return True
 
+    #: Class-level switch for the payload interning above; the reference-path
+    #: micro-benchmark A/Bs it (``CSTNode.intern_payloads = False`` restores
+    #: one fresh allocation per broadcast).
+    intern_payloads = True
+
     def broadcast_state(self) -> None:
         """Send ``<state, q_i>`` to every neighbour (links handle busy/loss)."""
+        if self.intern_payloads:
+            payload = self._payload
+            if payload is None or payload.state != self.state:
+                payload = self._payload = Message(self.index, self.state)
+        else:
+            payload = Message(self.index, self.state)
         for link in self.links.values():
-            link.send((self.index, self.state))
+            link.send(payload)
 
     # -- token predicates (node's own view) ----------------------------------
     def holds_token(self) -> bool:

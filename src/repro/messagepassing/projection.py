@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.algorithms.base import RingAlgorithm
+from repro.messagepassing.fastpath import resolve_mp_codec
 from repro.messagepassing.node import CSTNode
 
 
@@ -86,10 +87,38 @@ class SynchronousCSTProjection:
         #: States as of *before* the most recent :meth:`apply` — what a
         #: delayed (in-flight) message from the previous window carries.
         self._prev_states: List[Any] = list(initial_states)
+        # Packed local-view semantics when available: guard resolution and
+        # the token predicate collapse to table lookups.  Scripted faults
+        # may write out-of-domain values, so every packed evaluation falls
+        # back to the reference path per node when packing fails.
+        self._codec = resolve_mp_codec(algorithm)
 
     @property
     def n(self) -> int:
         return self.algorithm.n
+
+    def _packed_view(self, i: int) -> Optional[Tuple[int, int, int]]:
+        """Node ``i``'s local view as packed ``(own, cpred, csucc)``, or
+        ``None`` when disabled or any value is outside the packed domain."""
+        codec = self._codec
+        if codec is None:
+            return None
+        node = self.nodes[i]
+        own = codec.try_pack(node.state)
+        if own is None:
+            return None
+        n = self.algorithm.n
+        cpred = csucc = 0
+        pred, succ = (i - 1) % n, (i + 1) % n
+        if pred in node.cache:
+            cpred = codec.try_pack(node.cache[pred])
+            if cpred is None:
+                return None
+        if codec.bidirectional and succ in node.cache:
+            csucc = codec.try_pack(node.cache[succ])
+            if csucc is None:
+                return None
+        return own, cpred, csucc
 
     # -- observables ---------------------------------------------------------
     def states(self) -> Tuple[Any, ...]:
@@ -103,23 +132,39 @@ class SynchronousCSTProjection:
     def enabled(self) -> Tuple[int, ...]:
         """Processes with an enabled rule *in their own cached view*."""
         alg = self.algorithm
-        return tuple(
-            i for i in range(self.n)
-            if alg.enabled_rule(self.nodes[i].view(), i) is not None
-        )
+        codec = self._codec
+        out = []
+        for i in range(self.n):
+            pv = self._packed_view(i)
+            if pv is not None:
+                if codec.rule_id(pv[0], pv[1], pv[2], i):
+                    out.append(i)
+            elif alg.enabled_rule(self.nodes[i].view(), i) is not None:
+                out.append(i)
+        return tuple(out)
 
     def rule_name(self, i: int) -> Optional[str]:
         """Name of node ``i``'s enabled rule in its cached view, or None."""
+        pv = self._packed_view(i)
+        if pv is not None:
+            rid = self._codec.rule_id(pv[0], pv[1], pv[2], i)
+            return self._codec.rule_names[rid] if rid else None
         rule = self.algorithm.enabled_rule(self.nodes[i].view(), i)
         return rule.name if rule is not None else None
 
     def own_view_holders(self) -> Tuple[int, ...]:
         """Nodes whose own-view token predicate ``h_i`` holds (Def. 3)."""
         alg = self.algorithm
-        return tuple(
-            i for i in range(self.n)
-            if alg.node_holds_token(self.nodes[i].view(), i)
-        )
+        codec = self._codec
+        out = []
+        for i in range(self.n):
+            pv = self._packed_view(i)
+            if pv is not None:
+                if codec.holds_token(pv[0], pv[1], pv[2], i):
+                    out.append(i)
+            elif alg.node_holds_token(self.nodes[i].view(), i):
+                out.append(i)
+        return tuple(out)
 
     def incoherent_entries(
         self, reference: Sequence[Any]
@@ -180,6 +225,17 @@ class SynchronousCSTProjection:
         alg = self.algorithm
         writes: Dict[int, Any] = {}
         for i in set(selection):
+            pv = self._packed_view(i)
+            if pv is not None:
+                rid = self._codec.rule_id(pv[0], pv[1], pv[2], i)
+                if not rid:
+                    raise ValueError(
+                        f"node {i} has no enabled rule in its cached view"
+                    )
+                writes[i] = self._codec.unpack(
+                    self._codec.execute(rid, pv[0], pv[1], pv[2], i)
+                )
+                continue
             view = self.nodes[i].view()
             rule = alg.enabled_rule(view, i)
             if rule is None:
