@@ -1,0 +1,168 @@
+"""Overhead gate for the run-store subscriber (PR artifact).
+
+The observability layer's contract is that *watching a run must not slow
+it down*: :class:`repro.observability.ingest.StoreSubscriber` registers
+on the telemetry session with ``detail=False``, so the simulation
+engines keep their batched event cadence and the subscriber costs one
+dict lookup per published event.  This benchmark measures that cost on
+the paper workload — run-until-legitimate convergence loops on an
+SSRmin ring under a seeded random central daemon — with the subscriber
+attached (in-memory sqlite store) versus detached, and writes
+``BENCH_obs_overhead.json``.
+
+Rounds are interleaved (detached, attached, detached, ...) and the
+minimum per arm is compared, which cancels thermal / scheduler drift;
+both arms replay identical seeded starts, so the step counts are
+asserted equal before any timing is trusted.  Exit status is non-zero
+when the relative overhead exceeds ``--max-overhead-pct``, which is how
+the CI observability smoke job uses it (``--quick --max-overhead-pct 5``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py          # full
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.central import RandomCentralDaemon
+from repro.observability.ingest import StoreSubscriber
+from repro.observability.store import RunStore
+from repro.simulation.convergence import converge
+from repro.telemetry import telemetry_session
+
+
+def _run_workload(alg, starts, seed: int) -> int:
+    """The timed region: seeded convergence runs; returns total steps."""
+    total_steps = 0
+    for t, init in enumerate(starts):
+        res = converge(alg, RandomCentralDaemon(seed=seed + t), init)
+        if not res.converged:
+            raise RuntimeError(f"trial {t} did not converge")
+        total_steps += res.steps
+    return total_steps
+
+
+def _time_arm(alg, starts, seed: int, attached: bool) -> tuple:
+    """One round of the workload under a fresh session; (seconds, steps)."""
+    store = RunStore(":memory:") if attached else None
+    try:
+        with telemetry_session() as tel:
+            if attached:
+                subscriber = StoreSubscriber(store, session=tel,
+                                             source="bench")
+                tel.subscribe(subscriber, detail=False)
+                # The whole point: the subscriber must not flip the
+                # engines into per-step event publishing.
+                assert not tel.step_detail, (
+                    "StoreSubscriber switched the session into step "
+                    "detail; the <5% budget is only valid batched"
+                )
+            t0 = time.perf_counter()
+            steps = _run_workload(alg, starts, seed)
+            elapsed = time.perf_counter() - t0
+            if attached:
+                subscriber.close()
+    finally:
+        if store is not None:
+            store.close()
+    return elapsed, steps
+
+
+def bench_overhead(n: int, K: int, trials: int, rounds: int,
+                   seed: int) -> dict:
+    alg = SSRmin(n, K)
+    starts = [
+        alg.random_configuration(random.Random(seed + t))
+        for t in range(trials)
+    ]
+    timings = {"detached": [], "attached": []}
+    steps_seen = set()
+    # Warm-up (JIT-free Python still benefits: allocator, caches).
+    _time_arm(alg, starts, seed, attached=False)
+    for _ in range(rounds):
+        for label, attached in (("detached", False), ("attached", True)):
+            elapsed, steps = _time_arm(alg, starts, seed, attached=attached)
+            timings[label].append(elapsed)
+            steps_seen.add(steps)
+    if len(steps_seen) != 1:
+        raise RuntimeError(
+            f"attached and detached arms diverged: step counts {steps_seen}"
+        )
+    steps = steps_seen.pop()
+    detached = min(timings["detached"])
+    attached = min(timings["attached"])
+    overhead_pct = (attached - detached) / detached * 100.0
+    return {
+        "workload": f"SSRmin n={n} K={K}, {trials} random-start convergence "
+                    "runs, random central daemon, telemetry session active",
+        "n": n,
+        "K": K,
+        "trials": trials,
+        "rounds": rounds,
+        "total_steps": steps,
+        "detached_seconds": round(detached, 4),
+        "attached_seconds": round(attached, 4),
+        "detached_steps_per_second": round(steps / detached, 1),
+        "attached_steps_per_second": round(steps / attached, 1),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes: n=48 ring, 3 trials, 5 rounds")
+    parser.add_argument(
+        "--output", default="BENCH_obs_overhead.json",
+        help="artifact path (default: %(default)s)")
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=None,
+        help="fail if the attached-subscriber overhead exceeds this")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        result = bench_overhead(n=48, K=49, trials=3, rounds=5, seed=0)
+    else:
+        result = bench_overhead(n=64, K=65, trials=3, rounds=8, seed=0)
+
+    payload = {
+        "schema": 1,
+        "suite": "obs_overhead",
+        "mode": "quick" if args.quick else "full",
+        "budget_pct": 5.0,
+        "step_loop": result,
+        "method": (
+            "interleaved rounds, min-of-rounds per arm, identical seeded "
+            "starts (step counts asserted equal); attached arm = "
+            "StoreSubscriber(detail=False) on an in-memory sqlite store"
+        ),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"step loop : {result['detached_seconds']}s detached -> "
+          f"{result['attached_seconds']}s attached "
+          f"({result['overhead_pct']:+.2f}% over {result['total_steps']} "
+          "steps)")
+    print(f"artifact  : {args.output}")
+
+    if (args.max_overhead_pct is not None
+            and result["overhead_pct"] > args.max_overhead_pct):
+        print(f"FAIL: subscriber overhead {result['overhead_pct']}% > "
+              f"{args.max_overhead_pct}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,12 @@ Commands
 * ``fuzz run|shrink|replay|seed-corpus`` — the conformance harness: seeded
   differential fuzz campaigns across the reference engine, fastpath kernels
   and the CST projection, witness minimization, and corpus replay
-  (see ``docs/TESTING.md``).
+  (see ``docs/TESTING.md``);
+* ``top`` — live terminal dashboard over an in-process ring fleet
+  (curses, or ``--plain`` frames for pipes);
+* ``runs list|show|query|backfill`` — the persistent sqlite run store;
+* ``slo report`` — paper-grounded service-level objectives graded against
+  the store (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -196,6 +201,8 @@ def _live_finish(args: argparse.Namespace, report: dict, run_id: str,
         )
         write_manifest(os.path.join(run_dir, "manifest.json"), manifest)
         print(f"telemetry: {run_dir}/ (manifest.json)")
+        if not getattr(args, "no_store", True):
+            print(f"run store: {args.store} (run {run_id})")
     for line in render_live_report(report):
         print(line)
     health = report.get("health", {})
@@ -207,8 +214,15 @@ def _live_finish(args: argparse.Namespace, report: dict, run_id: str,
     return 0 if ok else 1
 
 
-def _with_live_session(args: argparse.Namespace, fn) -> int:
-    """Run ``fn()`` (run + finish) under a telemetry session unless disabled."""
+def _with_live_session(args: argparse.Namespace, fn,
+                       run_id: Optional[str] = None) -> int:
+    """Run ``fn()`` (run + finish) under a telemetry session unless disabled.
+
+    Unless ``--no-store`` was given, a
+    :class:`~repro.observability.ingest.StoreSubscriber` rides along
+    (``detail=False``, so the engines keep their batched hot loop) and
+    persists the run to the sqlite store at ``--store``.
+    """
     if args.no_telemetry:
         args._session = None
         return fn()
@@ -216,7 +230,23 @@ def _with_live_session(args: argparse.Namespace, fn) -> int:
 
     with telemetry_session() as tel:
         args._session = tel
-        return fn()
+        store = None
+        subscriber = None
+        if not getattr(args, "no_store", True):
+            from repro.observability import RunStore, StoreSubscriber
+
+            store = RunStore(args.store)
+            subscriber = StoreSubscriber(
+                store, run_id=run_id, session=tel, source="live"
+            )
+            tel.subscribe(subscriber, detail=False)
+        try:
+            return fn()
+        finally:
+            if subscriber is not None:
+                subscriber.close()
+            if store is not None:
+                store.close()
 
 
 def _cmd_live_run(args: argparse.Namespace) -> int:
@@ -233,7 +263,7 @@ def _cmd_live_run(args: argparse.Namespace) -> int:
         report = live_run(duration=args.duration, **_live_common_kwargs(args))
         return _live_finish(args, report, run_id, command)
 
-    return _with_live_session(args, go)
+    return _with_live_session(args, go, run_id=run_id)
 
 
 def _cmd_live_chaos(args: argparse.Namespace) -> int:
@@ -256,26 +286,60 @@ def _cmd_live_chaos(args: argparse.Namespace) -> int:
         )
         return _live_finish(args, report, run_id, command)
 
-    return _with_live_session(args, go)
+    return _with_live_session(args, go, run_id=run_id)
 
 
-def _cmd_live_status(args: argparse.Namespace) -> int:
+def _read_live_manifests(telemetry_dir: str):
+    """Yield ``(path, manifest_or_None)`` for recorded live runs."""
     import glob
     import os
 
     from repro.telemetry import read_manifest
 
-    pattern = os.path.join(args.telemetry_dir, "live-*", "manifest.json")
-    paths = sorted(glob.glob(pattern))
-    if not paths:
+    pattern = os.path.join(telemetry_dir, "live-*", "manifest.json")
+    for path in sorted(glob.glob(pattern)):
+        try:
+            yield path, read_manifest(path)
+        except (OSError, ValueError):
+            yield path, None
+
+
+def _cmd_live_status(args: argparse.Namespace) -> int:
+    import time
+
+    if args.watch:
+        # Same per-ring rows as ``repro top``, rebuilt from the recorded
+        # manifests every interval (shared renderer; see dashboard.py).
+        from repro.observability import RingRow, render_rows
+
+        iterations = args.iterations
+        frame = 0
+        while True:
+            rows = []
+            for path, manifest in _read_live_manifests(args.telemetry_dir):
+                if manifest is None:
+                    rows.append(RingRow(name=f"?? {path}", status="UNREADABLE"))
+                    continue
+                live = (manifest.get("extra") or {}).get("live", {})
+                rows.append(RingRow.from_live_report(
+                    str(manifest.get("experiment_id")), live))
+            frame += 1
+            print(f"live status — frame {frame} ({len(rows)} runs)")
+            for line in render_rows(rows):
+                print(line)
+            print()
+            if iterations is not None and frame >= iterations:
+                return 0 if rows else 1
+            time.sleep(args.interval)
+
+    entries = list(_read_live_manifests(args.telemetry_dir))
+    if not entries:
         print(f"no live run manifests under {args.telemetry_dir}/live-*/")
         return 1
     failures = 0
-    for path in paths:
-        try:
-            manifest = read_manifest(path)
-        except (OSError, ValueError) as exc:
-            print(f"??   {path}: unreadable ({exc})")
+    for path, manifest in entries:
+        if manifest is None:
+            print(f"??   {path}: unreadable")
             failures += 1
             continue
         live = (manifest.get("extra") or {}).get("live", {})
@@ -293,6 +357,211 @@ def _cmd_live_status(args: argparse.Namespace) -> int:
         if not ok:
             failures += 1
     return 1 if failures else 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.observability import RunStore, TopRingSpec, top_curses, top_plain
+
+    algorithms = (
+        ["ssrmin", "dijkstra"] if args.algorithm == "both"
+        else [args.algorithm]
+    )
+    specs = []
+    for i in range(args.rings):
+        alg = algorithms[i % len(algorithms)]
+        specs.append(TopRingSpec(
+            name=f"{alg}-{i}",
+            algorithm=alg,
+            n=args.n,
+            K=args.K,
+            seed=args.seed + i,
+            transport=args.transport,
+            timer_interval=args.timer_interval,
+            script=args.script,
+        ))
+
+    store = None if args.no_store else RunStore(args.store)
+    try:
+        frontend = top_plain if args.plain or not sys.stdout.isatty() \
+            else top_curses
+        reports = frontend(
+            specs, duration=args.duration, refresh=args.refresh, store=store,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    failures = sum(
+        0 if report.get("health", {}).get("stabilized") else 1
+        for report in reports
+    )
+    if store is not None:
+        print(f"run store: {args.store} "
+              f"({len(reports)} top-* runs recorded)")
+    return 1 if failures else 0
+
+
+def _open_store(args: argparse.Namespace, missing_ok: bool = False):
+    import os
+
+    from repro.observability import RunStore
+
+    if not missing_ok and args.store != ":memory:" \
+            and not os.path.exists(args.store):
+        print(f"error: no run store at {args.store} "
+              f"(record one with 'repro live run' or 'repro runs backfill')",
+              file=sys.stderr)
+        return None
+    return RunStore(args.store)
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        rows = store.list_runs(
+            kind=args.kind, algorithm=args.algorithm, limit=args.limit)
+        counts = store.counts()
+    for row in rows:
+        stabilized = row.get("stabilized")
+        status = ("ok" if stabilized else
+                  "FAIL" if stabilized is not None else "?")
+        ttr = row.get("time_to_restabilize")
+        print(
+            f"{status:4s} {row['run_id']}: {row.get('kind')} "
+            f"{row.get('algorithm') or '?'} n={row.get('n') or '?'} "
+            f"vac={row.get('vacancy_instants')} "
+            f"viol={row.get('violations')}"
+            + (f" ttr={ttr:.3f}s" if ttr is not None else "")
+        )
+    print(
+        f"({counts['runs']} runs, {counts['epochs']} epochs, "
+        f"{counts['disturbances']} disturbances, "
+        f"{counts['incidents']} incidents, {counts['samples']} samples)"
+    )
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability import render_incidents
+
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        run = store.get_run(args.run_id)
+        if run is None:
+            print(f"error: no run {args.run_id!r} in {args.store}",
+                  file=sys.stderr)
+            return 1
+        epochs = store.epochs_for(run["id"])
+        disturbances = store.disturbances_for(run["id"])
+        incidents = store.incidents(run["id"])
+        samples = store.samples_for(run["id"])
+    print(f"run {run['run_id']} [{run['kind']}]")
+    for key in ("algorithm", "n", "K", "transport", "seed", "source",
+                "script", "started_utc", "wall_seconds", "stabilized",
+                "vacancy_instants", "violations", "restarts"):
+        if run.get(key) is not None:
+            print(f"  {key}: {run[key]}")
+    print(f"epochs ({len(epochs)}):")
+    for epoch in epochs:
+        ttr = epoch.get("time_to_stabilize")
+        print(
+            f"  [{epoch['idx']}] {epoch['label']} ({epoch['class']}) "
+            + (f"stabilized in {ttr:.3f}s" if ttr is not None
+               else "NOT stabilized")
+        )
+    if disturbances:
+        print(f"disturbances ({len(disturbances)}):")
+        for d in disturbances:
+            extra = f" {d['params']}" if d.get("params") else ""
+            print(f"  @{d['at']:.3f}s {d['kind']} "
+                  f"dur={d.get('duration') or 0.0:.2f}s{extra}")
+    print(f"incidents ({len(incidents)}):")
+    for line in render_incidents(incidents):
+        print(line)
+    if samples:
+        print(f"metric samples ({len(samples)}):")
+        for s in samples:
+            print(f"  {s['name']} = {s['value']:g}")
+    if args.json:
+        print(json.dumps(
+            {"run": run, "epochs": epochs, "disturbances": disturbances,
+             "incidents": incidents, "samples": samples},
+            indent=2, default=str))
+    return 0
+
+
+def _cmd_runs_query(args: argparse.Namespace) -> int:
+    import json
+
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        import sqlite3
+
+        try:
+            rows = store.query(args.sql)
+        except (ValueError, sqlite3.Error) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+        return 0
+    for row in rows:
+        print("  ".join(f"{k}={v}" for k, v in row.items()))
+    print(f"({len(rows)} row(s))")
+    return 0
+
+
+def _cmd_runs_backfill(args: argparse.Namespace) -> int:
+    from repro.observability import RunStore, backfill_runs
+
+    with RunStore(args.store) as store:
+        report = backfill_runs(
+            store, base_dir=args.dir, prune_empty=args.prune_empty)
+        counts = store.counts()
+    print(report.summary())
+    for run_id in report.imported:
+        print(f"  imported {run_id}")
+    for path in report.orphans:
+        print(f"  orphan   {path}")
+    for path in report.pruned:
+        print(f"  pruned   {path}")
+    for error in report.errors:
+        print(f"  error    {error}")
+    print(
+        f"store now holds {counts['runs']} runs / {counts['epochs']} epochs "
+        f"/ {counts['incidents']} incidents ({args.store})"
+    )
+    return 1 if report.errors else 0
+
+
+def _cmd_slo_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability import (
+        default_slos, evaluate_slos, load_slo_specs, render_slo_report,
+    )
+
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        specs = load_slo_specs(args.spec) if args.spec else default_slos()
+        results = evaluate_slos(
+            store, specs, open_incidents=args.open_incidents)
+        lines = render_slo_report(store, results)
+    if args.json:
+        print(json.dumps([r.to_json() for r in results], indent=2))
+    else:
+        for line in lines:
+            print(line)
+    return 1 if any(not r.ok for r in results) else 0
 
 
 def _cmd_fuzz_run(args: argparse.Namespace) -> int:
@@ -426,6 +695,17 @@ def _cmd_bench_mp(args: argparse.Namespace) -> int:
     for message in failures:
         print(f"FAIL: {message}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _store_args(p: argparse.ArgumentParser, toggle: bool = True) -> None:
+    """Attach ``--store`` (and for recorders ``--no-store``) to a parser."""
+    from repro.observability.store import DEFAULT_STORE_PATH
+
+    p.add_argument("--store", default=DEFAULT_STORE_PATH, metavar="PATH",
+                   help="sqlite run store (default: %(default)s)")
+    if toggle:
+        p.add_argument("--no-store", action="store_true",
+                       help="skip recording this run into the store")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -602,6 +882,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="steady-state run time after stabilization")
         p.add_argument("--telemetry-dir", default="runs", metavar="DIR")
         p.add_argument("--no-telemetry", action="store_true")
+        _store_args(p)
 
     pl_run = live_sub.add_parser(
         "run", help="boot a live ring, stabilize, circulate, drain"
@@ -624,7 +905,103 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status", help="summarize recorded live-run manifests"
     )
     pl_status.add_argument("--telemetry-dir", default="runs", metavar="DIR")
+    pl_status.add_argument("--watch", action="store_true",
+                           help="redraw dashboard rows (same renderer as "
+                                "'repro top') every --interval seconds")
+    pl_status.add_argument("--interval", type=float, default=2.0,
+                           metavar="SECONDS")
+    pl_status.add_argument("--iterations", type=int, default=None,
+                           metavar="N",
+                           help="with --watch: stop after N frames "
+                                "(default: run until interrupted)")
     pl_status.set_defaults(fn=_cmd_live_status)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal dashboard over an in-process ring fleet"
+    )
+    p_top.add_argument("--rings", type=int, default=2,
+                       help="fleet size (default 2: one ring per algorithm)")
+    p_top.add_argument("--algorithm", choices=["ssrmin", "dijkstra", "both"],
+                       default="both",
+                       help="'both' alternates SSRmin/Dijkstra rings, the "
+                            "paper's graceful-vs-non-graceful contrast")
+    p_top.add_argument("--n", type=int, default=5, help="ring size")
+    p_top.add_argument("--K", type=int, default=None)
+    p_top.add_argument("--seed", type=int, default=0,
+                       help="base seed (ring i uses seed+i)")
+    p_top.add_argument("--transport", choices=["loopback", "udp"],
+                       default="loopback")
+    p_top.add_argument("--timer-interval", type=float, default=0.1,
+                       metavar="SECONDS")
+    p_top.add_argument("--script", choices=sorted(_LIVE_SCRIPTS),
+                       default=None,
+                       help="play this chaos script against every ring")
+    p_top.add_argument("--duration", type=float, default=10.0,
+                       metavar="SECONDS", help="0 = run until q/interrupt")
+    p_top.add_argument("--refresh", type=float, default=0.5,
+                       metavar="SECONDS", help="dashboard redraw period")
+    p_top.add_argument("--plain", action="store_true",
+                       help="print frames instead of the curses screen")
+    _store_args(p_top)
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_runs = sub.add_parser(
+        "runs", help="the persistent run store: list, show, query, backfill"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    pr_list = runs_sub.add_parser("list", help="list recorded runs")
+    pr_list.add_argument("--kind", default=None,
+                         choices=["live", "experiment", "sweep_cell"])
+    pr_list.add_argument("--algorithm", default=None,
+                         help="substring filter, e.g. ssrmin")
+    pr_list.add_argument("--limit", type=int, default=None)
+    _store_args(pr_list, toggle=False)
+    pr_list.set_defaults(fn=_cmd_runs_list)
+
+    pr_show = runs_sub.add_parser(
+        "show", help="one run's epochs, disturbances, incidents, samples"
+    )
+    pr_show.add_argument("run_id")
+    pr_show.add_argument("--json", action="store_true")
+    _store_args(pr_show, toggle=False)
+    pr_show.set_defaults(fn=_cmd_runs_show)
+
+    pr_query = runs_sub.add_parser(
+        "query", help="run one read-only SELECT against the store"
+    )
+    pr_query.add_argument("sql", help="a single SELECT/WITH statement")
+    pr_query.add_argument("--json", action="store_true")
+    _store_args(pr_query, toggle=False)
+    pr_query.set_defaults(fn=_cmd_runs_query)
+
+    pr_backfill = runs_sub.add_parser(
+        "backfill", help="import the runs/ JSONL tree into the store"
+    )
+    pr_backfill.add_argument("--dir", default="runs", metavar="DIR",
+                             help="run-directory tree to import")
+    pr_backfill.add_argument("--prune-empty", action="store_true",
+                             help="delete orphan dirs holding only empty "
+                                  "files")
+    _store_args(pr_backfill, toggle=False)
+    pr_backfill.set_defaults(fn=_cmd_runs_backfill)
+
+    p_slo = sub.add_parser(
+        "slo", help="service-level objectives graded against the run store"
+    )
+    slo_sub = p_slo.add_subparsers(dest="slo_command", required=True)
+
+    ps_report = slo_sub.add_parser(
+        "report", help="grade SLOs; non-zero exit when a budget is burned"
+    )
+    ps_report.add_argument("--spec", default=None, metavar="PATH",
+                           help="JSON SLO spec list (default: the built-in "
+                                "paper-grounded objectives)")
+    ps_report.add_argument("--open-incidents", action="store_true",
+                           help="record burned budgets as slo-burn incidents")
+    ps_report.add_argument("--json", action="store_true")
+    _store_args(ps_report, toggle=False)
+    ps_report.set_defaults(fn=_cmd_slo_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,82 @@
+"""Operator-grade observability: run store, SLO engine, incidents, ``top``.
+
+This package turns the repo's telemetry exhaust (event bus, manifests,
+health reports) into an operator surface:
+
+* :mod:`~repro.observability.store` — the persistent sqlite run store
+  (``runs/store.sqlite``): runs, epochs, disturbances, metric samples and
+  incidents, queryable via ``repro runs list|show|query``;
+* :mod:`~repro.observability.ingest` — the live EventBus subscriber that
+  feeds the store from runtime deployments and Monte-Carlo sweeps;
+* :mod:`~repro.observability.backfill` — the importer for pre-store
+  ``runs/`` JSONL trees;
+* :mod:`~repro.observability.slo` — paper-grounded service objectives
+  (p50/p99 time-to-restabilize per disturbance class, the zero-vacancy
+  graceful-handover guarantee, census bounds, availability) with
+  error-budget accounting, behind ``repro slo report``;
+* :mod:`~repro.observability.incidents` — structured incident records
+  opened when the health monitor trips or an SLO burns budget;
+* :mod:`~repro.observability.dashboard` — the ``repro top`` live terminal
+  dashboard and the row renderer shared with ``repro live status --watch``.
+
+See ``docs/OBSERVABILITY.md`` for the schema, SLO spec format and the
+incident lifecycle.
+"""
+
+from repro.observability.backfill import (
+    BackfillReport,
+    backfill_runs,
+    import_manifest,
+)
+from repro.observability.dashboard import (
+    RingRow,
+    TopRingSpec,
+    render_rows,
+    run_top_fleet,
+    top_curses,
+    top_plain,
+)
+from repro.observability.incidents import IncidentTracker, render_incidents
+from repro.observability.ingest import StoreSubscriber
+from repro.observability.slo import (
+    SloResult,
+    SloSpec,
+    default_slos,
+    disturbance_class,
+    evaluate_slos,
+    load_slo_specs,
+    merge_epochs,
+    quantile,
+    render_slo_report,
+    restabilize_stats,
+    vacancy_stats,
+)
+from repro.observability.store import DEFAULT_STORE_PATH, RunStore
+
+__all__ = [
+    "BackfillReport",
+    "DEFAULT_STORE_PATH",
+    "IncidentTracker",
+    "RingRow",
+    "RunStore",
+    "SloResult",
+    "SloSpec",
+    "StoreSubscriber",
+    "TopRingSpec",
+    "backfill_runs",
+    "default_slos",
+    "disturbance_class",
+    "evaluate_slos",
+    "import_manifest",
+    "load_slo_specs",
+    "merge_epochs",
+    "quantile",
+    "render_incidents",
+    "render_rows",
+    "render_slo_report",
+    "restabilize_stats",
+    "run_top_fleet",
+    "top_curses",
+    "top_plain",
+    "vacancy_stats",
+]

@@ -1,0 +1,283 @@
+"""Backfill: import an existing ``runs/`` JSONL tree into the run store.
+
+The telemetry layer has been writing ``runs/<run-id>/manifest.json`` (+
+optional ``trace.jsonl``) since PR 1; the run store post-dates all of it.
+:func:`backfill_runs` walks such a tree and indexes what it finds:
+
+* a **manifest** becomes a ``runs`` row (kind ``live`` when it carries an
+  ``extra.live`` report, else ``experiment``), with the live health block
+  expanded into epoch rows, reconstructed incident records, and metric
+  totals persisted as samples;
+* a **trace** is scanned for ``experiment/sweep_cell`` events, each
+  ingested as a ``sweep_cell`` run through the same
+  :class:`~repro.observability.ingest.StoreSubscriber` path live sweeps
+  use;
+* a directory with only an **empty or missing** artifact set (the stray
+  ``runs/nope`` left by an interrupted run) is reported as an orphan and,
+  with ``prune_empty=True``, deleted.
+
+Imports are idempotent: ``run_id`` is unique in the store, so re-running
+the importer refreshes rows instead of duplicating them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.observability.incidents import (
+    KIND_DISTURBANCE,
+    KIND_UNRESOLVED,
+)
+from repro.observability.slo import disturbance_class, merge_epochs
+from repro.observability.store import RunStore
+from repro.telemetry.events import Event
+
+
+@dataclass
+class BackfillReport:
+    """What one importer pass did."""
+
+    imported: List[str] = field(default_factory=list)
+    sweep_cells: int = 0
+    orphans: List[str] = field(default_factory=list)
+    pruned: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        """One-line human report for the CLI."""
+        parts = [
+            f"imported {len(self.imported)} run(s)",
+            f"{self.sweep_cells} sweep cell(s)",
+            f"{len(self.orphans)} orphan dir(s)",
+        ]
+        if self.pruned:
+            parts.append(f"pruned {len(self.pruned)}")
+        if self.errors:
+            parts.append(f"{len(self.errors)} error(s)")
+        return ", ".join(parts)
+
+    def to_json(self) -> dict:
+        """JSON-able form (``repro runs backfill --json``)."""
+        return {
+            "imported": list(self.imported),
+            "sweep_cells": self.sweep_cells,
+            "orphans": list(self.orphans),
+            "pruned": list(self.pruned),
+            "errors": list(self.errors),
+        }
+
+
+def _manifest_metric_samples(manifest: Dict[str, Any]) -> List[tuple]:
+    """(time, name, total, None) rows from a manifest's counter snapshot."""
+    rows = []
+    wall = float(manifest.get("wall_seconds") or 0.0)
+    counters = (manifest.get("metrics") or {}).get("counters", {})
+    for name, family in counters.items():
+        total = sum(
+            float(series.get("value") or 0.0)
+            for series in family.get("series", ())
+        )
+        if total:
+            rows.append((wall, name, total, None))
+    return rows
+
+
+def _import_health_block(
+    store: RunStore, run_db_id: int, health: Dict[str, Any],
+    script: Optional[str],
+) -> None:
+    """Expand a manifest's recorded health block into epochs + incidents."""
+    epochs = health.get("epochs") or []
+    for idx, epoch in enumerate(epochs):
+        label = str(epoch.get("label", "?"))
+        store.add_epoch(
+            run_db_id,
+            idx=idx,
+            label=label,
+            cls=disturbance_class(label),
+            started_at=float(epoch.get("started_at") or 0.0),
+            stabilized_at=epoch.get("stabilized_at"),
+        )
+    # Reconstruct incident records from the merged-epoch view: every
+    # disturbance epoch is one incident, resolved at its stabilization.
+    for merged in merge_epochs(epochs):
+        if merged["class"] == "boot" and len(merged["labels"]) == 1:
+            continue  # a clean boot is not an incident
+        resolved = merged["stabilized_at"]
+        incident_id = store.open_incident(
+            run_db_id=run_db_id,
+            opened_at=float(merged["first_started_at"] or 0.0),
+            kind=KIND_DISTURBANCE if resolved is not None
+            else KIND_UNRESOLVED,
+            severity="warning" if resolved is not None else "critical",
+            title=(
+                f"ring disturbed: {'+'.join(sorted(set(merged['labels'])))}"
+                + (f" [script {script}]" if script else "")
+            ),
+            details={
+                "labels": merged["labels"],
+                "classes": [merged["class"]],
+                "first_disturbance_at": merged["first_started_at"],
+                "last_disturbance_at": merged["started_at"],
+                "disturbances": merged["disturbances"],
+                "script": script,
+                "backfilled": True,
+            },
+        )
+        if resolved is not None:
+            store.update_incident(incident_id, resolved_at=float(resolved))
+    for violation in health.get("guarantee_violations") or ():
+        incident_id = store.open_incident(
+            run_db_id=run_db_id,
+            opened_at=float(violation.get("time") or 0.0),
+            kind="guarantee-breach",
+            severity="critical",
+            title=(
+                f"token guarantee breached in epoch "
+                f"{violation.get('epoch', '?')}"
+            ),
+            details={"violation": dict(violation), "backfilled": True},
+        )
+        store.update_incident(
+            incident_id, resolved_at=float(violation.get("time") or 0.0)
+        )
+
+
+def import_manifest(
+    store: RunStore, path: str, source: Optional[str] = None
+) -> str:
+    """Import one ``manifest.json``; returns the run id it landed under."""
+    with open(path) as fh:
+        manifest = json.load(fh)
+    run_id = manifest.get("experiment_id") or os.path.basename(
+        os.path.dirname(os.path.abspath(path))
+    )
+    live = (manifest.get("extra") or {}).get("live")
+    descriptors = manifest.get("runs") or []
+    first = descriptors[0] if descriptors else {}
+    columns: Dict[str, Any] = dict(
+        started_utc=manifest.get("created_utc"),
+        wall_seconds=manifest.get("wall_seconds"),
+        source=source or f"backfill:{path}",
+        extra={"command": manifest.get("command"),
+               "package": manifest.get("package")},
+    )
+    if live:
+        health = live.get("health") or {}
+        script = (live.get("script") or {}).get("name")
+        columns.update(
+            algorithm=live.get("algorithm"),
+            n=live.get("n"),
+            k=live.get("K"),
+            seed=live.get("seed"),
+            transport=live.get("transport"),
+            script=script,
+            stabilized=int(bool(health.get("stabilized"))),
+            vacancy_instants=health.get("vacancy_instants"),
+            violations=len(health.get("guarantee_violations") or ()),
+            restarts=live.get("restarts"),
+        )
+        run_db_id = store.insert_run(run_id, kind="live", **columns)
+        _import_health_block(store, run_db_id, health, script)
+    else:
+        columns.update(
+            algorithm=first.get("algorithm"),
+            n=first.get("n"),
+            k=first.get("K"),
+            seed=first.get("seed"),
+        )
+        run_db_id = store.insert_run(run_id, kind="experiment", **columns)
+    samples = _manifest_metric_samples(manifest)
+    if samples:
+        store.add_samples(run_db_id, samples)
+    return run_id
+
+
+def import_trace_sweep_cells(
+    store: RunStore, path: str, source: Optional[str] = None
+) -> int:
+    """Scan one trace for sweep-cell events; returns cells ingested."""
+    from repro.observability.ingest import StoreSubscriber
+
+    subscriber = StoreSubscriber(
+        store, source=source or f"backfill:{path}"
+    )
+    cells = 0
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or '"sweep_cell"' not in line:
+                continue
+            row = json.loads(line)
+            if row.get("kind") != "sweep_cell":
+                continue
+            subscriber(Event.from_json(row))
+            cells += 1
+    subscriber.close()
+    return cells
+
+
+def _dir_is_empty_artifacts(path: str) -> bool:
+    """True when the directory holds nothing but empty telemetry files."""
+    for name in os.listdir(path):
+        full = os.path.join(path, name)
+        if os.path.isdir(full) or os.path.getsize(full) > 0:
+            return False
+    return True
+
+
+def backfill_runs(
+    store: RunStore,
+    base_dir: str = "runs",
+    prune_empty: bool = False,
+) -> BackfillReport:
+    """Import every run directory under ``base_dir`` into the store."""
+    report = BackfillReport()
+    if not os.path.isdir(base_dir):
+        report.errors.append(f"{base_dir}: not a directory")
+        return report
+    for name in sorted(os.listdir(base_dir)):
+        run_dir = os.path.join(base_dir, name)
+        if not os.path.isdir(run_dir):
+            continue
+        manifest_path = os.path.join(run_dir, "manifest.json")
+        trace_path = os.path.join(run_dir, "trace.jsonl")
+        imported_something = False
+        if os.path.isfile(manifest_path):
+            try:
+                run_id = import_manifest(store, manifest_path)
+                report.imported.append(run_id)
+                imported_something = True
+            except (OSError, ValueError, KeyError) as exc:
+                report.errors.append(f"{manifest_path}: {exc}")
+        if os.path.isfile(trace_path) and os.path.getsize(trace_path) > 0:
+            try:
+                cells = import_trace_sweep_cells(store, trace_path)
+                report.sweep_cells += cells
+                imported_something = imported_something or cells > 0
+            except (OSError, ValueError) as exc:
+                report.errors.append(f"{trace_path}: {exc}")
+        if not imported_something and not os.path.isfile(manifest_path):
+            report.orphans.append(run_dir)
+            if prune_empty and _dir_is_empty_artifacts(run_dir):
+                for entry in os.listdir(run_dir):
+                    os.remove(os.path.join(run_dir, entry))
+                os.rmdir(run_dir)
+                report.pruned.append(run_dir)
+    store.flush()
+    return report
+
+
+__all__ = [
+    "BackfillReport",
+    "backfill_runs",
+    "import_manifest",
+    "import_trace_sweep_cells",
+]

@@ -1,0 +1,336 @@
+"""The live control surface: ``repro top`` and the shared row renderer.
+
+``repro top`` boots a small fleet of live rings in-process (one
+:class:`~repro.runtime.supervisor.RingSupervisor` each, optionally with a
+chaos script playing against every ring) and redraws a terminal dashboard
+every refresh interval: per-ring token position, own-view census,
+legitimacy + cache coherence, the current epoch with its restabilization
+clock, vacancy / violation counters and message rates — the quantities the
+paper proves bounds for, live.  Each ring's runtime events stream into the
+run store through a :class:`~repro.observability.ingest.StoreSubscriber`
+on the supervisor's own bus, so a ``repro top`` session leaves queryable
+runs behind when it exits.
+
+The same :func:`render_rows` renderer backs ``repro live status --watch``
+(rows built from recorded manifests instead of live monitors), so the two
+surfaces cannot drift apart.
+
+Two frontends share the async fleet loop: a curses screen (interactive
+terminals; ``q`` quits early) and a plain-text frame printer (pipes, CI,
+tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.observability.ingest import StoreSubscriber
+from repro.observability.store import RunStore
+
+#: Column layout shared by ``repro top`` and ``live status --watch``.
+_COLUMNS = (
+    ("RING", 22), ("ALG", 9), ("N", 3), ("TOK", 5), ("CENSUS", 6),
+    ("LEG", 3), ("COH", 3), ("EPOCH", 18), ("CLOCK", 9), ("VAC", 4),
+    ("VIOL", 4), ("RST", 3), ("STATUS", 10),
+)
+
+
+@dataclass
+class RingRow:
+    """One ring's worth of dashboard state (live or historical)."""
+
+    name: str
+    algorithm: str = "?"
+    n: int = 0
+    holders: Sequence[int] = ()
+    census: Optional[int] = None
+    legitimate: Optional[bool] = None
+    coherent: Optional[bool] = None
+    epoch_label: str = "-"
+    #: Seconds since the epoch opened (ticking while converging) or the
+    #: recorded time-to-stabilize once the epoch closed.
+    clock: Optional[float] = None
+    converging: bool = False
+    vacancy_instants: int = 0
+    violations: int = 0
+    restarts: int = 0
+    status: str = "-"
+
+    @classmethod
+    def from_supervisor(cls, name: str, supervisor: Any) -> "RingRow":
+        """Read one live supervisor's current state (same event loop)."""
+        health = supervisor.health
+        snap = health.snapshot()
+        epoch = health.current_epoch
+        stabilized = epoch.stabilized_at is not None
+        final = len(health.epochs) - 1
+        breached = any(
+            v["epoch_index"] == final for v in health.guarantee_violations
+        )
+        if breached:
+            status = "BREACH"
+        elif stabilized:
+            status = "STABLE"
+        else:
+            status = "CONVERGING"
+        return cls(
+            name=name,
+            algorithm=type(supervisor.algorithm).__name__,
+            n=supervisor.n,
+            holders=snap.own_view_holders,
+            census=len(snap.own_view_holders),
+            legitimate=snap.legitimate,
+            coherent=snap.coherent,
+            epoch_label=epoch.label,
+            clock=(
+                epoch.time_to_stabilize if stabilized
+                else supervisor.clock() - epoch.started_at
+            ),
+            converging=not stabilized,
+            vacancy_instants=health.vacancy_instants,
+            violations=len(health.guarantee_violations),
+            restarts=supervisor.total_restarts,
+            status=status,
+        )
+
+    @classmethod
+    def from_live_report(cls, name: str, live: Dict[str, Any]) -> "RingRow":
+        """Build a row from a recorded ``extra.live`` manifest block."""
+        health = live.get("health") or {}
+        epochs = health.get("epochs") or [{}]
+        final = epochs[-1]
+        stabilized = bool(health.get("stabilized"))
+        violations = health.get("guarantee_violations") or []
+        breached = any(
+            v.get("epoch_index") == len(epochs) - 1 for v in violations
+        )
+        lo = health.get("post_stab_min_holders")
+        return cls(
+            name=name,
+            algorithm=str(live.get("algorithm", "?")),
+            n=int(live.get("n") or 0),
+            holders=(),
+            census=lo,
+            legitimate=stabilized or None,
+            coherent=stabilized or None,
+            epoch_label=str(final.get("label", "-")),
+            clock=final.get("time_to_stabilize"),
+            converging=not stabilized,
+            vacancy_instants=int(health.get("vacancy_instants") or 0),
+            violations=len(violations),
+            restarts=int(live.get("restarts") or 0),
+            status="BREACH" if breached
+            else ("STABLE" if stabilized else "FAIL"),
+        )
+
+
+def _flag(value: Optional[bool]) -> str:
+    if value is None:
+        return "-"
+    return "y" if value else "N"
+
+
+def render_rows(rows: Sequence[RingRow]) -> List[str]:
+    """Fixed-width dashboard table: one header plus one line per ring."""
+    header = "  ".join(f"{title:<{width}s}" for title, width in _COLUMNS)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row.holders:
+            token = str(min(row.holders))
+        elif row.census is not None and row.census > 0:
+            token = "*"
+        else:
+            token = "-"
+        if row.clock is None:
+            clock = "-"
+        else:
+            clock = f"{row.clock:7.3f}s" + ("+" if row.converging else " ")
+        cells = (
+            row.name[: _COLUMNS[0][1]],
+            row.algorithm[: _COLUMNS[1][1]],
+            str(row.n),
+            token,
+            str(row.census) if row.census is not None else "-",
+            _flag(row.legitimate),
+            _flag(row.coherent),
+            row.epoch_label[: _COLUMNS[7][1]],
+            clock,
+            str(row.vacancy_instants),
+            str(row.violations),
+            str(row.restarts),
+            row.status,
+        )
+        lines.append(
+            "  ".join(
+                f"{cell:<{width}s}"
+                for cell, (_, width) in zip(cells, _COLUMNS)
+            ).rstrip()
+        )
+    return lines
+
+
+# -- the live fleet loop ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopRingSpec:
+    """One ring of a ``repro top`` fleet."""
+
+    name: str
+    algorithm: str = "ssrmin"
+    n: int = 5
+    K: Optional[int] = None
+    seed: int = 0
+    transport: str = "loopback"
+    timer_interval: float = 0.1
+    initial: str = "legitimate"
+    script: Optional[str] = None
+
+
+async def run_top_fleet(
+    specs: Sequence[TopRingSpec],
+    duration: float,
+    refresh: float,
+    on_frame: Callable[[List[str]], Optional[bool]],
+    store: Optional[RunStore] = None,
+) -> List[dict]:
+    """Boot the fleet, stream frames, drain; returns the run reports.
+
+    ``on_frame`` receives the rendered lines each tick; returning ``True``
+    stops the loop early (the curses frontend maps ``q`` to this).
+    """
+    from repro.runtime.chaos import build_script
+    from repro.runtime.harness import build_algorithm
+    from repro.runtime.supervisor import RingSupervisor
+
+    supervisors: List[RingSupervisor] = []
+    subscribers: List[StoreSubscriber] = []
+    for spec in specs:
+        supervisor = RingSupervisor(
+            build_algorithm(spec.algorithm, spec.n, spec.K),
+            transport=spec.transport,
+            chaos=spec.script is not None,
+            initial=spec.initial,
+            seed=spec.seed,
+            timer_interval=spec.timer_interval,
+        )
+        if store is not None:
+            subscriber = StoreSubscriber(
+                store, run_id=f"top-{spec.name}", source="top"
+            )
+            supervisor.bus.subscribe(subscriber)
+            subscribers.append(subscriber)
+        supervisors.append(supervisor)
+
+    chaos_tasks: List[asyncio.Task] = []
+    try:
+        for spec, supervisor in zip(specs, supervisors):
+            await supervisor.boot()
+            if spec.script is not None:
+                chaos_tasks.append(asyncio.ensure_future(
+                    supervisor.run_chaos(
+                        build_script(spec.script, spec.n, spec.seed)
+                    )
+                ))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + duration if duration > 0 else None
+        while True:
+            rows = [
+                RingRow.from_supervisor(spec.name, supervisor)
+                for spec, supervisor in zip(specs, supervisors)
+            ]
+            if on_frame(render_rows(rows)):
+                break
+            if deadline is not None and loop.time() >= deadline:
+                break
+            await asyncio.sleep(refresh)
+    finally:
+        for task in chaos_tasks:
+            task.cancel()
+        for task in chaos_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        for supervisor in supervisors:
+            await supervisor.shutdown()
+        for subscriber in subscribers:
+            subscriber.close()
+    return [supervisor.report() for supervisor in supervisors]
+
+
+def top_plain(
+    specs: Sequence[TopRingSpec],
+    duration: float,
+    refresh: float,
+    store: Optional[RunStore] = None,
+    out: Optional[Callable[[str], None]] = None,
+    ansi: bool = False,
+) -> List[dict]:
+    """Frame-per-tick text frontend (pipes, CI, tests)."""
+    emit = out if out is not None else print
+    frames = [0]
+
+    def on_frame(lines: List[str]) -> bool:
+        if ansi:
+            emit("\x1b[H\x1b[2J")
+        frames[0] += 1
+        emit(f"repro top — frame {frames[0]}")
+        for line in lines:
+            emit(line)
+        emit("")
+        return False
+
+    return asyncio.run(
+        run_top_fleet(specs, duration, refresh, on_frame, store=store)
+    )
+
+
+def top_curses(
+    specs: Sequence[TopRingSpec],
+    duration: float,
+    refresh: float,
+    store: Optional[RunStore] = None,
+) -> List[dict]:  # pragma: no cover - interactive terminal path
+    """Curses frontend: full-screen redraws, ``q`` quits."""
+    import curses
+
+    def main(screen) -> List[dict]:
+        curses.curs_set(0)
+        screen.nodelay(True)
+
+        def on_frame(lines: List[str]) -> bool:
+            screen.erase()
+            max_y, max_x = screen.getmaxyx()
+            screen.addnstr(
+                0, 0,
+                "repro top — q to quit",
+                max_x - 1, curses.A_BOLD,
+            )
+            for i, line in enumerate(lines, start=2):
+                if i >= max_y:
+                    break
+                screen.addnstr(i, 0, line, max_x - 1)
+            screen.refresh()
+            try:
+                return screen.getch() in (ord("q"), ord("Q"))
+            except curses.error:
+                return False
+
+        return asyncio.run(
+            run_top_fleet(specs, duration, refresh, on_frame, store=store)
+        )
+
+    return curses.wrapper(main)
+
+
+__all__ = [
+    "RingRow",
+    "TopRingSpec",
+    "render_rows",
+    "run_top_fleet",
+    "top_curses",
+    "top_plain",
+]

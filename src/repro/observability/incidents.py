@@ -1,0 +1,208 @@
+"""Structured incident records for live rings.
+
+An **incident** is the operator-facing unit of "the ring was not healthy":
+it opens when the :class:`~repro.runtime.health.HealthMonitor` trips — a
+disturbance knocks the ring out of its stabilized state — and resolves at
+the instant the ring is legitimate + coherent again.  Back-to-back faults
+(a chaos storm, a crash mid-loss-window) *extend* the open incident rather
+than opening a parade of half-second records, mirroring
+:func:`~repro.observability.slo.merge_epochs`.  Guarantee violations
+(a token-census breach after stabilization — a Theorem 3 failure for
+SSRmin) escalate the open incident to ``critical``, or open a fresh one if
+the ring was nominally stabilized when the breach was observed.
+
+Each record persists to the run store with the triggering event window
+(first/last disturbance, labels), the chaos-script context when one is
+running, and resolution timestamps — enough to replay the window from the
+run's JSONL trace.  SLO budget burns open their own ``slo-burn`` incidents
+from :func:`~repro.observability.slo.evaluate_slos`.
+
+The :class:`IncidentTracker` is driven by the
+:class:`~repro.observability.ingest.StoreSubscriber`'s event stream; it
+holds at most one open disturbance incident per run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.observability.slo import disturbance_class
+from repro.observability.store import RunStore
+
+#: Incident kinds written by this tracker.
+KIND_DISTURBANCE = "disturbance"
+KIND_GUARANTEE = "guarantee-breach"
+KIND_UNRESOLVED = "stabilization-timeout"
+
+
+class IncidentTracker:
+    """Opens/extends/resolves one run's incidents in the store."""
+
+    def __init__(self, store: RunStore, run_db_id: int):
+        self.store = store
+        self.run_db_id = run_db_id
+        self._open_id: Optional[int] = None
+        self._details: Dict[str, Any] = {}
+        self._script: Optional[str] = None
+        #: Last resolved disturbance incident, kept so a fault window's
+        #: synthetic ``*-healed`` epoch boundary re-opens it instead of
+        #: filing a second record for the same window.
+        self._resolved_id: Optional[int] = None
+        self._resolved_details: Dict[str, Any] = {}
+        self.opened_total = 0
+
+    # -- context -------------------------------------------------------------
+    def set_script(self, name: Optional[str]) -> None:
+        """Record the chaos script driving this run (incident context)."""
+        self._script = name
+
+    # -- lifecycle -----------------------------------------------------------
+    def on_disturbance(self, time: float, label: str,
+                       payload: Optional[dict] = None) -> int:
+        """A disturbance epoch opened; open or extend the incident."""
+        cls = disturbance_class(label)
+        if (
+            self._open_id is None
+            and self._resolved_id is not None
+            and "-healed" in label
+            and cls in self._resolved_details.get("classes", ())
+        ):
+            # The window whose onset we already recorded just closed: same
+            # outage, so re-open its incident for the re-stabilization leg.
+            self._open_id = self._resolved_id
+            self._details = self._resolved_details
+            self._resolved_id = None
+            self._resolved_details = {}
+            self.store.update_incident(self._open_id, reopen=True)
+        if self._open_id is not None:
+            # The ring never restabilized since the previous fault: this is
+            # the same outage getting worse, not a new incident.
+            details = self._details
+            details["labels"].append(label)
+            details["classes"] = sorted(set(details["classes"]) | {cls})
+            details["last_disturbance_at"] = time
+            details["disturbances"] += 1
+            self.store.update_incident(
+                self._open_id,
+                title=self._title(details),
+                details=details,
+            )
+            return self._open_id
+        details: Dict[str, Any] = {
+            "labels": [label],
+            "classes": [cls],
+            "first_disturbance_at": time,
+            "last_disturbance_at": time,
+            "disturbances": 1,
+            "violations": 0,
+            "script": self._script,
+        }
+        if payload:
+            details["trigger"] = dict(payload)
+        self._details = details
+        self._open_id = self.store.open_incident(
+            run_db_id=self.run_db_id,
+            opened_at=time,
+            kind=KIND_DISTURBANCE,
+            severity="warning",
+            title=self._title(details),
+            details=details,
+        )
+        self.opened_total += 1
+        return self._open_id
+
+    def on_stabilized(self, time: float) -> None:
+        """The ring is legitimate + coherent again; resolve the incident."""
+        if self._open_id is None:
+            return
+        details = self._details
+        details["resolved_after"] = time - details["last_disturbance_at"]
+        self.store.update_incident(
+            self._open_id, resolved_at=time, details=details,
+        )
+        self._resolved_id = self._open_id
+        self._resolved_details = details
+        self._open_id = None
+        self._details = {}
+
+    def on_violation(self, time: float, payload: dict) -> None:
+        """A post-stabilization token-guarantee breach was observed."""
+        if self._open_id is not None:
+            details = self._details
+            details["violations"] += 1
+            details.setdefault("violation_samples", [])
+            if len(details["violation_samples"]) < 5:
+                details["violation_samples"].append(dict(payload))
+            self.store.update_incident(
+                self._open_id, severity="critical", details=details,
+            )
+            return
+        # Breach on a nominally stabilized ring: its own critical incident,
+        # resolved immediately (the breach is instantaneous by definition).
+        incident_id = self.store.open_incident(
+            run_db_id=self.run_db_id,
+            opened_at=time,
+            kind=KIND_GUARANTEE,
+            severity="critical",
+            title=(
+                f"token guarantee breached in epoch "
+                f"{payload.get('epoch', '?')}"
+            ),
+            details={"violation": dict(payload), "script": self._script},
+        )
+        self.store.update_incident(incident_id, resolved_at=time)
+        self.opened_total += 1
+
+    def finalize(self, time: float) -> None:
+        """Run ended; an incident still open becomes a timeout record."""
+        if self._open_id is None:
+            return
+        details = self._details
+        details["run_ended_at"] = time
+        self.store.update_incident(
+            self._open_id,
+            severity="critical",
+            title=self._title(details) + " (never restabilized)",
+            details=details,
+            kind=KIND_UNRESOLVED,
+        )
+        self._open_id = None
+        self._details = {}
+
+    # -- rendering -----------------------------------------------------------
+    @staticmethod
+    def _title(details: Dict[str, Any]) -> str:
+        classes = "+".join(details["classes"])
+        count = details["disturbances"]
+        base = f"ring disturbed: {classes}"
+        if count > 1:
+            base += f" ({count} faults)"
+        if details.get("script"):
+            base += f" [script {details['script']}]"
+        return base
+
+
+def render_incidents(rows: List[Dict[str, Any]]) -> List[str]:
+    """Human-readable incident listing (``repro runs show``)."""
+    lines = []
+    for inc in rows:
+        resolved = inc.get("resolved_at")
+        status = (
+            f"resolved at {resolved:.3f}s" if resolved is not None
+            else "OPEN"
+        )
+        lines.append(
+            f"  #{inc['id']} [{inc['severity']}] {inc['kind']} "
+            f"@{(inc.get('opened_at') or 0.0):.3f}s — "
+            f"{inc.get('title') or ''} ({status})"
+        )
+    return lines
+
+
+__all__ = [
+    "IncidentTracker",
+    "KIND_DISTURBANCE",
+    "KIND_GUARANTEE",
+    "KIND_UNRESOLVED",
+    "render_incidents",
+]

@@ -116,6 +116,7 @@ class ChaosDirector:
             )
         revert = self._open_window(chaos, op)
         sup.health.note_disturbance(f"{op.kind}@{op.at:.2f}s")
+        sup.health.window_opened()
         loop = asyncio.get_running_loop()
 
         def close_window() -> None:
@@ -123,6 +124,7 @@ class ChaosDirector:
             # The fault stopped biting: re-stabilization is measured from
             # here (a window's epoch would otherwise blame stabilization
             # latency on the window length).
+            sup.health.window_healed()
             sup.health.note_disturbance(f"{op.kind}-healed@{sup.clock():.2f}s")
             sup.publish("chaos_end", op=op.kind)
 

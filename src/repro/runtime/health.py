@@ -118,6 +118,23 @@ class HealthMonitor:
         )
         self.epochs: List[Epoch] = [Epoch(label="boot", started_at=0.0)]
         self.checks = 0
+        #: Optional observers (the supervisor wires these onto its event
+        #: bus so the run store and dashboards see epochs live):
+        #: ``on_epoch_open(index, epoch)`` fires at every disturbance,
+        #: ``on_epoch_stabilized(index, epoch)`` at the first legitimate +
+        #: coherent instant of an epoch, ``on_violation(record)`` per
+        #: guarantee breach.
+        self.on_epoch_open: Optional[Callable[[int, Epoch], None]] = None
+        self.on_epoch_stabilized: Optional[Callable[[int, Epoch], None]] = None
+        self.on_violation: Optional[Callable[[dict], None]] = None
+        #: Transport fault windows currently biting (loss, partition, ...).
+        #: The chaos director raises/lowers this at window boundaries;
+        #: while non-zero the census audit is suspended, because Theorems
+        #: 3-4 promise the token guarantee only for *fault-free* execution
+        #: after the legitimate + coherent instant — an epoch that
+        #: restabilizes mid-window can still lose handover messages
+        #: through no fault of the algorithm.
+        self.active_disturbances = 0
         #: Post-stabilization instants with zero own-view tokens.  Always
         #: zero for graceful-handover algorithms (else it's a violation);
         #: for Dijkstra this live-counts the handover gap of Figure 13.
@@ -144,6 +161,16 @@ class HealthMonitor:
         self.epochs.append(Epoch(label=label, started_at=self.clock()))
         self.post_stab_min_holders = None
         self.post_stab_max_holders = None
+        if self.on_epoch_open is not None:
+            self.on_epoch_open(len(self.epochs) - 1, self.epochs[-1])
+
+    def window_opened(self) -> None:
+        """A transport fault window started: suspend the census audit."""
+        self.active_disturbances += 1
+
+    def window_healed(self) -> None:
+        """A transport fault window closed: resume auditing when last."""
+        self.active_disturbances = max(0, self.active_disturbances - 1)
 
     # -- the online check ----------------------------------------------------
     def snapshot(self) -> HealthSnapshot:
@@ -172,7 +199,9 @@ class HealthMonitor:
         if epoch.stabilized_at is None:
             if snap.legitimate and snap.coherent:
                 epoch.stabilized_at = snap.time
-        if epoch.stabilized_at is not None:
+                if self.on_epoch_stabilized is not None:
+                    self.on_epoch_stabilized(len(self.epochs) - 1, epoch)
+        if epoch.stabilized_at is not None and self.active_disturbances == 0:
             count = len(snap.own_view_holders)
             if self.post_stab_min_holders is None:
                 self.post_stab_min_holders = count
@@ -198,13 +227,16 @@ class HealthMonitor:
                     else (snap.legitimate and snap.coherent and count < lo)
                 )
                 if low_breach or (snap.legitimate and count > hi):
-                    self.guarantee_violations.append({
+                    record = {
                         "time": snap.time,
                         "holders": list(snap.own_view_holders),
                         "legitimate": snap.legitimate,
                         "epoch": epoch.label,
                         "epoch_index": len(self.epochs) - 1,
-                    })
+                    }
+                    self.guarantee_violations.append(record)
+                    if self.on_violation is not None:
+                        self.on_violation(record)
         return snap
 
     # -- reporting -----------------------------------------------------------

@@ -217,6 +217,23 @@ class RingSupervisor:
         self.health = HealthMonitor(
             self.algorithm, lambda: [s.node for s in self.servers], self.clock
         )
+        # Epoch lifecycle onto the bus: the run-store ingester and the
+        # `repro top` dashboard consume these live.
+        self.health.on_epoch_open = lambda index, epoch: self.publish(
+            "epoch_open", index=index, label=epoch.label,
+            started_at=epoch.started_at,
+        )
+        self.health.on_epoch_stabilized = lambda index, epoch: self.publish(
+            "epoch_stabilized", index=index, label=epoch.label,
+            stabilized_at=epoch.stabilized_at,
+            time_to_stabilize=epoch.time_to_stabilize,
+        )
+        # The record's "time" key would collide with the bus timestamp
+        # parameter; republish it as "at".
+        self.health.on_violation = lambda record: self.publish(
+            "violation",
+            **{("at" if k == "time" else k): v for k, v in record.items()},
+        )
         self.servers = [
             self._make_server(i, states[i], caches[i]) for i in range(self.n)
         ]
@@ -384,7 +401,8 @@ class RingSupervisor:
         await asyncio.sleep(0)
         await self.transport.close()
         self._flush_metrics()
-        self.publish("run_end", **self.report()["health"])
+        self.publish("run_end", restarts=self.total_restarts,
+                     **self.report()["health"])
 
     def _flush_metrics(self) -> None:
         """Write per-node counters into the ambient session registry."""

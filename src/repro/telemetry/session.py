@@ -69,6 +69,8 @@ class TelemetrySession:
         self.events_total = 0
         self.started_at = time.time()
         self._extra: List[Callable[[Event], None]] = []
+        #: Subscribers that asked for per-step events (see ``subscribe``).
+        self._detail_subscribers = 0
         self._closed = False
         self.bus.subscribe(self._ingest)
         # Network-layer counters, pre-created so the bridge stays allocation
@@ -91,9 +93,21 @@ class TelemetrySession:
         """Fan a foreign bus's events into this session's pipeline."""
         bus.subscribe(self._ingest)
 
-    def subscribe(self, fn: Callable[[Event], None]) -> Callable[[Event], None]:
-        """Add an extra subscriber seeing events from *every* attached bus."""
+    def subscribe(
+        self, fn: Callable[[Event], None], detail: bool = True
+    ) -> Callable[[Event], None]:
+        """Add an extra subscriber seeing events from *every* attached bus.
+
+        ``detail=False`` registers a subscriber that does **not** count as
+        a per-step consumer: hot loops keep their batched, events-off
+        behaviour (:attr:`step_detail` stays false).  Use it for
+        subscribers that only care about lifecycle events — the run-store
+        ingester is the canonical example — so attaching them costs the
+        engines nothing.
+        """
         self._extra.append(fn)
+        if detail:
+            self._detail_subscribers += 1
         return fn
 
     # -- the pipeline ------------------------------------------------------
@@ -124,7 +138,7 @@ class TelemetrySession:
         is what keeps telemetry-on runs within a few percent of
         telemetry-off (see ``benchmarks/bench_perf_engines.py``).
         """
-        return self._writer is not None or bool(self._extra)
+        return self._writer is not None or self._detail_subscribers > 0
 
     # -- lifecycle ---------------------------------------------------------
     @property

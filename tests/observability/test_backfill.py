@@ -1,0 +1,107 @@
+"""Backfill importer: manifests, traces, orphans, idempotency."""
+
+import json
+import os
+
+from repro.observability.backfill import backfill_runs, import_manifest
+from repro.observability.store import RunStore
+
+LIVE_MANIFEST = {
+    "experiment_id": "live-chaos-demo",
+    "created_utc": "2026-08-01T00:00:00Z",
+    "command": "repro live chaos",
+    "wall_seconds": 4.0,
+    "metrics": {"counters": {
+        "live_messages_sent_total": {"series": [{"value": 321.0}]},
+        "untouched_total": {"series": [{"value": 0.0}]},
+    }},
+    "extra": {"live": {
+        "algorithm": "SSRmin", "n": 4, "K": 5, "seed": 3,
+        "transport": "loopback", "restarts": 0,
+        "script": {"name": "loss_burst"},
+        "health": {
+            "stabilized": True,
+            "vacancy_instants": 0,
+            "guarantee_violations": [
+                {"time": 1.1, "epoch": "loss@1.00s", "epoch_index": 1},
+            ],
+            "epochs": [
+                {"label": "boot", "started_at": 0.0, "stabilized_at": 0.01},
+                {"label": "loss@1.00s", "started_at": 1.0,
+                 "stabilized_at": None},
+                {"label": "loss-healed@2.00s", "started_at": 2.0,
+                 "stabilized_at": 2.2},
+            ],
+        },
+    }},
+}
+
+EXPERIMENT_MANIFEST = {
+    "experiment_id": "fig02",
+    "created_utc": "2026-08-01T00:00:00Z",
+    "wall_seconds": 1.0,
+    "runs": [{"algorithm": "SSRmin", "n": 5, "K": 6, "seed": 0}],
+    "metrics": {"counters": {
+        "steps_total": {"series": [{"value": 1500.0}]},
+    }},
+}
+
+
+def _write(run_dir, name, payload):
+    os.makedirs(run_dir, exist_ok=True)
+    with open(os.path.join(run_dir, name), "w") as fh:
+        json.dump(payload, fh)
+
+
+def test_import_live_manifest_expands_health_block(tmp_path):
+    _write(str(tmp_path / "live-chaos-demo"), "manifest.json", LIVE_MANIFEST)
+    with RunStore(":memory:") as store:
+        run_id = import_manifest(
+            store, str(tmp_path / "live-chaos-demo" / "manifest.json"))
+        run = store.get_run(run_id)
+        assert run["kind"] == "live"
+        assert run["script"] == "loss_burst"
+        assert run["violations"] == 1
+        epochs = store.epochs_for(run["id"])
+        assert [e["class"] for e in epochs] == ["boot", "loss", "loss"]
+        incidents = store.incidents(run["id"])
+        kinds = sorted(i["kind"] for i in incidents)
+        # One merged-outage incident + the recorded guarantee breach.
+        assert kinds == ["disturbance", "guarantee-breach"]
+        disturbance = next(
+            i for i in incidents if i["kind"] == "disturbance")
+        assert disturbance["resolved_at"] == 2.2
+        assert disturbance["details"]["backfilled"] is True
+        samples = {s["name"] for s in store.samples_for(run["id"])}
+        assert samples == {"live_messages_sent_total"}  # zero total skipped
+
+
+def test_backfill_tree_imports_orphans_and_prunes(tmp_path):
+    base = tmp_path / "runs"
+    _write(str(base / "live-chaos-demo"), "manifest.json", LIVE_MANIFEST)
+    _write(str(base / "fig02"), "manifest.json", EXPERIMENT_MANIFEST)
+    os.makedirs(base / "nope")
+    (base / "nope" / "trace.jsonl").touch()  # empty: an interrupted run
+    with RunStore(":memory:") as store:
+        report = backfill_runs(store, str(base), prune_empty=True)
+        assert sorted(report.imported) == ["fig02", "live-chaos-demo"]
+        assert report.orphans == [str(base / "nope")]
+        assert report.pruned == [str(base / "nope")]
+        assert not os.path.exists(base / "nope")
+        assert report.ok
+        fig02 = store.get_run("fig02")
+        assert fig02["kind"] == "experiment"
+        assert fig02["algorithm"] == "SSRmin"
+
+        # Idempotent: a second pass refreshes rows, no duplicates.
+        again = backfill_runs(store, str(base))
+        assert sorted(again.imported) == ["fig02", "live-chaos-demo"]
+        assert store.counts()["runs"] == 2
+        assert store.counts()["epochs"] == 3  # superseded, not duplicated
+        assert "imported 2 run(s)" in again.summary()
+
+
+def test_backfill_missing_dir_reports_error(tmp_path):
+    with RunStore(":memory:") as store:
+        report = backfill_runs(store, str(tmp_path / "absent"))
+        assert not report.ok

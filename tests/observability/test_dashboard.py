@@ -1,0 +1,76 @@
+"""Dashboard: the shared row renderer and the plain-text top frontend."""
+
+from repro.observability.dashboard import (
+    RingRow,
+    TopRingSpec,
+    render_rows,
+    top_plain,
+)
+from repro.observability.store import RunStore
+
+LIVE_BLOCK = {
+    "algorithm": "SSRmin", "n": 4, "restarts": 1,
+    "health": {
+        "stabilized": True,
+        "vacancy_instants": 0,
+        "guarantee_violations": [],
+        "epochs": [
+            {"label": "boot", "started_at": 0.0, "stabilized_at": 0.01},
+            {"label": "loss@1.00s", "started_at": 1.0, "stabilized_at": 1.25,
+             "time_to_stabilize": 0.25},
+        ],
+    },
+}
+
+
+def test_ring_row_from_live_report():
+    row = RingRow.from_live_report("demo", LIVE_BLOCK)
+    assert row.algorithm == "SSRmin"
+    assert row.status == "STABLE"
+    assert row.epoch_label == "loss@1.00s"
+    assert row.clock == 0.25
+    assert row.restarts == 1
+
+
+def test_ring_row_flags_breach_and_failure():
+    block = {
+        "algorithm": "SSRmin", "n": 4,
+        "health": {"stabilized": False, "epochs": [
+            {"label": "boot", "started_at": 0.0, "stabilized_at": None},
+        ]},
+    }
+    assert RingRow.from_live_report("x", block).status == "FAIL"
+    block["health"]["stabilized"] = True
+    block["health"]["guarantee_violations"] = [{"epoch_index": 0}]
+    assert RingRow.from_live_report("x", block).status == "BREACH"
+
+
+def test_render_rows_is_fixed_width_table():
+    lines = render_rows([RingRow.from_live_report("demo", LIVE_BLOCK)])
+    assert lines[0].startswith("RING")
+    assert "CENSUS" in lines[0] and "VAC" in lines[0]
+    assert len(lines) == 3  # header, rule, one ring
+    assert "SSRmin" in lines[2] and "STABLE" in lines[2]
+
+
+def test_top_plain_streams_frames_and_records_runs():
+    store = RunStore(":memory:")
+    frames = []
+    specs = [
+        TopRingSpec(name="a", algorithm="ssrmin", n=4, seed=1,
+                    timer_interval=0.05),
+        TopRingSpec(name="b", algorithm="dijkstra", n=4, seed=2,
+                    timer_interval=0.05),
+    ]
+    reports = top_plain(specs, duration=0.5, refresh=0.1,
+                        store=store, out=frames.append)
+    assert len(reports) == 2
+    assert all(r["health"]["stabilized"] for r in reports)
+    text = "\n".join(frames)
+    assert "repro top — frame" in text
+    assert "ssrmin-a" not in text  # names are used verbatim
+    assert "a" in text and "b" in text
+    # Every ring left a queryable run behind.
+    runs = {r["run_id"] for r in store.list_runs()}
+    assert runs == {"top-a", "top-b"}
+    store.close()

@@ -1,0 +1,101 @@
+"""Live ingestion: runtime events and sweep cells land in the store."""
+
+from repro.observability.ingest import StoreSubscriber
+from repro.observability.store import RunStore
+from repro.runtime.chaos import ChaosOp, ChaosScript
+from repro.runtime.harness import live_chaos, live_run
+from repro.telemetry import telemetry_session
+from repro.telemetry.events import Event
+
+STABILIZE_TIMEOUT = 20.0
+
+MINI_LOSS = ChaosScript(name="mini_loss", ops=(
+    ChaosOp(at=0.2, kind="loss", duration=0.4, params={"rate": 0.6}),
+))
+
+
+def test_live_chaos_run_lands_in_store_without_step_detail():
+    store = RunStore(":memory:")
+    with telemetry_session() as tel:
+        subscriber = StoreSubscriber(store, run_id="t-1", session=tel)
+        tel.subscribe(subscriber, detail=False)
+        # The run-store subscriber must NOT flip the engines into per-step
+        # event publishing — that's the whole overhead story.
+        assert not tel.step_detail
+        live_chaos(
+            script=MINI_LOSS, algorithm="ssrmin", n=4, seed=7,
+            transport="loopback", timer_interval=0.05,
+            stabilize_timeout=STABILIZE_TIMEOUT,
+        )
+        subscriber.close()
+    store.flush()
+    run = store.get_run("t-1")
+    assert run["kind"] == "live"
+    assert run["algorithm"] == "SSRmin"
+    assert run["script"] == "mini_loss"
+    assert run["stabilized"] == 1
+    assert run["vacancy_instants"] == 0
+    epochs = store.epochs_for(run["id"])
+    # boot + loss window open + loss-healed boundary, all stabilized.
+    assert [e["class"] for e in epochs] == ["boot", "loss", "loss"]
+    assert all(e["stabilized_at"] is not None for e in epochs)
+    assert len(store.disturbances_for(run["id"])) == 1
+    incidents = store.incidents(run["id"])
+    # The whole loss window is ONE incident (healed boundary re-opens it).
+    assert len(incidents) == 1
+    assert incidents[0]["resolved_at"] is not None
+    names = {s["name"] for s in store.samples_for(run["id"])}
+    assert "live_messages_sent_total" in names
+    store.close()
+
+
+def test_second_run_in_same_session_gets_own_row():
+    store = RunStore(":memory:")
+    with telemetry_session() as tel:
+        subscriber = StoreSubscriber(store, run_id="first", session=tel)
+        tel.subscribe(subscriber, detail=False)
+        live_run(algorithm="ssrmin", n=4, seed=1, transport="loopback",
+                 duration=0.2, timer_interval=0.05,
+                 stabilize_timeout=STABILIZE_TIMEOUT)
+        live_run(algorithm="ssrmin", n=4, seed=2, transport="loopback",
+                 duration=0.2, timer_interval=0.05,
+                 stabilize_timeout=STABILIZE_TIMEOUT)
+        subscriber.close()
+    runs = store.list_runs()
+    assert len(runs) == 2
+    # The second run derives its id from the run_start payload.
+    assert {r["run_id"] for r in runs} == {"first", "live-ssrmin-n4-seed2"}
+    store.close()
+
+
+def test_truncated_run_closes_with_null_stabilized():
+    store = RunStore(":memory:")
+    subscriber = StoreSubscriber(store, run_id="cut-short")
+    subscriber(Event(seq=0, time=0.0, layer="runtime", kind="run_start",
+                     payload={"algorithm": "SSRmin", "n": 4, "seed": 0}))
+    # No run_end: the session died.  close() keeps the partial row.
+    subscriber.close()
+    run = store.get_run("cut-short")
+    assert run is not None
+    assert run["stabilized"] is None
+    store.close()
+
+
+def test_sweep_cell_events_become_runs():
+    store = RunStore(":memory:")
+    subscriber = StoreSubscriber(store, source="test")
+    subscriber(Event(
+        seq=0, time=1.0, layer="experiment", kind="sweep_cell",
+        payload={"algorithm": "SSRmin", "n": 8, "loss": 0.2, "seed": 3,
+                 "stabilized_at": 41.5, "min_tokens": 1, "max_tokens": 2,
+                 "zero_time": 0.0, "events": 1200, "wall_seconds": 0.05},
+    ))
+    subscriber.close()
+    run = store.get_run("sweep-SSRmin-n8-loss0.2-seed3")
+    assert run["kind"] == "sweep_cell"
+    assert run["stabilized"] == 1
+    epoch = store.epochs_for(run["id"])[0]
+    assert epoch["stabilized_at"] == 41.5
+    names = {s["name"] for s in store.samples_for(run["id"])}
+    assert {"min_tokens", "max_tokens", "zero_time", "events"} <= names
+    store.close()

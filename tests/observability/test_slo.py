@@ -1,0 +1,146 @@
+"""SLO engine: classes, merging, quantiles, budgets, incidents."""
+
+import math
+
+import pytest
+
+from repro.observability.slo import (
+    SloSpec,
+    default_slos,
+    disturbance_class,
+    evaluate_slos,
+    load_slo_specs,
+    merge_epochs,
+    quantile,
+    render_slo_report,
+    restabilize_stats,
+    vacancy_stats,
+)
+from repro.observability.store import RunStore
+
+
+@pytest.mark.parametrize("label,cls", [
+    ("boot", "boot"),
+    ("loss@0.60s", "loss"),
+    ("loss-healed@1.60s", "loss"),
+    ("crash-5", "crash"),
+    ("restart-3", "restart"),
+    ("corrupt-state-1", "corrupt-state"),
+    ("partition@2.00s", "partition"),
+    ("weird stuff", "other"),
+])
+def test_disturbance_class(label, cls):
+    assert disturbance_class(label) == cls
+
+
+def test_merge_epochs_keeps_stabilized_epochs_separate():
+    merged = merge_epochs([
+        {"label": "boot", "started_at": 0.0, "stabilized_at": 0.1},
+        {"label": "loss@1.00s", "started_at": 1.0, "stabilized_at": 1.3},
+    ])
+    assert len(merged) == 2
+    assert merged[1]["time_to_stabilize"] == pytest.approx(0.3)
+
+
+def test_merge_epochs_collapses_unstabilized_prefix():
+    merged = merge_epochs([
+        {"label": "boot", "started_at": 0.0, "stabilized_at": 0.1},
+        {"label": "loss@1.00s", "started_at": 1.0, "stabilized_at": None},
+        {"label": "crash-2", "started_at": 1.5, "stabilized_at": None},
+        {"label": "restart-2", "started_at": 1.8, "stabilized_at": 2.0},
+    ])
+    assert len(merged) == 2
+    outage = merged[1]
+    assert outage["labels"] == ["loss@1.00s", "crash-2", "restart-2"]
+    assert outage["class"] == "restart"
+    assert outage["first_started_at"] == 1.0
+    assert outage["time_to_stabilize"] == pytest.approx(0.2)
+
+
+def test_quantile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert quantile(values, 0.0) == 1.0
+    assert quantile(values, 1.0) == 4.0
+    assert quantile(values, 0.5) == pytest.approx(2.5)
+    assert math.isnan(quantile([], 0.5))
+    with pytest.raises(ValueError):
+        quantile(values, 1.5)
+
+
+def test_slo_spec_validation():
+    with pytest.raises(ValueError):
+        SloSpec(name="x", metric="nope")
+    with pytest.raises(ValueError):
+        SloSpec(name="x", metric="vacancy", target=0.0)
+    with pytest.raises(ValueError):
+        SloSpec.from_json({"name": "x", "metric": "vacancy", "bogus": 1})
+
+
+def test_load_slo_specs_roundtrip(tmp_path):
+    path = tmp_path / "slos.json"
+    path.write_text(
+        '[{"name": "fast", "metric": "restabilize", '
+        '"target": 0.9, "threshold": 1.0}]'
+    )
+    specs = load_slo_specs(str(path))
+    assert specs[0].name == "fast"
+    assert specs[0].threshold == 1.0
+
+
+def _seeded_store():
+    store = RunStore(":memory:")
+    good = store.insert_run(
+        "live-good", kind="live", algorithm="SSRmin", n=4,
+        stabilized=1, vacancy_instants=0, violations=0,
+    )
+    store.add_epoch(good, 0, "boot", "boot", 0.0, stabilized_at=0.01)
+    store.add_epoch(good, 1, "loss@1.00s", "loss", 1.0, stabilized_at=1.2)
+    bad = store.insert_run(
+        "live-bad", kind="live", algorithm="DijkstraKState", n=4,
+        stabilized=0, vacancy_instants=17, violations=1,
+    )
+    store.add_epoch(bad, 0, "boot", "boot", 0.0, stabilized_at=0.01)
+    store.add_epoch(bad, 1, "crash-2", "crash", 1.0)  # never restabilized
+    return store
+
+
+def test_evaluate_slos_burns_budget_and_reports_offenders():
+    with _seeded_store() as store:
+        results = {r.spec.name: r for r in evaluate_slos(store, default_slos())}
+    # The zero-width vacancy budget only grades ssrmin runs: still clean.
+    assert results["ssrmin-zero-vacancy"].ok
+    # The crashed run never restabilized: availability + restabilize burn.
+    assert not results["availability"].ok
+    assert not results["restabilize-10s"].ok
+    assert results["restabilize-10s"].offenders
+    # Census counts the Dijkstra run's violation with an all-run filter.
+    census = results["census-in-bounds"]
+    assert census.bad == 1 and math.isinf(census.budget_burn)
+
+
+def test_evaluate_slos_opens_burn_incidents_once():
+    with _seeded_store() as store:
+        evaluate_slos(store, default_slos(), open_incidents=True, now=9.0)
+        evaluate_slos(store, default_slos(), open_incidents=True, now=9.5)
+        burns = [i for i in store.incidents() if i["kind"] == "slo-burn"]
+        # One incident per burned spec, deduped across re-evaluations.
+        assert len(burns) == len(
+            {i["title"] for i in burns}
+        ) == 3  # availability + restabilize + census
+        assert all(i["severity"] == "critical" for i in burns)
+
+
+def test_stats_and_report_render():
+    with _seeded_store() as store:
+        stats = restabilize_stats(store)
+        vac = vacancy_stats(store)
+        lines = render_slo_report(store, evaluate_slos(store, default_slos()))
+    loss = next(s for s in stats
+                if s["algorithm"] == "SSRmin" and s["class"] == "loss")
+    assert loss["p99"] == pytest.approx(0.2)
+    crash = next(s for s in stats if s["class"] == "crash")
+    assert math.isinf(crash["p99"])  # never stabilized
+    dijkstra = next(v for v in vac if v["algorithm"] == "DijkstraKState")
+    assert dijkstra["vacancy_instants"] == 17
+    text = "\n".join(lines)
+    assert "p99" in text and "BURN" in text and "vacancy_instants" in text

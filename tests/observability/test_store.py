@@ -1,0 +1,89 @@
+"""Unit tests for the sqlite run store."""
+
+import sqlite3
+
+import pytest
+
+from repro.observability.store import SCHEMA_VERSION, RunStore
+
+
+def test_schema_version_stamped(tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    with RunStore(path):
+        pass
+    conn = sqlite3.connect(path)
+    assert conn.execute("PRAGMA user_version").fetchone()[0] == SCHEMA_VERSION
+    conn.close()
+
+
+def test_insert_run_upserts_by_run_id():
+    with RunStore(":memory:") as store:
+        a = store.insert_run("run-1", kind="live", algorithm="SSRmin", n=4)
+        b = store.insert_run("run-1", kind="live", algorithm="SSRmin", n=8)
+        assert a == b
+        rows = store.list_runs()
+        assert len(rows) == 1
+        assert rows[0]["n"] == 8
+
+
+def test_epoch_lifecycle_and_time_to_stabilize():
+    with RunStore(":memory:") as store:
+        rid = store.insert_run("run-1", kind="live", algorithm="SSRmin")
+        store.add_epoch(rid, idx=0, label="boot", cls="boot", started_at=0.0)
+        store.add_epoch(rid, idx=1, label="loss@1.00s", cls="loss",
+                        started_at=1.0)
+        store.stabilize_epoch(rid, idx=1, stabilized_at=1.25)
+        epochs = store.epochs_for(rid)
+        assert epochs[0]["stabilized_at"] is None
+        assert epochs[1]["time_to_stabilize"] == pytest.approx(0.25)
+
+
+def test_incident_open_update_resolve_reopen():
+    with RunStore(":memory:") as store:
+        rid = store.insert_run("run-1", kind="live")
+        iid = store.open_incident(
+            run_db_id=rid, opened_at=1.0, kind="disturbance",
+            severity="warning", title="t", details={"labels": ["loss"]},
+        )
+        assert store.incidents(rid, open_only=True)
+        store.update_incident(iid, resolved_at=2.0, severity="critical")
+        assert not store.incidents(rid, open_only=True)
+        inc = store.incidents(rid)[0]
+        assert inc["severity"] == "critical"
+        assert inc["details"] == {"labels": ["loss"]}
+        store.update_incident(iid, reopen=True)
+        assert store.incidents(rid, open_only=True)
+
+
+def test_samples_roundtrip_and_counts():
+    with RunStore(":memory:") as store:
+        rid = store.insert_run("run-1", kind="live")
+        store.add_samples(rid, [(1.0, "m", 3.0, {"ring": "a"}),
+                                (2.0, "m", 4.0, None)])
+        rows = store.samples_for(rid, name="m")
+        assert [r["value"] for r in rows] == [3.0, 4.0]
+        assert rows[0]["labels"] == {"ring": "a"}
+        assert store.counts()["samples"] == 2
+
+
+def test_query_rejects_writes():
+    with RunStore(":memory:") as store:
+        store.insert_run("run-1", kind="live")
+        assert store.query("SELECT run_id FROM runs")[0]["run_id"] == "run-1"
+        with pytest.raises(ValueError):
+            store.query("DELETE FROM runs")
+        with pytest.raises(ValueError):
+            store.query("UPDATE runs SET kind='x'")
+
+
+def test_buffered_writes_reach_disk_after_close(tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    store = RunStore(path)
+    rid = store.insert_run("run-1", kind="live")
+    store.add_disturbance(rid, at=0.5, kind="loss", duration=1.0,
+                          params={"p": 0.6})
+    store.close()
+    with RunStore(path) as reopened:
+        assert reopened.counts()["disturbances"] == 1
+        d = reopened.disturbances_for(rid)[0]
+        assert d["params"] == {"p": 0.6}
