@@ -1,0 +1,62 @@
+"""Throughput benchmark for the live runtime: wire formats + ring fleet.
+
+Measures three layers and writes ``BENCH_perf_runtime.json``:
+
+* **codec** — JSON vs packed-binary encode+decode round trips (no I/O);
+* **wire path** — delivered msgs/sec over a real localhost UDP socket:
+  JSON datagram-per-message (the pre-fleet hot path) vs binary vs binary
+  with send-side datagram batching (the fleet fastpath);
+* **fleet curve** — rings × nodes aggregate delivered msgs/sec through
+  the shared-socket mux transport, each cell a real live deployment.
+
+Exit status is non-zero when the binary-batched path's speedup over the
+JSON path falls below ``--min-wire-speedup``, which is how the CI smoke
+job uses it (``--quick --min-wire-speedup 2``), or when any fleet cell
+fails to stabilize all of its rings.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_runtime.py           # full
+    PYTHONPATH=src python benchmarks/bench_perf_runtime.py --quick
+
+(``python -m repro bench runtime`` is the same benchmark behind the CLI.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.runtime.bench import check_gates, format_report, run_runtime_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes: fewer messages, 2-cell fleet grid")
+    parser.add_argument(
+        "--output", default="BENCH_perf_runtime.json",
+        help="artifact path (default: %(default)s)")
+    parser.add_argument(
+        "--min-wire-speedup", type=float, default=None,
+        help="fail if binary-batched/json delivered msgs/sec is below this")
+    args = parser.parse_args(argv)
+
+    payload = run_runtime_bench(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(format_report(payload))
+    print(f"artifact       : {args.output}")
+
+    failures = check_gates(payload, min_wire_speedup=args.min_wire_speedup)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

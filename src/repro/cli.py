@@ -17,6 +17,9 @@ Commands
   (see ``docs/TESTING.md``);
 * ``top`` — live terminal dashboard over an in-process ring fleet
   (curses, or ``--plain`` frames for pipes);
+* ``fleet run|status`` — N concurrent rings multiplexed over a shared
+  UDP socket pool (binary wire fastpath, optional worker-process
+  sharding, optional load generation; see ``docs/RUNTIME.md``);
 * ``runs list|show|query|backfill`` — the persistent sqlite run store;
 * ``slo report`` — paper-grounded service-level objectives graded against
   the store (see ``docs/OBSERVABILITY.md``).
@@ -177,6 +180,8 @@ def _live_common_kwargs(args: argparse.Namespace) -> dict:
         timer_interval=args.timer_interval,
         initial=args.initial,
         stabilize_timeout=args.stabilize_timeout,
+        wire=args.wire,
+        use_uvloop=not args.no_uvloop,
     )
 
 
@@ -251,6 +256,19 @@ def _with_live_session(args: argparse.Namespace, fn,
 
 def _cmd_live_run(args: argparse.Namespace) -> int:
     from repro.runtime import live_run
+
+    if getattr(args, "rings", 1) > 1:
+        # Multi-ring deployments are fleet deployments: same flags, but
+        # the rings share a socket pool and report in aggregate.
+        args.workers = 1
+        args.sockets = 1
+        args.fleet_transport = (
+            "loopback" if args.transport == "loopback" else "mux-udp"
+        )
+        args.load_rate = 0.0
+        args.script = None
+        args.no_batch = args.transport != "udp-batch"
+        return _cmd_fleet_run(args)
 
     run_id = f"live-run-{args.algorithm}-n{args.n}-seed{args.seed}"
     command = (
@@ -354,6 +372,102 @@ def _cmd_live_status(args: argparse.Namespace) -> int:
             + (f" restabilized in {ttr:.3f}s" if ttr is not None else "")
             + f" ({manifest.get('created_utc')})"
         )
+        if not ok:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.runtime import (
+        default_specs, render_fleet_report, run_fleet, run_fleet_sharded,
+    )
+
+    specs = default_specs(
+        args.rings,
+        algorithm=args.algorithm,
+        n=args.n,
+        K=args.K,
+        wire=args.wire,
+        seed=args.seed,
+        timer_interval=args.timer_interval,
+        script=args.script,
+        load_rate=args.load_rate,
+    )
+    kwargs = dict(
+        duration=args.duration,
+        transport=getattr(args, "fleet_transport", None) or args.transport,
+        sockets=args.sockets,
+        batch=not args.no_batch,
+        stabilize_timeout=args.stabilize_timeout,
+        use_uvloop=not args.no_uvloop,
+    )
+    if args.workers > 1:
+        # Shard workers skip the run store: concurrent sqlite writers
+        # would serialize on the database lock and skew the fleet.
+        report = run_fleet_sharded(specs, args.workers, **kwargs)
+    else:
+        store_path = None if getattr(args, "no_store", True) else args.store
+        report = run_fleet(specs, store_path=store_path, **kwargs)
+        if store_path is not None:
+            print(f"run store: {store_path} "
+                  f"({args.rings} fleet-* runs recorded)")
+
+    fleet_id = (
+        f"fleet-{args.algorithm}-r{args.rings}-n{args.n}-seed{args.seed}"
+    )
+    if not args.no_telemetry:
+        run_dir = os.path.join(args.telemetry_dir, fleet_id)
+        os.makedirs(run_dir, exist_ok=True)
+        path = os.path.join(run_dir, "fleet.json")
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        print(f"telemetry: {run_dir}/ (fleet.json)")
+    for line in render_fleet_report(report):
+        print(line)
+    ok = report["stabilized_rings"] == report["rings"]
+    print("result: " + ("HEALTHY" if ok else "UNHEALTHY"))
+    return 0 if ok else 1
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import glob
+    import json
+    import os
+
+    from repro.observability import RingRow, render_rows
+
+    pattern = os.path.join(args.telemetry_dir, "fleet-*", "fleet.json")
+    paths = sorted(glob.glob(pattern))
+    if not paths:
+        print(f"no fleet reports under {args.telemetry_dir}/fleet-*/")
+        return 1
+    failures = 0
+    for path in paths:
+        fleet_id = os.path.basename(os.path.dirname(path))
+        try:
+            with open(path) as fh:
+                report = json.load(fh)
+        except (OSError, ValueError):
+            print(f"??   {fleet_id}: unreadable ({path})")
+            failures += 1
+            continue
+        ok = report.get("stabilized_rings") == report.get("rings")
+        print(
+            f"{'ok' if ok else 'FAIL':4s} {fleet_id}: "
+            f"{report.get('rings')} rings over {report.get('transport')} "
+            f"(loop={report.get('loop')}) "
+            f"{report.get('delivered_per_sec', 0.0):,.0f} msgs/sec"
+        )
+        rows = [
+            RingRow.from_live_report(name, ring)
+            for name, ring in sorted(report.get("ring_reports", {}).items())
+        ]
+        for line in render_rows(rows):
+            print("  " + line)
         if not ok:
             failures += 1
     return 1 if failures else 0
@@ -697,6 +811,27 @@ def _cmd_bench_mp(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench_runtime(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.bench import (
+        check_gates,
+        format_report,
+        run_runtime_bench,
+    )
+
+    payload = run_runtime_bench(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(format_report(payload))
+    print(f"artifact       : {args.output}")
+    failures = check_gates(payload, min_wire_speedup=args.min_wire_speedup)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _store_args(p: argparse.ArgumentParser, toggle: bool = True) -> None:
     """Attach ``--store`` (and for recorders ``--no-store``) to a parser."""
     from repro.observability.store import DEFAULT_STORE_PATH
@@ -855,6 +990,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "factor")
     pb_mp.set_defaults(fn=_cmd_bench_mp)
 
+    pb_runtime = bench_sub.add_parser(
+        "runtime", help="live-runtime wire formats + fleet throughput"
+    )
+    pb_runtime.add_argument("--quick", action="store_true",
+                            help="CI smoke sizes: fewer messages, 2-cell "
+                                 "fleet grid")
+    pb_runtime.add_argument("--output", default="BENCH_perf_runtime.json",
+                            help="artifact path (default: %(default)s)")
+    pb_runtime.add_argument("--min-wire-speedup", type=float, default=None,
+                            help="fail if binary-batched/json delivered "
+                                 "msgs/sec is below this factor")
+    pb_runtime.set_defaults(fn=_cmd_bench_runtime)
+
     p_live = sub.add_parser(
         "live", help="live asyncio ring deployment: run, chaos, status"
     )
@@ -866,8 +1014,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--n", type=int, default=5, help="ring size")
         p.add_argument("--K", type=int, default=None,
                        help="counter modulus (default: algorithm minimum)")
-        p.add_argument("--transport", choices=["loopback", "udp"],
-                       default="loopback")
+        p.add_argument("--transport",
+                       choices=["loopback", "udp", "udp-batch"],
+                       default="loopback",
+                       help="udp-batch coalesces outbound datagrams "
+                            "(the fleet fastpath)")
+        p.add_argument("--wire", choices=["json", "binary"], default="json",
+                       help="wire format: versioned JSON or the packed "
+                            "binary fastpath (default json)")
+        p.add_argument("--no-uvloop", action="store_true",
+                       help="stay on the stdlib event loop even when "
+                            "uvloop is installed")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--timer-interval", type=float, default=0.1,
                        metavar="SECONDS",
@@ -888,6 +1045,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run", help="boot a live ring, stabilize, circulate, drain"
     )
     _live_common_args(pl_run)
+    pl_run.add_argument("--rings", type=int, default=1,
+                        help="deploy this many rings; >1 delegates to the "
+                             "fleet layer (shared sockets, ring i uses "
+                             "seed+i)")
     pl_run.set_defaults(fn=_cmd_live_run)
 
     pl_chaos = live_sub.add_parser(
@@ -915,6 +1076,66 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="with --watch: stop after N frames "
                                 "(default: run until interrupted)")
     pl_status.set_defaults(fn=_cmd_live_status)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="many concurrent rings over shared sockets: run, status"
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    pfl_run = fleet_sub.add_parser(
+        "run", help="deploy N rings over a shared UDP socket pool"
+    )
+    pfl_run.add_argument("--rings", type=int, default=4,
+                         help="fleet size (ring i uses seed+i)")
+    pfl_run.add_argument("--algorithm", choices=["ssrmin", "dijkstra"],
+                         default="ssrmin")
+    pfl_run.add_argument("--n", type=int, default=5, help="ring size")
+    pfl_run.add_argument("--K", type=int, default=None,
+                         help="counter modulus (default: algorithm minimum)")
+    pfl_run.add_argument("--wire", choices=["json", "binary"],
+                         default="binary",
+                         help="wire format (fleet default: binary fastpath)")
+    pfl_run.add_argument("--transport", choices=["mux-udp", "loopback"],
+                         default="mux-udp",
+                         help="shared-socket mux, or private in-process "
+                              "loopbacks (no sockets)")
+    pfl_run.add_argument("--workers", type=int, default=1,
+                         help=">1 shards whole rings across worker "
+                              "processes (run store disabled)")
+    pfl_run.add_argument("--sockets", type=int, default=1,
+                         help="shared UDP socket pool size per process")
+    pfl_run.add_argument("--duration", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="steady-state run time after stabilization")
+    pfl_run.add_argument("--script", choices=sorted(_LIVE_SCRIPTS),
+                         default=None,
+                         help="play this chaos script against every ring")
+    pfl_run.add_argument("--load-rate", type=float, default=0.0,
+                         metavar="REQ_PER_SEC",
+                         help="open-loop critical-section demand per ring "
+                              "(0 = none)")
+    pfl_run.add_argument("--seed", type=int, default=0,
+                         help="base seed (ring i uses seed+i)")
+    pfl_run.add_argument("--timer-interval", type=float, default=0.1,
+                         metavar="SECONDS")
+    pfl_run.add_argument("--stabilize-timeout", type=float, default=10.0,
+                         metavar="SECONDS")
+    pfl_run.add_argument("--no-uvloop", action="store_true",
+                         help="stay on the stdlib event loop even when "
+                              "uvloop is installed")
+    pfl_run.add_argument("--no-batch", action="store_true",
+                         help="send one datagram per message (disable "
+                              "send-side coalescing)")
+    pfl_run.add_argument("--telemetry-dir", default="runs", metavar="DIR")
+    pfl_run.add_argument("--no-telemetry", action="store_true")
+    _store_args(pfl_run)
+    pfl_run.set_defaults(fn=_cmd_fleet_run)
+
+    pfl_status = fleet_sub.add_parser(
+        "status", help="summarize recorded fleet reports"
+    )
+    pfl_status.add_argument("--telemetry-dir", default="runs", metavar="DIR")
+    pfl_status.set_defaults(fn=_cmd_fleet_status)
 
     p_top = sub.add_parser(
         "top", help="live terminal dashboard over an in-process ring fleet"

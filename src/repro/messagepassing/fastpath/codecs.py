@@ -47,6 +47,10 @@ class MPCodec:
 
     n: int
     K: int
+    #: Exclusive upper bound of the packed-integer domain (every valid
+    #: packed state satisfies ``0 <= packed < packed_bound``).  The binary
+    #: wire uses it to reject corrupted words before ``unpack``.
+    packed_bound: int
 
     # -- state translation ---------------------------------------------------
     def pack(self, state: Any) -> int:
@@ -95,6 +99,7 @@ class SSRminMPCodec(MPCodec):
         self.algorithm = algorithm
         self.n = algorithm.n
         self.K = algorithm.K
+        self.packed_bound = self.K << 2
         # Interned decode table: packed -> (x, rts, tra); pack is its inverse.
         self._unpack: List[Tuple[int, int, int]] = [
             (p >> 2, (p >> 1) & 1, p & 1) for p in range(self.K << 2)
@@ -184,6 +189,7 @@ class DijkstraMPCodec(MPCodec):
         self.algorithm = algorithm
         self.n = algorithm.n
         self.K = algorithm.K
+        self.packed_bound = self.K
 
     def pack(self, state: Any) -> int:
         s = int(state)

@@ -16,6 +16,7 @@ runtime/chaos             one ``disturbances`` row per applied op
 runtime/node_crash        disturbance row
 runtime/node_restart      disturbance row
 runtime/fault             disturbance row
+runtime/wire_fallback     disturbance row (mixed wire-format peer seen)
 runtime/epoch_open        ``epochs`` row; open/extend the incident
 runtime/epoch_stabilized  stabilize the epoch row; resolve the incident
 runtime/violation         escalate/open a guarantee-breach incident
@@ -140,6 +141,7 @@ class StoreSubscriber:
             "node_crash": "crash",
             "node_restart": "restart",
             "fault": p.get("fault"),
+            "wire_fallback": "wire-fallback",
         }.get(event.kind) or event.kind
         params = {
             k: v for k, v in p.items() if k not in ("op", "fault", "duration")
@@ -286,6 +288,7 @@ _RUNTIME_HANDLERS = {
     "node_crash": StoreSubscriber._on_disturbance_event,
     "node_restart": StoreSubscriber._on_disturbance_event,
     "fault": StoreSubscriber._on_disturbance_event,
+    "wire_fallback": StoreSubscriber._on_disturbance_event,
     "epoch_open": StoreSubscriber._on_epoch_open,
     "epoch_stabilized": StoreSubscriber._on_epoch_stabilized,
     "violation": StoreSubscriber._on_violation,

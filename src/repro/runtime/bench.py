@@ -1,0 +1,291 @@
+"""Throughput benchmark for the live runtime (wire formats + fleet).
+
+Three sections, written to ``BENCH_perf_runtime.json``
+(schema ``repro-bench-runtime/1``):
+
+* **codec** — pure serialization: encode+decode round trips per second
+  for the JSON wire vs the packed binary wire, no sockets.
+* **wire_path** — the end-to-end loopback UDP path: messages pumped
+  node→node through a real :class:`~repro.runtime.transport.UdpTransport`
+  under three configurations — JSON datagram-per-message (the pre-fleet
+  hot path), binary datagram-per-message, and binary with send-side
+  batching (the fleet fastpath).  The CI gate compares the last against
+  the first: the fastpath must deliver ``--min-wire-speedup`` times the
+  messages per second.
+* **fleet_grid** — rings × nodes aggregate delivered msgs/sec through
+  the shared-socket mux, each cell a real
+  :func:`~repro.runtime.fleet.run_fleet` deployment (timer-driven CST
+  traffic, binary wire, batching on).
+
+Delivery is measured, not assumed: UDP under burst pressure may drop,
+so every pump reports ``sent`` and ``delivered`` and rates are computed
+over *delivered* messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.ssrmin import SSRmin
+from repro.runtime.fleet import default_specs, run_fleet
+from repro.runtime.harness import loop_name
+from repro.runtime.transport import UdpTransport
+from repro.runtime.wire import Wire, make_wire
+
+#: Canonical benchmark schema id.
+BENCH_SCHEMA = "repro-bench-runtime/1"
+
+#: Messages per wire-path pump (full / quick).
+WIRE_MESSAGES = 60_000
+WIRE_MESSAGES_QUICK = 8_000
+#: Codec round trips (full / quick).
+CODEC_MESSAGES = 200_000
+CODEC_MESSAGES_QUICK = 20_000
+#: Posts between event-loop yields — also the attainable batch size.
+PUMP_WINDOW = 64
+#: Sender backpressure: max messages in flight before yielding until the
+#: receiver catches up (keeps the kernel socket buffer from overflowing).
+MAX_INFLIGHT = 256
+
+#: rings × n cells for the fleet curve (full / quick).
+FLEET_GRID = ((1, 4), (2, 4), (4, 4), (8, 4), (1, 8), (2, 8), (4, 8))
+FLEET_GRID_QUICK = ((1, 4), (4, 4))
+
+
+def _bench_states(algorithm) -> List[Any]:
+    """Every packed-domain state, as native tuples (cycled by the pumps)."""
+    codec = algorithm.mp_codec()
+    return [codec.unpack(w) for w in range(codec.packed_bound)]
+
+
+# -- section 1: pure codec ----------------------------------------------------
+
+def _codec_rate(wire: Wire, states: List[Any], messages: int) -> float:
+    encode = wire.encode
+    decode = wire.decode
+    k = len(states)
+    t0 = time.perf_counter()
+    for i in range(messages):
+        decode(encode(0, 1, states[i % k]))
+    return messages / (time.perf_counter() - t0)
+
+
+def bench_codec(messages: int) -> Dict[str, Any]:
+    """Encode+decode round trips per second, JSON vs binary."""
+    algorithm = SSRmin(8, 9)
+    states = _bench_states(algorithm)
+    json_rate = _codec_rate(
+        make_wire("json", algorithm=algorithm), states, messages
+    )
+    binary_rate = _codec_rate(
+        make_wire("binary", algorithm=algorithm), states, messages
+    )
+    return {
+        "messages": messages,
+        "json_roundtrips_per_sec": json_rate,
+        "binary_roundtrips_per_sec": binary_rate,
+        "speedup": binary_rate / json_rate if json_rate > 0 else 0.0,
+    }
+
+
+# -- section 2: the loopback UDP path ----------------------------------------
+
+async def _pump(
+    fmt: str, batch: bool, messages: int, states: List[Any]
+) -> Dict[str, Any]:
+    algorithm = SSRmin(8, 9)
+    transport = UdpTransport((0, 1), batch=batch)
+    transport.set_wire(make_wire(fmt, algorithm=algorithm))
+    received = 0
+    done = asyncio.Event()
+
+    def deliver(sender: int, state: Any) -> None:
+        nonlocal received
+        received += 1
+        if received >= messages:
+            done.set()
+
+    transport.register(1, deliver)
+    await transport.start()
+    k = len(states)
+    post = transport.post
+    t0 = time.perf_counter()
+    sent = 0
+    while sent < messages:
+        burst = min(PUMP_WINDOW, messages - sent)
+        for i in range(burst):
+            post(0, 1, states[(sent + i) % k])
+        sent += burst
+        # Yield so batched frames flush and the receiver drains, then
+        # apply backpressure: an open-loop sender overflows the kernel
+        # socket buffer and "throughput" would just measure the drop
+        # rate.  Capping in-flight messages measures the *sustainable*
+        # end-to-end rate instead.
+        await asyncio.sleep(0)
+        while sent - received > MAX_INFLIGHT:
+            await asyncio.sleep(0)
+    # Drain stragglers; stop when delivery stalls (residual UDP drops).
+    while received < sent:
+        before = received
+        await asyncio.sleep(0.05)
+        if received == before:
+            break
+    elapsed = time.perf_counter() - t0
+    await transport.close()
+    return {
+        "format": fmt,
+        "batched": batch,
+        "sent": sent,
+        "delivered": received,
+        "datagrams_out": transport.datagrams_out,
+        "elapsed": elapsed,
+        "msgs_per_sec": received / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def bench_wire_path(messages: int) -> Dict[str, Any]:
+    """JSON vs binary vs binary+batched over a real localhost UDP socket."""
+    states = _bench_states(SSRmin(8, 9))
+    json_plain = asyncio.run(_pump("json", False, messages, states))
+    binary_plain = asyncio.run(_pump("binary", False, messages, states))
+    binary_batched = asyncio.run(_pump("binary", True, messages, states))
+    base = json_plain["msgs_per_sec"]
+    return {
+        "messages": messages,
+        "json": json_plain,
+        "binary": binary_plain,
+        "binary_batched": binary_batched,
+        # The headline gate: fleet fastpath vs the pre-fleet hot path.
+        "speedup": (
+            binary_batched["msgs_per_sec"] / base if base > 0 else 0.0
+        ),
+        "speedup_unbatched": (
+            binary_plain["msgs_per_sec"] / base if base > 0 else 0.0
+        ),
+    }
+
+
+# -- section 3: the fleet curve ----------------------------------------------
+
+def bench_fleet_grid(
+    grid: Tuple[Tuple[int, int], ...], duration: float
+) -> List[Dict[str, Any]]:
+    """Aggregate delivered msgs/sec for each (rings, n) mux deployment."""
+    cells: List[Dict[str, Any]] = []
+    for rings, n in grid:
+        specs = default_specs(
+            rings, n=n, wire="binary", timer_interval=0.02
+        )
+        report = run_fleet(
+            specs, duration=duration, transport="mux-udp", sockets=2,
+        )
+        cells.append({
+            "rings": rings,
+            "n": n,
+            "nodes_total": rings * n,
+            "stabilized_rings": report["stabilized_rings"],
+            "delivered_total": report["delivered_total"],
+            "wall_clock": report["wall_clock"],
+            "delivered_per_sec": report["delivered_per_sec"],
+            "mux_datagrams_out": (report.get("mux") or {}).get(
+                "datagrams_out"
+            ),
+        })
+    return cells
+
+
+# -- driver -------------------------------------------------------------------
+
+def run_runtime_bench(quick: bool = False) -> Dict[str, Any]:
+    """Run all three sections; returns the JSON-able artifact payload."""
+    codec_messages = CODEC_MESSAGES_QUICK if quick else CODEC_MESSAGES
+    wire_messages = WIRE_MESSAGES_QUICK if quick else WIRE_MESSAGES
+    grid = FLEET_GRID_QUICK if quick else FLEET_GRID
+    duration = 1.0 if quick else 1.5
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "loop": loop_name(),
+        "codec": bench_codec(codec_messages),
+        "wire_path": bench_wire_path(wire_messages),
+        "fleet_grid": bench_fleet_grid(grid, duration),
+    }
+
+
+def format_report(payload: Dict[str, Any]) -> str:
+    """Human-readable summary of a runtime-bench payload."""
+    codec = payload["codec"]
+    wire = payload["wire_path"]
+    lines = [
+        f"runtime bench ({'quick' if payload['quick'] else 'full'}, "
+        f"loop={payload['loop']})",
+        "",
+        "codec round trips (encode+decode, no sockets):",
+        f"  json   : {codec['json_roundtrips_per_sec']:>12,.0f} msgs/sec",
+        f"  binary : {codec['binary_roundtrips_per_sec']:>12,.0f} msgs/sec"
+        f"  ({codec['speedup']:.1f}x)",
+        "",
+        "loopback UDP path (delivered msgs/sec):",
+    ]
+    for key, label in (
+        ("json", "json, datagram/msg  "),
+        ("binary", "binary, datagram/msg"),
+        ("binary_batched", "binary, batched     "),
+    ):
+        row = wire[key]
+        lines.append(
+            f"  {label}: {row['msgs_per_sec']:>12,.0f} msgs/sec  "
+            f"({row['delivered']}/{row['sent']} delivered, "
+            f"{row['datagrams_out']} datagrams)"
+        )
+    lines += [
+        f"  wire speedup (binary batched vs json): {wire['speedup']:.2f}x",
+        "",
+        "fleet curve (mux-udp, binary wire, batched):",
+        "  rings  n   nodes  stabilized   msgs/sec",
+    ]
+    for cell in payload["fleet_grid"]:
+        lines.append(
+            f"  {cell['rings']:>5}  {cell['n']:>2}  {cell['nodes_total']:>5}"
+            f"  {cell['stabilized_rings']:>5}/{cell['rings']:<4}"
+            f" {cell['delivered_per_sec']:>10,.0f}"
+        )
+    return "\n".join(lines)
+
+
+def check_gates(
+    payload: Dict[str, Any],
+    min_wire_speedup: Optional[float] = None,
+) -> List[str]:
+    """Gate messages (empty = all gates passed)."""
+    failures: List[str] = []
+    if min_wire_speedup is not None:
+        speedup = payload["wire_path"]["speedup"]
+        if speedup < min_wire_speedup:
+            failures.append(
+                f"wire speedup {speedup:.2f}x below the "
+                f"{min_wire_speedup:.2f}x gate"
+            )
+    unstable = [
+        cell for cell in payload["fleet_grid"]
+        if cell["stabilized_rings"] < cell["rings"]
+    ]
+    for cell in unstable:
+        failures.append(
+            f"fleet cell rings={cell['rings']} n={cell['n']}: only "
+            f"{cell['stabilized_rings']}/{cell['rings']} rings stabilized"
+        )
+    return failures
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "bench_codec",
+    "bench_fleet_grid",
+    "bench_wire_path",
+    "check_gates",
+    "format_report",
+    "run_runtime_bench",
+]

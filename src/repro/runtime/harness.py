@@ -23,6 +23,34 @@ from repro.runtime.chaos import ChaosScript, build_script
 from repro.runtime.supervisor import RingSupervisor
 
 
+def install_uvloop(enabled: bool = True) -> bool:
+    """Switch the asyncio event-loop policy to uvloop when available.
+
+    uvloop is an *optional* extra (``pip install repro[perf]``); the
+    stdlib loop is the always-working fallback.  Returns whether uvloop
+    is actually driving subsequent ``asyncio.run`` calls, so reports can
+    record which loop produced their numbers.
+    """
+    if not enabled:
+        asyncio.set_event_loop_policy(None)
+        return False
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
+
+
+def loop_name() -> str:
+    """``"uvloop"`` or ``"asyncio"`` — whichever policy is installed."""
+    policy = asyncio.get_event_loop_policy()
+    return (
+        "uvloop" if type(policy).__module__.startswith("uvloop")
+        else "asyncio"
+    )
+
+
 def build_algorithm(name: str, n: int, K: Optional[int] = None):
     """Instantiate ``ssrmin`` or ``dijkstra`` for a live deployment."""
     if name == "ssrmin":
@@ -78,6 +106,7 @@ def _make_supervisor(
     seed: int,
     timer_interval: float,
     initial: Union[str, List[Any]],
+    wire: str = "json",
     **kwargs: Any,
 ) -> RingSupervisor:
     alg = build_algorithm(algorithm, n, K)
@@ -85,6 +114,7 @@ def _make_supervisor(
         alg,
         transport=transport,
         chaos=chaos,
+        wire=wire,
         initial=initial,
         seed=seed,
         timer_interval=timer_interval,
@@ -102,14 +132,20 @@ def live_run(
     timer_interval: float = 0.2,
     initial: Union[str, List[Any]] = "legitimate",
     stabilize_timeout: float = 10.0,
+    wire: str = "json",
+    use_uvloop: bool = False,
     **kwargs: Any,
 ) -> dict:
     """Boot a live ring, stabilize, run, drain; returns the run report."""
+    if use_uvloop:
+        install_uvloop(True)
     supervisor = _make_supervisor(
         algorithm, n, K, transport, False, seed, timer_interval, initial,
-        **kwargs,
+        wire=wire, **kwargs,
     )
-    return asyncio.run(_run(supervisor, duration, stabilize_timeout, None))
+    report = asyncio.run(_run(supervisor, duration, stabilize_timeout, None))
+    report["loop"] = loop_name()
+    return report
 
 
 def live_chaos(
@@ -123,6 +159,8 @@ def live_chaos(
     initial: Union[str, List[Any]] = "legitimate",
     stabilize_timeout: float = 10.0,
     extra_duration: float = 0.0,
+    wire: str = "json",
+    use_uvloop: bool = False,
     **kwargs: Any,
 ) -> dict:
     """Run a chaos script against a live ring; returns the run report.
@@ -133,15 +171,19 @@ def live_chaos(
     ``guarantee_violations`` (own-view token-census breaches observed
     after stabilization).
     """
+    if use_uvloop:
+        install_uvloop(True)
     supervisor = _make_supervisor(
         algorithm, n, K, transport, True, seed, timer_interval, initial,
-        **kwargs,
+        wire=wire, **kwargs,
     )
     if isinstance(script, str):
         script = build_script(script, n, seed)
-    return asyncio.run(
+    report = asyncio.run(
         _run(supervisor, extra_duration, stabilize_timeout, script)
     )
+    report["loop"] = loop_name()
+    return report
 
 
 def render_live_report(report: dict) -> List[str]:
@@ -151,7 +193,10 @@ def render_live_report(report: dict) -> List[str]:
         f"ring:       {report.get('algorithm')} n={report.get('n')} "
         f"K={report.get('K')} seed={report.get('seed')}",
         f"transport:  {report.get('transport')}"
-        + (" + chaos" if report.get("chaos") else ""),
+        + (" + chaos" if report.get("chaos") else "")
+        + (f" · wire={report['wire'].get('format')}"
+           if isinstance(report.get("wire"), dict) else "")
+        + (f" · loop={report['loop']}" if report.get("loop") else ""),
         f"wall clock: {report.get('wall_clock', 0.0):.2f}s "
         f"(timer interval {report.get('timer_interval')}s)",
         f"stabilized: {health.get('stabilized')}",

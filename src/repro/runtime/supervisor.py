@@ -42,6 +42,7 @@ from repro.runtime.transport import (
     Transport,
     UdpTransport,
 )
+from repro.runtime.wire import Wire, make_wire
 from repro.telemetry.events import EventBus
 from repro.telemetry.session import current_session
 
@@ -53,7 +54,9 @@ def _build_transport(spec: Union[str, Transport], n: int) -> Transport:
         return LoopbackTransport()
     if spec == "udp":
         return UdpTransport(range(n))
-    raise ValueError(f"unknown transport {spec!r} (loopback, udp)")
+    if spec == "udp-batch":
+        return UdpTransport(range(n), batch=True)
+    raise ValueError(f"unknown transport {spec!r} (loopback, udp, udp-batch)")
 
 
 class RingSupervisor:
@@ -64,10 +67,19 @@ class RingSupervisor:
     algorithm:
         The (already CST-transformable) ring algorithm to deploy.
     transport:
-        ``"loopback"``, ``"udp"``, or a ready :class:`Transport`.
+        ``"loopback"``, ``"udp"``, ``"udp-batch"``, or a ready
+        :class:`Transport` (e.g. a fleet mux :class:`~repro.runtime.
+        transport.RingView`).
     chaos:
         Wrap the transport in a :class:`ChaosTransport` (needed to run
         scripts with transport fault windows).
+    wire:
+        ``"json"``, ``"binary"``, or a ready :class:`~repro.runtime.wire.
+        Wire`.  Installed on the (innermost) transport before boot; the
+        binary format requires the algorithm to expose a packed
+        ``mp_codec()``.  A peer speaking the other format triggers a
+        structured ``wire_fallback`` incident on the event bus instead of
+        an error.
     initial:
         ``"legitimate"`` starts from a legitimate configuration with
         coherent caches (Theorem 3's hypothesis); ``"random"`` from
@@ -90,6 +102,7 @@ class RingSupervisor:
         algorithm: RingAlgorithm,
         transport: Union[str, Transport] = "loopback",
         chaos: bool = False,
+        wire: Union[str, Wire] = "json",
         initial: Union[str, List[Any]] = "legitimate",
         seed: int = 0,
         timer_interval: float = 0.2,
@@ -128,6 +141,19 @@ class RingSupervisor:
         self.transport_name = (
             transport if isinstance(transport, str) else type(base).__name__
         )
+        # The wire lives on the innermost transport (where encode/decode
+        # happen); the ring id comes from the transport when it has one
+        # (a fleet mux view), else 0.
+        if isinstance(wire, Wire):
+            self.wire = wire
+        else:
+            self.wire = make_wire(
+                wire,
+                algorithm=algorithm,
+                ring_id=getattr(base, "ring_id", 0),
+                on_fallback=self._wire_fallback,
+            )
+        base.set_wire(self.wire)
         self.chaos: Optional[ChaosTransport] = (
             ChaosTransport(base, seed=seed ^ 0xC4A05) if chaos else None
         )
@@ -163,6 +189,20 @@ class RingSupervisor:
     def track_handle(self, handle: asyncio.TimerHandle) -> None:
         """Register a timer handle for cancellation at shutdown."""
         self._handles.append(handle)
+
+    def _wire_fallback(self, peer: int, received: str) -> None:
+        """Structured incident: a peer speaks the other wire format.
+
+        Fired once per peer by the wire's sniffing decoder — the mixed-
+        version ring keeps running, but operators (and the run store's
+        incident table) see the negotiation happen.
+        """
+        self.publish(
+            "wire_fallback",
+            node=peer,
+            spoken=self.wire.format,
+            received=received,
+        )
 
     # -- boot ----------------------------------------------------------------
     def _initial_states(self) -> List[Any]:
@@ -245,6 +285,7 @@ class RingSupervisor:
             seed=self.seed,
             transport=self.transport_name,
             chaos=self.chaos is not None,
+            wire=self.wire.format,
             timer_interval=self.timer_interval,
             initial=self.initial if isinstance(self.initial, str) else "explicit",
         )
@@ -444,6 +485,7 @@ class RingSupervisor:
             "seed": self.seed,
             "transport": self.transport_name,
             "chaos": self.chaos is not None,
+            "wire": self.wire.stats(),
             "timer_interval": self.timer_interval,
             "wall_clock": self.clock() if self._booted else 0.0,
             "restarts": self.total_restarts,

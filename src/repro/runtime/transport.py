@@ -1,18 +1,32 @@
 """Pluggable datagram transports for the live asyncio ring.
 
-Three implementations share one tiny contract (:class:`Transport`):
+Four implementations share one tiny contract (:class:`Transport`):
 
 * :class:`LoopbackTransport` — in-process delivery through the event loop.
   Every message still round-trips the wire format, so loopback runs
   exercise the exact serialization path UDP uses, just without sockets.
 * :class:`UdpTransport` — one UDP datagram socket per node on localhost.
   Ports are OS-assigned (bind to port 0) and collected into a routing
-  table, so parallel test runs never collide.
-* :class:`ChaosTransport` — a decorator over either of the above that
+  table, so parallel test runs never collide.  With ``batch=True`` frames
+  posted in the same event-loop tick toward the same destination coalesce
+  into one datagram (:func:`~repro.runtime.wire.pack_batch`), amortizing
+  syscalls under load.
+* :class:`MuxUdpTransport` — the fleet transport: N rings multiplexed over
+  a small pool of shared sockets.  Frames carry a ``ring_id`` in their
+  header; the mux demultiplexes incoming datagrams to per-ring
+  :class:`RingView` facades, each of which is a full :class:`Transport`
+  a :class:`~repro.runtime.supervisor.RingSupervisor` can own.
+* :class:`ChaosTransport` — a decorator over any of the above that
   injects loss, extra delay, duplication, reorder and partitions from a
   seeded RNG; the knobs are mutable so a
   :class:`~repro.runtime.chaos.ChaosScript` can open and close fault
   windows while the ring runs.
+
+Serialization is delegated to a per-transport :class:`~repro.runtime.
+wire.Wire` (installed by the supervisor; defaults to JSON).  Per-node
+wire overrides (:meth:`Transport.set_wire` with ``node=``) model
+mixed-version rings: each node encodes with its own wire while the ring's
+default wire decodes everything by sniffing, recording per-peer fallbacks.
 
 Delivery is always *asynchronous with respect to the sender*: a send never
 invokes the receiver's handler on the sender's stack (loopback uses
@@ -26,7 +40,16 @@ import asyncio
 import random
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.runtime.wire import WireError, decode_message, encode_message
+from repro.runtime.wire import (
+    MAX_BATCH_FRAMES,
+    Wire,
+    WireError,
+    frame_format,
+    pack_batch,
+    parse_binary_header,
+    parse_json_frame,
+    split_frames,
+)
 
 #: ``deliver(sender, state)`` — a node's ingress callback.
 Deliver = Callable[[int, Any], None]
@@ -35,13 +58,35 @@ Deliver = Callable[[int, Any], None]
 class Transport:
     """Abstract point-to-point datagram transport between node indices."""
 
-    def __init__(self) -> None:
+    def __init__(self, wire: Optional[Wire] = None) -> None:
         self._receivers: Dict[int, Deliver] = {}
+        #: Default serializer (decode side + encode for nodes without an
+        #: override).  Supervisors install the real one before boot.
+        self.wire: Wire = wire if wire is not None else Wire("json")
+        self._node_wires: Dict[int, Wire] = {}
         # -- statistics -----------------------------------------------------
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
 
+    # -- wire management -----------------------------------------------------
+    def set_wire(self, wire: Wire, node: Optional[int] = None) -> None:
+        """Install the ring's serializer, or a per-node encode override.
+
+        ``node=None`` replaces the default wire (used to decode everything
+        and to encode for nodes without an override).  ``node=i`` makes
+        node ``i`` *speak* a different format — a mixed-version ring.
+        """
+        if node is None:
+            self.wire = wire
+        else:
+            self._node_wires[node] = wire
+
+    def wire_for(self, src: int) -> Wire:
+        """The wire node ``src`` encodes with."""
+        return self._node_wires.get(src, self.wire)
+
+    # -- Transport contract --------------------------------------------------
     def register(self, index: int, deliver: Deliver) -> None:
         """Attach (or replace) the ingress callback for ``index``.
 
@@ -85,22 +130,28 @@ class Transport:
             self.dropped += 1
             return
         try:
-            sender, state = decode_message(data)
+            frames = self.wire.decode(data)
         except WireError:
             # A malformed datagram is treated as lost; the periodic CST
             # timer re-sends the state anyway (self-stabilization absorbs
             # arbitrary channel garbage).
             self.dropped += 1
             return
-        self.delivered += 1
-        deliver(sender, state)
+        for src, frame_dst, state in frames:
+            if frame_dst is not None and frame_dst != dst:
+                # Misrouted frame inside a batch; count it as lost rather
+                # than delivering to the wrong node.
+                self.dropped += 1
+                continue
+            self.delivered += 1
+            deliver(src, state)
 
 
 class LoopbackTransport(Transport):
     """In-process transport: encode, hop through the event loop, decode."""
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, wire: Optional[Wire] = None) -> None:
+        super().__init__(wire)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._closed = False
 
@@ -111,7 +162,7 @@ class LoopbackTransport(Transport):
         if self._closed or self._loop is None:
             return
         self.sent += 1
-        data = encode_message(src, state)
+        data = self.wire_for(src).encode(src, dst, state)
         self._loop.call_soon(self._handoff, dst, data)
 
     async def close(self) -> None:
@@ -139,19 +190,37 @@ class UdpTransport(Transport):
 
     ``bind(i)`` must run (via :meth:`start`) before any ``post`` toward
     ``i`` can route; the supervisor binds every index it boots.
+
+    With ``batch=True``, frames posted within one event-loop tick toward
+    the same destination are coalesced into a single datagram — one
+    ``sendto`` syscall instead of one per message.  Latency cost is one
+    ``call_soon`` hop (microseconds), throughput gain is large once many
+    nodes share a tick.
     """
 
-    def __init__(self, indices: Iterable[int], host: str = "127.0.0.1"):
-        super().__init__()
+    def __init__(
+        self,
+        indices: Iterable[int],
+        host: str = "127.0.0.1",
+        batch: bool = False,
+        wire: Optional[Wire] = None,
+    ):
+        super().__init__(wire)
         self.host = host
         self.indices = tuple(indices)
+        self.batch = batch
         self._endpoints: Dict[int, asyncio.DatagramTransport] = {}
         #: ``index -> (host, port)`` routing table, filled at bind time.
         self.routes: Dict[int, Tuple[str, int]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pending: Dict[Tuple[int, int], List[bytes]] = {}
+        self._flush_scheduled = False
+        self.datagrams_out = 0
         self._closed = False
 
     async def start(self) -> None:
         loop = asyncio.get_running_loop()
+        self._loop = loop
         for i in self.indices:
             if i in self._endpoints:
                 continue
@@ -172,15 +241,255 @@ class UdpTransport(Transport):
             self.dropped += 1
             return
         self.sent += 1
-        endpoint.sendto(encode_message(src, state), route)
+        data = self.wire_for(src).encode(src, dst, state)
+        if not self.batch:
+            self.datagrams_out += 1
+            endpoint.sendto(data, route)
+            return
+        self._pending.setdefault((src, dst), []).append(data)
+        if not self._flush_scheduled and self._loop is not None:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, {}
+        if self._closed:
+            return
+        for (src, dst), frames in pending.items():
+            endpoint = self._endpoints.get(src)
+            route = self.routes.get(dst)
+            if endpoint is None or route is None:
+                self.dropped += len(frames)
+                continue
+            for i in range(0, len(frames), MAX_BATCH_FRAMES):
+                self.datagrams_out += 1
+                endpoint.sendto(
+                    pack_batch(frames[i:i + MAX_BATCH_FRAMES]), route
+                )
 
     async def close(self) -> None:
         self._closed = True
+        self._pending.clear()
         for transport in self._endpoints.values():
             transport.close()
         self._endpoints.clear()
         # Give the loop one tick to run the transports' close callbacks.
         await asyncio.sleep(0)
+
+    def stats(self) -> Dict[str, int]:
+        out = super().stats()
+        out["datagrams_out"] = self.datagrams_out
+        out["batched"] = int(self.batch)
+        return out
+
+
+# -- fleet multiplexing -------------------------------------------------------
+
+class _MuxDatagramProtocol(asyncio.DatagramProtocol):
+    """One shared fleet socket; everything routes through the owner."""
+
+    def __init__(self, owner: "MuxUdpTransport"):
+        self.owner = owner
+
+    def datagram_received(self, data: bytes, addr: Tuple[str, int]) -> None:
+        self.owner._ingress(data)
+
+    def error_received(self, exc: Exception) -> None:  # pragma: no cover
+        pass
+
+
+class RingView(Transport):
+    """One ring's :class:`Transport` facade over a shared fleet mux.
+
+    A supervisor owns a view exactly like it owns a private transport;
+    ``start``/``close`` acquire and release the underlying mux with
+    refcounting, so the last ring out turns off the sockets.
+    """
+
+    def __init__(self, mux: "MuxUdpTransport", ring_id: int, n: int):
+        # Even the default wire must stamp this ring's id, or frames from
+        # bare views (no set_wire yet) would all demux to ring 0.
+        super().__init__(wire=Wire("json", ring_id=ring_id))
+        self.mux = mux
+        #: Stamped into frames; supervisors build their wire from this.
+        self.ring_id = ring_id
+        self.n = n
+        self._started = False
+
+    async def start(self) -> None:
+        if not self._started:
+            self._started = True
+            await self.mux.acquire()
+
+    def post(self, src: int, dst: int, state: Any) -> None:
+        if not self._started:
+            return
+        self.sent += 1
+        data = self.wire_for(src).encode(src, dst, state)
+        self.mux.send_frame(self.ring_id, dst, data)
+
+    async def close(self) -> None:
+        if self._started:
+            self._started = False
+            await self.mux.release(self.ring_id)
+
+
+class MuxUdpTransport:
+    """N rings multiplexed over a shared pool of UDP sockets.
+
+    Where :class:`UdpTransport` binds one socket per node, the mux binds
+    ``sockets`` sockets *total* and addresses ``(ring_id, node)`` pairs to
+    a deterministic home socket.  Incoming datagrams are demultiplexed by
+    the ``ring_id`` stamped in every frame header (binary: one struct
+    read; JSON: the ``"r"`` key) and handed to the owning
+    :class:`RingView`, whose wire performs the real decode.
+
+    Batching is on by default: all frames leaving in one event-loop tick
+    toward the same destination socket coalesce into one datagram —
+    across rings, which is the fleet's syscall amortization.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", sockets: int = 1, batch: bool = True
+    ):
+        self.host = host
+        self.num_sockets = max(1, int(sockets))
+        self.batch = batch
+        self._sockets: List[asyncio.DatagramTransport] = []
+        self._addrs: List[Tuple[str, int]] = []
+        self._views: Dict[int, RingView] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pending: Dict[int, List[bytes]] = {}
+        self._flush_scheduled = False
+        self._refs = 0
+        self._started = False
+        self._closed = False
+        # -- statistics -----------------------------------------------------
+        self.frames_out = 0
+        self.frames_in = 0
+        self.datagrams_out = 0
+        self.datagrams_in = 0
+        self.unroutable = 0
+
+    # -- view lifecycle ------------------------------------------------------
+    def view(self, ring_id: int, n: int) -> RingView:
+        """Create the :class:`Transport` facade for ring ``ring_id``."""
+        if ring_id in self._views:
+            raise ValueError(f"ring {ring_id} already has a view")
+        v = RingView(self, ring_id, n)
+        self._views[ring_id] = v
+        return v
+
+    async def acquire(self) -> None:
+        """Refcount a view in; first acquirer brings the socket pool up."""
+        self._refs += 1
+        await self.start()
+
+    async def release(self, ring_id: int) -> None:
+        """Refcount a view out; the last release closes the sockets."""
+        self._views.pop(ring_id, None)
+        self._refs -= 1
+        if self._refs <= 0:
+            await self.close()
+
+    # -- socket pool ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the shared socket pool (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        for _ in range(self.num_sockets):
+            transport, _ = await loop.create_datagram_endpoint(
+                lambda: _MuxDatagramProtocol(self),
+                local_addr=(self.host, 0),
+            )
+            self._sockets.append(transport)
+            sockname = transport.get_extra_info("sockname")
+            self._addrs.append((self.host, sockname[1]))
+
+    async def close(self) -> None:
+        """Tear down the socket pool and drop any unsent batches."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pending.clear()
+        for transport in self._sockets:
+            transport.close()
+        self._sockets.clear()
+        await asyncio.sleep(0)
+
+    @property
+    def started(self) -> bool:
+        """Whether the shared socket pool is currently up."""
+        return self._started and not self._closed
+
+    def _home(self, ring_id: int, node: int) -> int:
+        """Deterministic home-socket index for a ``(ring, node)`` pair."""
+        return (ring_id + node) % self.num_sockets
+
+    # -- egress --------------------------------------------------------------
+    def send_frame(self, ring_id: int, dst: int, frame: bytes) -> None:
+        """Route one encoded frame toward ``(ring_id, dst)``'s home socket."""
+        if self._closed or not self._started:
+            return
+        self.frames_out += 1
+        home = self._home(ring_id, dst)
+        if not self.batch:
+            self.datagrams_out += 1
+            self._sockets[home].sendto(frame, self._addrs[home])
+            return
+        self._pending.setdefault(home, []).append(frame)
+        if not self._flush_scheduled and self._loop is not None:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        pending, self._pending = self._pending, {}
+        if self._closed:
+            return
+        for home, frames in pending.items():
+            sock, addr = self._sockets[home], self._addrs[home]
+            for i in range(0, len(frames), MAX_BATCH_FRAMES):
+                self.datagrams_out += 1
+                sock.sendto(pack_batch(frames[i:i + MAX_BATCH_FRAMES]), addr)
+
+    # -- ingress -------------------------------------------------------------
+    def _ingress(self, data: bytes) -> None:
+        self.datagrams_in += 1
+        try:
+            for frame in split_frames(data):
+                # Codec-free routing parse: ring + destination only.  The
+                # owning view's wire re-parses for the actual state (cheap
+                # for binary — one struct read — and JSON is the slow
+                # path by definition).
+                if frame_format(frame) == "binary":
+                    ring_id, _src, dst, _seq, _w = parse_binary_header(frame)
+                else:
+                    ring_id, _src, dst, _state = parse_json_frame(frame)
+                view = self._views.get(ring_id)
+                if view is None or dst is None:
+                    self.unroutable += 1
+                    continue
+                self.frames_in += 1
+                view._handoff(dst, frame)
+        except WireError:
+            self.unroutable += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Fleet-level counters (per-ring counters live on the views)."""
+        return {
+            "sockets": self.num_sockets,
+            "batched": int(self.batch),
+            "frames_out": self.frames_out,
+            "frames_in": self.frames_in,
+            "datagrams_out": self.datagrams_out,
+            "datagrams_in": self.datagrams_in,
+            "unroutable": self.unroutable,
+        }
 
 
 class ChaosTransport(Transport):
@@ -218,6 +527,14 @@ class ChaosTransport(Transport):
         self._closed = False
 
     # -- Transport contract (register/start/close proxy to inner) ----------
+    def set_wire(self, wire: Wire, node: Optional[int] = None) -> None:
+        # Serialization happens at the inner transport's post/handoff; the
+        # chaos layer manipulates native (src, dst, state) triples only.
+        self.inner.set_wire(wire, node)
+
+    def wire_for(self, src: int) -> Wire:
+        return self.inner.wire_for(src)
+
     def register(self, index: int, deliver: Deliver) -> None:
         self.inner.register(index, deliver)
 

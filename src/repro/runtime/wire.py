@@ -1,12 +1,29 @@
-"""Wire format for live CST rings: one datagram per ``<state, q>`` message.
+"""Wire formats for live CST rings: versioned JSON and a packed binary fastpath.
 
 The DES layer passes ``(sender, state)`` tuples by reference; a live
-deployment has to serialize them.  Messages are single JSON objects —
-small (a ring state is a few ints), self-delimiting as UDP datagrams, and
-line-delimited on stream-ish transports.  Local states survive the round
-trip structurally: SSRmin's ``(x, rts, tra)`` tuples become JSON arrays and
-are restored to tuples on decode (the cache/guard layer compares states
-with ``==``, so list/tuple confusion would silently break coherence).
+deployment has to serialize them.  Two formats share one wire:
+
+* **JSON (v1)** — one self-delimiting JSON object per datagram.  Slow but
+  self-describing; the debugging format and the compatibility floor.
+* **Binary (v2)** — a fixed-width struct header (version, ring id, source,
+  destination, sequence number) followed by the algorithm's *packed* local
+  state: the exact integer word the message-passing fastpath engine
+  consumes (``(x << 2) | (rts << 1) | tra`` for SSRmin, the bare counter
+  for Dijkstra — see :mod:`repro.messagepassing.fastpath.codecs`).  A
+  received frame decodes with one ``struct.unpack`` plus one interned
+  table lookup; no dict materializes on the hot path.
+
+Frames of either format can be **coalesced** into one batch datagram
+(magic byte + length-prefixed frames); the UDP transports use this to
+amortize syscalls when many messages leave in the same event-loop tick.
+
+Every decoder *sniffs* the format from the first byte — ``{`` (JSON),
+the binary version byte, or the batch magic — so a binary-speaking node
+receiving a JSON frame (or vice versa) keeps working: the frame decodes,
+a per-peer fallback is recorded, and the :class:`Wire`'s ``on_fallback``
+hook lets the supervisor log a structured incident.  Version *negotiation*
+is therefore passive and per-peer, exactly what a self-stabilizing ring
+wants during a rolling upgrade.
 
 A decode failure raises :class:`WireError` rather than crashing the node:
 a self-stabilizing server treats a malformed datagram exactly like a lost
@@ -16,10 +33,28 @@ one (the periodic timer re-sends state anyway).
 from __future__ import annotations
 
 import json
-from typing import Any, Tuple
+import struct
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-#: Wire schema version; a node ignores datagrams from other versions.
+#: JSON wire schema version (v1); unchanged since PR 4.
 WIRE_VERSION = 1
+#: Binary wire schema version (v2): the packed-word fastpath format.
+BINARY_WIRE_VERSION = 2
+#: First byte of a batch datagram (coalesced frames).  Distinct from both
+#: ``ord("{")`` (JSON) and :data:`BINARY_WIRE_VERSION`.
+BATCH_MAGIC = 0xBB
+
+#: Binary frame header: version, ring_id, src, dst, seq, packed word.
+#: Network byte order, 19 bytes total — small enough that thousands of
+#: frames coalesce into one datagram under the 64 KiB UDP ceiling.
+BINARY_HEADER = struct.Struct("!BHHHIQ")
+
+#: Largest number of frames one batch datagram may carry (keeps even
+#: JSON-frame batches comfortably under the UDP datagram ceiling).
+MAX_BATCH_FRAMES = 512
+
+_JSON_OPEN = ord("{")
+_LEN_PREFIX = struct.Struct("!H")
 
 
 class WireError(ValueError):
@@ -33,20 +68,32 @@ def restore_state(value: Any) -> Any:
     return value
 
 
+# -- v1 JSON (module-level API kept for compatibility) ------------------------
+
 def encode_message(sender: int, state: Any) -> bytes:
-    """Serialize ``<state, q>`` from ``sender`` into one datagram."""
+    """Serialize ``<state, q>`` from ``sender`` into one v1 JSON datagram."""
     return json.dumps(
         {"v": WIRE_VERSION, "s": sender, "q": state}, separators=(",", ":")
     ).encode("utf-8")
 
 
 def decode_message(data: bytes) -> Tuple[int, Any]:
-    """Parse a datagram back into ``(sender, state)``.
+    """Parse a JSON datagram back into ``(sender, state)``.
 
     Raises
     ------
     WireError
         On malformed JSON, a wrong schema version, or missing fields.
+    """
+    _, sender, _, state = parse_json_frame(data)
+    return sender, state
+
+
+def parse_json_frame(data: bytes) -> Tuple[int, int, Optional[int], Any]:
+    """Parse one JSON frame into ``(ring_id, src, dst, state)``.
+
+    ``ring_id`` defaults to 0 and ``dst`` to ``None`` for pre-fleet v1
+    frames that carry neither field.
     """
     try:
         obj = json.loads(data.decode("utf-8"))
@@ -60,4 +107,253 @@ def decode_message(data: bytes) -> Tuple[int, Any]:
         raise WireError(f"missing/invalid sender in {obj!r}") from None
     if "q" not in obj:
         raise WireError(f"missing state in {obj!r}")
-    return sender, restore_state(obj["q"])
+    try:
+        ring_id = int(obj.get("r", 0))
+        dst = int(obj["d"]) if "d" in obj else None
+    except (TypeError, ValueError):
+        raise WireError(f"invalid ring/destination in {obj!r}") from None
+    return ring_id, sender, dst, restore_state(obj["q"])
+
+
+def json_frame(src: int, dst: int, state: Any, ring_id: int = 0) -> bytes:
+    """One fleet-addressed JSON frame (v1 plus ``r``/``d`` routing fields)."""
+    return json.dumps(
+        {"v": WIRE_VERSION, "r": ring_id, "s": src, "d": dst, "q": state},
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+# -- v2 binary ----------------------------------------------------------------
+
+def binary_frame(
+    src: int, dst: int, seq: int, word: int, ring_id: int = 0
+) -> bytes:
+    """One packed binary frame; ``word`` is the MPCodec-packed local state."""
+    return BINARY_HEADER.pack(
+        BINARY_WIRE_VERSION, ring_id, src, dst, seq & 0xFFFFFFFF, word
+    )
+
+
+def parse_binary_header(data: bytes) -> Tuple[int, int, int, int, int]:
+    """Parse one binary frame into ``(ring_id, src, dst, seq, word)``.
+
+    Codec-free: callers that need the native state run the word through
+    their ring's codec afterwards (the fleet mux resolves the ring first).
+    """
+    if len(data) != BINARY_HEADER.size:
+        raise WireError(
+            f"binary frame length {len(data)} != {BINARY_HEADER.size}"
+        )
+    version, ring_id, src, dst, seq, word = BINARY_HEADER.unpack(data)
+    if version != BINARY_WIRE_VERSION:
+        raise WireError(f"unknown binary wire version {version}")
+    return ring_id, src, dst, seq, word
+
+
+def frame_format(data: bytes) -> str:
+    """Sniff a single frame's format from its first byte."""
+    if not data:
+        raise WireError("empty datagram")
+    lead = data[0]
+    if lead == _JSON_OPEN:
+        return "json"
+    if lead == BINARY_WIRE_VERSION:
+        return "binary"
+    raise WireError(f"unrecognized frame lead byte 0x{lead:02x}")
+
+
+# -- batching -----------------------------------------------------------------
+
+def pack_batch(frames: Sequence[bytes]) -> bytes:
+    """Coalesce frames into one datagram (single frames pass through raw)."""
+    if not frames:
+        raise ValueError("cannot pack an empty batch")
+    if len(frames) == 1:
+        return frames[0]
+    if len(frames) > MAX_BATCH_FRAMES:
+        raise ValueError(
+            f"batch of {len(frames)} frames exceeds {MAX_BATCH_FRAMES}"
+        )
+    parts = [bytes([BATCH_MAGIC])]
+    for frame in frames:
+        parts.append(_LEN_PREFIX.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def split_frames(data: bytes) -> Iterator[bytes]:
+    """Yield the individual frames of a datagram (batch or single)."""
+    if not data:
+        raise WireError("empty datagram")
+    if data[0] != BATCH_MAGIC:
+        yield data
+        return
+    offset, end = 1, len(data)
+    while offset < end:
+        if offset + _LEN_PREFIX.size > end:
+            raise WireError("truncated batch length prefix")
+        (length,) = _LEN_PREFIX.unpack_from(data, offset)
+        offset += _LEN_PREFIX.size
+        if offset + length > end:
+            raise WireError("truncated batch frame")
+        yield data[offset:offset + length]
+        offset += length
+
+
+# -- the per-ring wire object --------------------------------------------------
+
+class Wire:
+    """One ring's serializer: *speaks* one format, *decodes* both.
+
+    Parameters
+    ----------
+    format:
+        ``"json"`` or ``"binary"`` — the format this node emits.
+    codec:
+        The algorithm's :class:`~repro.messagepassing.fastpath.codecs.
+        MPCodec`.  Required to speak binary; optional (but recommended) for
+        JSON speakers so they can still *decode* binary frames from
+        upgraded peers.
+    ring_id:
+        Fleet ring id stamped into every frame; frames from other rings
+        are rejected as garbage (the fleet mux routes them earlier).
+    on_fallback:
+        ``on_fallback(peer, received_format)`` fired the first time each
+        peer is seen speaking the other format — the supervisor's
+        structured-incident hook.
+    """
+
+    def __init__(
+        self,
+        format: str = "json",
+        codec: Optional[Any] = None,
+        ring_id: int = 0,
+        on_fallback: Optional[Callable[[int, str], None]] = None,
+    ):
+        if format not in ("json", "binary"):
+            raise ValueError(f"unknown wire format {format!r} (json, binary)")
+        if format == "binary" and codec is None:
+            raise ValueError(
+                "binary wire needs a packed MPCodec (algorithm.mp_codec())"
+            )
+        self.format = format
+        self.codec = codec
+        self.ring_id = ring_id
+        self.on_fallback = on_fallback
+        #: Packed-word domain bound (exclusive) when the codec declares one.
+        self.packed_bound: Optional[int] = getattr(
+            codec, "packed_bound", None
+        )
+        self._seq: Dict[int, int] = {}
+        # -- statistics ------------------------------------------------------
+        self.encoded = 0
+        self.decoded = 0
+        #: Binary speaker forced to emit JSON for an out-of-domain state.
+        self.encode_fallbacks = 0
+        #: Frames decoded in the *other* format (per-peer negotiation).
+        self.fallback_decodes = 0
+        #: ``peer -> format`` for peers seen speaking the other format.
+        self.peer_fallbacks: Dict[int, str] = {}
+
+    # -- encode ----------------------------------------------------------------
+    def next_seq(self, src: int) -> int:
+        """Next per-source sequence number (stamped into binary frames)."""
+        seq = self._seq.get(src, 0)
+        self._seq[src] = seq + 1
+        return seq
+
+    def encode(self, src: int, dst: int, state: Any) -> bytes:
+        """Serialize one ``<state, q>`` message in the spoken format."""
+        self.encoded += 1
+        if self.format == "binary":
+            word = self.codec.try_pack(state)
+            if word is not None:
+                return binary_frame(
+                    src, dst, self.next_seq(src), word, self.ring_id
+                )
+            # Out-of-domain state (an injected fault value the packing
+            # does not cover): fall back to self-describing JSON rather
+            # than dropping the message — peers sniff per frame anyway.
+            self.encode_fallbacks += 1
+        return json_frame(src, dst, state, self.ring_id)
+
+    # -- decode ----------------------------------------------------------------
+    def state_from_word(self, word: int) -> Any:
+        """Bound-check and unpack one wire word to the native local state."""
+        if self.codec is None:
+            raise WireError("binary frame but this ring has no packed codec")
+        if self.packed_bound is not None and not 0 <= word < self.packed_bound:
+            raise WireError(
+                f"packed word {word} outside domain [0, {self.packed_bound})"
+            )
+        return self.codec.unpack(word)
+
+    def _note_format(self, src: int, fmt: str) -> None:
+        if fmt == self.format:
+            return
+        self.fallback_decodes += 1
+        if src not in self.peer_fallbacks:
+            self.peer_fallbacks[src] = fmt
+            if self.on_fallback is not None:
+                self.on_fallback(src, fmt)
+
+    def decode(self, data: bytes) -> List[Tuple[int, Optional[int], Any]]:
+        """Parse one datagram into ``[(src, dst, state), ...]``.
+
+        Handles batch datagrams, sniffs each frame's format, rejects
+        frames stamped with a foreign ring id, and records per-peer
+        format fallbacks.  Raises :class:`WireError` for garbage — the
+        caller treats the whole datagram as lost.
+        """
+        frames: List[Tuple[int, Optional[int], Any]] = []
+        for frame in split_frames(data):
+            fmt = frame_format(frame)
+            if fmt == "binary":
+                ring_id, src, dst, _seq, word = parse_binary_header(frame)
+                state = self.state_from_word(word)
+            else:
+                ring_id, src, dst, state = parse_json_frame(frame)
+            if ring_id != self.ring_id:
+                raise WireError(
+                    f"frame for ring {ring_id} on ring {self.ring_id}"
+                )
+            self._note_format(src, fmt)
+            self.decoded += 1
+            frames.append((src, dst, state))
+        return frames
+
+    # -- statistics ------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the run report (per-peer fallbacks included)."""
+        return {
+            "format": self.format,
+            "encoded": self.encoded,
+            "decoded": self.decoded,
+            "encode_fallbacks": self.encode_fallbacks,
+            "fallback_decodes": self.fallback_decodes,
+            "fallback_peers": dict(self.peer_fallbacks),
+        }
+
+
+def make_wire(
+    format: str,
+    algorithm: Optional[Any] = None,
+    ring_id: int = 0,
+    on_fallback: Optional[Callable[[int, str], None]] = None,
+) -> Wire:
+    """Build a :class:`Wire` for an algorithm instance.
+
+    The codec comes from ``algorithm.mp_codec()`` when the algorithm has a
+    packed encoding; JSON wires work without one (they just cannot decode
+    binary frames from upgraded peers), binary wires require it.
+    """
+    codec = None
+    if algorithm is not None:
+        probe = getattr(algorithm, "mp_codec", None)
+        codec = probe() if callable(probe) else None
+    if format == "binary" and codec is None:
+        raise ValueError(
+            f"{type(algorithm).__name__ if algorithm is not None else 'ring'}"
+            " has no packed MPCodec; use the json wire"
+        )
+    return Wire(format, codec=codec, ring_id=ring_id, on_fallback=on_fallback)

@@ -1,0 +1,213 @@
+"""Integration tests for the fleet layer, load generator and uvloop shim.
+
+Covers the shared-socket mux (N rings demultiplexed by the ring_id in
+their wire headers), the loopback fleet (no sockets — the constrained-CI
+path), mixed-version rings (one JSON-speaking node in a binary fleet
+ring keeps circulating and raises exactly one structured incident),
+open-loop load generation against the critical section, worker-process
+sharding (slow-marked) and the stdlib fallback of the optional uvloop
+extra.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.runtime import (
+    FleetSupervisor,
+    LoadGenerator,
+    RingSpec,
+    RingSupervisor,
+    default_specs,
+    install_uvloop,
+    loop_name,
+    make_wire,
+    render_fleet_report,
+    run_fleet,
+    run_fleet_sharded,
+)
+
+
+def _run_fleet(specs, **kwargs):
+    kwargs.setdefault("duration", 0.4)
+    kwargs.setdefault("stabilize_timeout", 10.0)
+    return run_fleet(specs, **kwargs)
+
+
+# -- fleet deployments --------------------------------------------------------
+
+def test_fleet_loopback_two_rings_stabilize():
+    report = _run_fleet(
+        default_specs(2, n=4, timer_interval=0.05), transport="loopback",
+    )
+    assert report["schema"] == "repro-fleet/1"
+    assert report["rings"] == 2
+    assert report["stabilized_rings"] == 2
+    assert set(report["ring_reports"]) == {"ring-0", "ring-1"}
+    for ring in report["ring_reports"].values():
+        assert ring["wire"]["format"] == "binary"
+        assert ring["health"]["stabilized"] is True
+    assert report["delivered_total"] > 0
+
+
+def test_fleet_mux_udp_shares_sockets_and_demuxes_rings():
+    report = _run_fleet(
+        default_specs(3, n=4, timer_interval=0.05),
+        transport="mux-udp", sockets=2,
+    )
+    assert report["stabilized_rings"] == 3
+    mux = report["mux"]
+    assert mux["sockets"] == 2
+    assert mux["frames_in"] > 0
+    assert mux["unroutable"] == 0
+    # Batching coalesces: never more datagrams than frames.
+    assert mux["datagrams_out"] <= mux["frames_out"]
+    lines = render_fleet_report(report)
+    assert any("3 rings over mux-udp" in line for line in lines)
+
+
+def test_fleet_heterogeneous_wires_per_ring():
+    specs = [
+        RingSpec(name="json-ring", n=4, wire="json", timer_interval=0.05),
+        RingSpec(name="bin-ring", n=4, wire="binary", timer_interval=0.05),
+    ]
+    report = _run_fleet(specs, transport="mux-udp")
+    assert report["stabilized_rings"] == 2
+    assert report["ring_reports"]["json-ring"]["wire"]["format"] == "json"
+    assert report["ring_reports"]["bin-ring"]["wire"]["format"] == "binary"
+
+
+def test_fleet_rejects_bad_configs():
+    with pytest.raises(ValueError):
+        FleetSupervisor([])
+    dup = default_specs(1) + default_specs(1)
+    with pytest.raises(ValueError):
+        FleetSupervisor(dup)
+    with pytest.raises(ValueError):
+        FleetSupervisor(default_specs(1), transport="carrier-pigeon")
+
+
+# -- mixed-version ring (rolling upgrade regression) --------------------------
+
+def test_mixed_wire_ring_circulates_with_one_structured_incident():
+    """A JSON-speaking node in a binary ring: traffic flows, one incident."""
+
+    async def scenario():
+        alg = SSRmin(4, 5)
+        sup = RingSupervisor(
+            alg, transport="loopback", wire="binary", timer_interval=0.05,
+        )
+        fallbacks = []
+        sup.bus.subscribe(
+            lambda ev: fallbacks.append(ev.payload)
+            if ev.kind == "wire_fallback" else None
+        )
+        await sup.boot()
+        # Downgrade node 2 mid-flight: its frames go out as JSON while
+        # everyone else (including it, on receive) sniffs per frame.
+        sup.transport.set_wire(
+            make_wire("json", algorithm=alg), node=2,
+        )
+        await sup.wait_stabilized(10.0)
+        await sup.run_for(0.4)
+        await sup.shutdown()
+        return sup.report(), fallbacks
+
+    report, fallbacks = asyncio.run(scenario())
+    assert report["health"]["stabilized"] is True
+    wire = report["wire"]
+    assert wire["fallback_decodes"] > 0
+    assert wire["fallback_peers"] == {2: "json"}
+    # The once-per-peer structured incident the supervisor publishes.
+    assert len(fallbacks) == 1
+    assert fallbacks[0]["node"] == 2
+    assert fallbacks[0]["spoken"] == "binary"
+    assert fallbacks[0]["received"] == "json"
+
+
+# -- load generation ----------------------------------------------------------
+
+def test_loadgen_serves_requests_with_zero_vacancy_blocking():
+    """SSRmin's graceful handover: demand never waits on a token vacancy."""
+    specs = default_specs(
+        1, n=4, timer_interval=0.05, load_rate=400.0,
+    )
+    report = _run_fleet(specs, transport="loopback", duration=0.6)
+    load = report["ring_reports"]["ring-0"]["load"]
+    assert load["requests"] > 0
+    assert load["served"] == load["requests"]
+    assert load["pending"] == 0
+    # >= 1 own-view holder at every tick (Theorem 3, operationally).
+    assert load["blocked_ticks"] == 0
+
+
+def test_loadgen_report_shape():
+    async def scenario():
+        sup = RingSupervisor(
+            SSRmin(4, 5), transport="loopback", timer_interval=0.05,
+        )
+        await sup.boot()
+        await sup.wait_stabilized(10.0)
+        gen = LoadGenerator(sup, rate=300.0, seed=7)
+        report = await gen.run(0.3)
+        await sup.shutdown()
+        return report
+
+    report = asyncio.run(scenario())
+    data = report.to_json()
+    assert data["rate"] == 300.0
+    assert data["served"] + data["pending"] == data["requests"]
+    assert data["wait_p99"] >= data["wait_p50"] >= 0.0
+    assert report.throughput >= 0.0
+
+
+# -- worker-process sharding --------------------------------------------------
+
+@pytest.mark.slow
+def test_fleet_sharded_across_worker_processes():
+    report = run_fleet_sharded(
+        default_specs(4, n=4, timer_interval=0.05),
+        workers=2, duration=0.4, transport="mux-udp",
+    )
+    assert report["rings"] == 4
+    assert report["stabilized_rings"] == 4
+    assert report["workers"] == 2
+    assert len(set(report["worker_pids"])) == 2
+    assert set(report["ring_reports"]) == {
+        "ring-0", "ring-1", "ring-2", "ring-3",
+    }
+
+
+def test_fleet_sharded_degrades_to_single_process():
+    report = run_fleet_sharded(
+        default_specs(2, n=4, timer_interval=0.05),
+        workers=1, duration=0.3, transport="loopback",
+    )
+    assert report["stabilized_rings"] == 2
+    assert "workers" not in report
+
+
+# -- optional uvloop ----------------------------------------------------------
+
+def test_uvloop_absent_falls_back_to_stdlib():
+    try:
+        import uvloop  # noqa: F401
+    except ImportError:
+        pass
+    else:
+        pytest.skip("uvloop installed; fallback path not reachable")
+    assert install_uvloop(True) is False
+    assert loop_name() == "asyncio"
+    # The runtime stays fully functional on the stdlib loop.
+    report = _run_fleet(
+        default_specs(1, n=3, timer_interval=0.05),
+        transport="loopback", duration=0.2,
+    )
+    assert report["loop"] == "asyncio"
+    assert report["stabilized_rings"] == 1
+
+
+def test_install_uvloop_disabled_resets_policy():
+    assert install_uvloop(False) is False
+    assert loop_name() == "asyncio"

@@ -191,3 +191,119 @@ def test_chaos_delay_window_defers_delivery():
     assert immediate == []
     assert eventual == [(0, 9)]
     assert stats["injected_delays"] == 1
+
+
+# -- send-side batching -------------------------------------------------------
+
+def test_udp_batch_coalesces_datagrams():
+    from repro.core.ssrmin import SSRmin
+    from repro.runtime.wire import make_wire
+
+    async def scenario():
+        transport = UdpTransport([0, 1], batch=True)
+        transport.set_wire(make_wire("binary", algorithm=SSRmin(5, 6)))
+        await transport.start()
+        inbox = _collect(transport, [0, 1])
+        for i in range(20):
+            transport.post(0, 1, (i % 6, (0, 0), (0, 0)))
+        for _ in range(100):
+            await asyncio.sleep(0.01)
+            if len(inbox[1]) >= 20:
+                break
+        await transport.close()
+        return inbox, transport.stats()
+
+    inbox, stats = asyncio.run(scenario())
+    assert len(inbox[1]) == 20
+    assert [s for _, s in inbox[1]] == [
+        (i % 6, (0, 0), (0, 0)) for i in range(20)
+    ]
+    assert stats["batched"]
+    # 20 same-tick posts to one peer coalesce into far fewer datagrams.
+    assert stats["datagrams_out"] < 20
+
+
+def test_udp_unbatched_sends_one_datagram_per_message():
+    async def scenario():
+        transport = UdpTransport([0, 1], batch=False)
+        await transport.start()
+        inbox = _collect(transport, [0, 1])
+        for i in range(5):
+            transport.post(0, 1, i)
+        for _ in range(100):
+            await asyncio.sleep(0.01)
+            if len(inbox[1]) >= 5:
+                break
+        await transport.close()
+        return transport.stats()
+
+    stats = asyncio.run(scenario())
+    assert stats["datagrams_out"] == 5
+
+
+# -- fleet mux ----------------------------------------------------------------
+
+def test_mux_routes_frames_to_their_own_ring():
+    from repro.runtime.transport import MuxUdpTransport
+
+    async def scenario():
+        mux = MuxUdpTransport(sockets=2, batch=True)
+        ring_a = mux.view(0, 3)
+        ring_b = mux.view(1, 3)
+        inbox_a = _collect(ring_a, [0, 1, 2])
+        inbox_b = _collect(ring_b, [0, 1, 2])
+        await ring_a.start()
+        await ring_b.start()
+        ring_a.post(0, 1, "for-ring-a")
+        ring_b.post(0, 1, "for-ring-b")
+        for _ in range(100):
+            await asyncio.sleep(0.01)
+            if inbox_a[1] and inbox_b[1]:
+                break
+        stats = mux.stats()
+        await ring_a.close()
+        await ring_b.close()
+        return inbox_a, inbox_b, stats
+
+    inbox_a, inbox_b, stats = asyncio.run(scenario())
+    # Same node indices on both rings, no cross-ring leakage.
+    assert inbox_a[1] == [(0, "for-ring-a")]
+    assert inbox_b[1] == [(0, "for-ring-b")]
+    assert stats["sockets"] == 2
+    assert stats["frames_in"] == 2
+    assert stats["unroutable"] == 0
+
+
+def test_mux_refcounts_socket_lifecycle():
+    from repro.runtime.transport import MuxUdpTransport
+
+    async def scenario():
+        mux = MuxUdpTransport(sockets=1)
+        ring_a = mux.view(0, 2)
+        ring_b = mux.view(1, 2)
+        await ring_a.start()
+        await ring_b.start()
+        await ring_a.close()   # pool must survive the first release
+        alive_after_one = mux.started
+        await ring_b.close()   # last release tears the sockets down
+        return alive_after_one, mux.started
+
+    alive_after_one, alive_after_both = asyncio.run(scenario())
+    assert alive_after_one is True
+    assert alive_after_both is False
+
+
+def test_chaos_proxies_wire_to_inner_transport():
+    from repro.core.ssrmin import SSRmin
+    from repro.runtime.wire import make_wire
+
+    inner = LoopbackTransport()
+    chaos = ChaosTransport(inner, seed=1)
+    wire = make_wire("binary", algorithm=SSRmin(5, 6))
+    chaos.set_wire(wire)
+    assert inner.wire is wire
+    assert chaos.wire_for(0) is wire
+    per_node = make_wire("json", algorithm=SSRmin(5, 6))
+    chaos.set_wire(per_node, node=2)
+    assert chaos.wire_for(2) is per_node
+    assert chaos.wire_for(0) is wire

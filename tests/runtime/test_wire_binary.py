@@ -1,0 +1,244 @@
+"""Property tests for the packed binary wire (encode/decode identity).
+
+Hypothesis drives the round trips over the full packed-word domain of
+each algorithm's MPCodec (SSRmin ``(x << 2) | (rts << 1) | tra`` with
+``x < K``; Dijkstra the bare counter ``< K``), plus adversarial inputs:
+truncated headers, corrupted lead bytes, foreign ring ids, out-of-domain
+words, and mixed-format batches.  The runtime-smoke CI job installs
+hypothesis explicitly; elsewhere the module skips when it is absent.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.dijkstra import DijkstraKState
+from repro.core.ssrmin import SSRmin
+from repro.runtime.wire import (
+    BINARY_HEADER,
+    BINARY_WIRE_VERSION,
+    MAX_BATCH_FRAMES,
+    Wire,
+    WireError,
+    binary_frame,
+    frame_format,
+    json_frame,
+    make_wire,
+    pack_batch,
+    parse_binary_header,
+    split_frames,
+)
+
+# A few representative ring geometries per algorithm.
+SSRMIN_DIMS = [(3, 4), (5, 6), (8, 9), (16, 17)]
+DIJKSTRA_DIMS = [(3, 4), (5, 6), (8, 9)]
+
+
+def _ssrmin_wire(n, K, fmt="binary", ring_id=0):
+    return make_wire(fmt, algorithm=SSRmin(n, K), ring_id=ring_id)
+
+
+def _dijkstra_wire(n, K, fmt="binary", ring_id=0):
+    return make_wire(fmt, algorithm=DijkstraKState(n, K), ring_id=ring_id)
+
+
+# -- round-trip identity over the packed domains ------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    dims=st.sampled_from(SSRMIN_DIMS),
+    word=st.integers(min_value=0),
+    src=st.integers(min_value=0, max_value=0xFFFF),
+    dst=st.integers(min_value=0, max_value=0xFFFF),
+    data=st.data(),
+)
+def test_ssrmin_binary_roundtrip_identity(dims, word, src, dst, data):
+    n, K = dims
+    wire = _ssrmin_wire(n, K)
+    word = word % wire.packed_bound
+    state = wire.codec.unpack(word)
+    frame = wire.encode(src, dst, state)
+    assert frame_format(frame) == "binary"
+    assert len(frame) == BINARY_HEADER.size
+    decoded = wire.decode(frame)
+    assert decoded == [(src, dst, state)]
+    # The wire word is exactly the fastpath engine's packed integer.
+    assert parse_binary_header(frame)[4] == wire.codec.pack(state)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    dims=st.sampled_from(DIJKSTRA_DIMS),
+    word=st.integers(min_value=0),
+    src=st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_dijkstra_binary_roundtrip_identity(dims, word, src):
+    n, K = dims
+    wire = _dijkstra_wire(n, K)
+    word = word % wire.packed_bound
+    state = wire.codec.unpack(word)
+    assert wire.decode(wire.encode(src, 0, state)) == [(src, 0, state)]
+
+
+def test_full_domain_exhaustive_small_ring():
+    """Every packed word of SSRmin(5, 6) survives the wire unchanged."""
+    wire = _ssrmin_wire(5, 6)
+    for word in range(wire.packed_bound):
+        state = wire.codec.unpack(word)
+        assert wire.decode(wire.encode(0, 1, state)) == [(0, 1, state)]
+
+
+# -- adversarial frames are rejected, never mis-decoded -----------------------
+
+@settings(max_examples=200, deadline=None)
+@given(
+    word=st.integers(min_value=0, max_value=(6 << 2) - 1),
+    cut=st.integers(min_value=0, max_value=BINARY_HEADER.size - 1),
+)
+def test_truncated_binary_frame_rejected(word, cut):
+    wire = _ssrmin_wire(5, 6)
+    frame = binary_frame(0, 1, 7, word)
+    truncated = frame[:cut]
+    with pytest.raises((WireError, ValueError)):
+        wire.decode(truncated)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(min_size=1, max_size=64))
+def test_garbage_never_decodes_silently(data):
+    """Random bytes either raise WireError or decode to in-domain states."""
+    wire = _ssrmin_wire(5, 6)
+    try:
+        frames = wire.decode(data)
+    except WireError:
+        return
+    for _src, _dst, state in frames:
+        assert wire.codec.try_pack(state) is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(extra=st.integers(min_value=0, max_value=1000))
+def test_out_of_domain_word_rejected(extra):
+    wire = _ssrmin_wire(5, 6)
+    bad = binary_frame(0, 1, 0, wire.packed_bound + extra)
+    with pytest.raises(WireError):
+        wire.decode(bad)
+
+
+def test_wrong_version_byte_rejected():
+    wire = _ssrmin_wire(5, 6)
+    frame = bytearray(binary_frame(0, 1, 0, 3))
+    frame[0] = BINARY_WIRE_VERSION + 1
+    with pytest.raises(WireError):
+        wire.decode(bytes(frame))
+
+
+def test_foreign_ring_id_rejected():
+    ours = _ssrmin_wire(5, 6, ring_id=1)
+    theirs = _ssrmin_wire(5, 6, ring_id=2)
+    frame = theirs.encode(0, 1, theirs.codec.unpack(5))
+    with pytest.raises(WireError):
+        ours.decode(frame)
+
+
+# -- batching -----------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(
+    words=st.lists(
+        st.integers(min_value=0, max_value=(6 << 2) - 1),
+        min_size=1, max_size=32,
+    )
+)
+def test_batch_roundtrip_preserves_order_and_states(words):
+    wire = _ssrmin_wire(5, 6)
+    frames = [
+        wire.encode(i % 5, (i + 1) % 5, wire.codec.unpack(w))
+        for i, w in enumerate(words)
+    ]
+    messages = wire.decode(pack_batch(frames))
+    assert messages == [
+        (i % 5, (i + 1) % 5, wire.codec.unpack(w))
+        for i, w in enumerate(words)
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    words=st.lists(
+        st.integers(min_value=0, max_value=(6 << 2) - 1),
+        min_size=2, max_size=8,
+    ),
+    cut=st.integers(min_value=1, max_value=10),
+)
+def test_truncated_batch_rejected(words, cut):
+    wire = _ssrmin_wire(5, 6)
+    frames = [wire.encode(0, 1, wire.codec.unpack(w)) for w in words]
+    batch = pack_batch(frames)
+    with pytest.raises(WireError):
+        list(split_frames(batch[:len(batch) - cut]))
+
+
+def test_batch_size_cap_enforced():
+    frame = binary_frame(0, 1, 0, 3)
+    with pytest.raises(ValueError):
+        pack_batch([frame] * (MAX_BATCH_FRAMES + 1))
+
+
+def test_single_frame_batch_passes_through_raw():
+    frame = binary_frame(0, 1, 0, 3)
+    assert pack_batch([frame]) == frame
+
+
+# -- mixed-format negotiation -------------------------------------------------
+
+def test_json_speaker_decodes_binary_with_fallback_accounting():
+    events = []
+    wire = Wire(
+        "json",
+        codec=SSRmin(5, 6).mp_codec(),
+        on_fallback=lambda peer, fmt: events.append((peer, fmt)),
+    )
+    state = wire.codec.unpack(9)
+    upgraded = _ssrmin_wire(5, 6)
+    frame = upgraded.encode(3, 4, state)
+    assert wire.decode(frame) == [(3, 4, state)]
+    assert wire.decode(frame) == [(3, 4, state)]
+    # Two fallback decodes, but the structured incident fires once per peer.
+    assert wire.fallback_decodes == 2
+    assert events == [(3, "binary")]
+    assert wire.stats()["fallback_peers"] == {3: "binary"}
+
+
+def test_binary_speaker_decodes_json_with_fallback_accounting():
+    wire = _ssrmin_wire(5, 6)
+    state = wire.codec.unpack(9)
+    assert wire.decode(json_frame(2, 0, state)) == [(2, 0, state)]
+    assert wire.peer_fallbacks == {2: "json"}
+
+
+def test_binary_speaker_json_fallback_for_out_of_domain_state():
+    """Injected fault values outside the packed domain still travel."""
+    wire = _ssrmin_wire(5, 6)
+    weird = (99, (1, 0), (0, 1))  # x=99 >= K: not packable
+    frame = wire.encode(0, 1, weird)
+    assert frame_format(frame) == "json"
+    assert wire.encode_fallbacks == 1
+    assert wire.decode(frame) == [(0, 1, weird)]
+
+
+def test_mixed_format_batch_decodes():
+    wire = _ssrmin_wire(5, 6)
+    state = wire.codec.unpack(4)
+    batch = pack_batch([
+        wire.encode(0, 1, state),
+        json_frame(1, 2, state),
+    ])
+    assert wire.decode(batch) == [(0, 1, state), (1, 2, state)]
+
+
+def test_binary_wire_requires_codec():
+    with pytest.raises(ValueError):
+        Wire("binary", codec=None)
