@@ -1,0 +1,325 @@
+"""Observation points: the paper's predicates sampled at epoch boundaries.
+
+The online :class:`~repro.runtime.health.HealthMonitor` already evaluates
+the conformance predicates (legitimate + coherent entry condition, own-view
+token census vs :data:`~repro.verification.conformance.oracle.TOKEN_BOUNDS`,
+vacancy instants, per-epoch time-to-restabilize).  An
+:class:`ObservationPoint` taps that stream declaratively: the
+:class:`ObservationHarness` chains itself onto the monitor's epoch
+callbacks — ``epoch_open``, ``epoch_stabilized``, ``violation``, plus a
+synthetic ``final`` sample at teardown — and asks every point for an
+:class:`Observation` at each boundary.
+
+Observations come in three grades:
+
+* plain **samples** (``breach=False``) — the campaign's measured
+  observables (time-to-restabilize per epoch, census extrema, vacancy
+  counts), persisted as ``samples`` rows;
+* **breaches** (``breach=True, fatal=False``) — a declared budget was
+  missed (e.g. restabilization slower than the experiment's budget); the
+  cell fails its verdict but runs to completion;
+* **fatal breaches** (``fatal=True``) — a paper *invariant* broke (token
+  guarantee violated after stabilization, vacancy observed for a
+  graceful-handover algorithm).  With ``abort_on_breach`` the scheduler
+  tears the ring down immediately and records an escalated incident.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+#: Event names a point can observe.
+EVENTS = ("epoch_open", "epoch_stabilized", "violation", "final")
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One reading from one observation point."""
+
+    point: str
+    event: str
+    time: float
+    value: Optional[float] = None
+    breach: bool = False
+    fatal: bool = False
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """JSON-able form (experiment results, sample rows)."""
+        return {
+            "point": self.point,
+            "event": self.event,
+            "time": self.time,
+            "value": self.value,
+            "breach": self.breach,
+            "fatal": self.fatal,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass(frozen=True)
+class ObservationContext:
+    """What a point sees at one epoch boundary."""
+
+    event: str
+    time: float
+    supervisor: Any
+    health: Any
+    budget: float
+    #: Event-specific payload: the epoch (open/stabilized) or the
+    #: violation record.
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class ObservationPoint:
+    """Base class: ``observe(ctx)`` returns an Observation or ``None``."""
+
+    name = "point"
+
+    def observe(self, ctx: ObservationContext) -> Optional[Observation]:
+        """Sample this point at one boundary; ``None`` means no sample.
+
+        Called for every health-monitor event (``epoch_open``,
+        ``epoch_stabilized``, ``violation``) and once more with the
+        synthetic ``final`` event at teardown.  A returned observation
+        with ``fatal=True`` trips the experiment's abort path.
+        """
+        raise NotImplementedError
+
+
+class EntryConditionPoint(ObservationPoint):
+    """Theorem 4's entry condition: the legitimate + coherent instant.
+
+    Samples each epoch's time-to-stabilize the moment the monitor sees
+    the first legitimate + coherent configuration; never breaches (the
+    budget point judges the latency).
+    """
+
+    name = "entry-condition"
+
+    def observe(self, ctx: ObservationContext) -> Optional[Observation]:
+        if ctx.event != "epoch_stabilized":
+            return None
+        epoch = ctx.payload.get("epoch")
+        ttr = epoch.time_to_stabilize if epoch is not None else None
+        return Observation(
+            point=self.name, event=ctx.event, time=ctx.time, value=ttr,
+            detail={"epoch": epoch.label if epoch is not None else "?"},
+        )
+
+
+class TokenCensusPoint(ObservationPoint):
+    """The (1, 2)-token bounds of Theorems 1/3 on post-stabilized instants.
+
+    A ``violation`` event from the monitor — the census left its bounds
+    after the entry condition — is the invariant breach the paper's
+    claims forbid: **fatal**.  At ``final`` it samples the census extrema
+    observed across the run.
+    """
+
+    name = "token-census"
+
+    def observe(self, ctx: ObservationContext) -> Optional[Observation]:
+        if ctx.event == "violation":
+            record = ctx.payload.get("record", {})
+            return Observation(
+                point=self.name, event=ctx.event, time=ctx.time,
+                value=float(len(record.get("holders", ()))),
+                breach=True, fatal=True, detail=dict(record),
+            )
+        if ctx.event == "final":
+            lo = ctx.health.post_stab_min_holders
+            return Observation(
+                point=self.name, event=ctx.event, time=ctx.time,
+                value=float(lo) if lo is not None else None,
+                detail={
+                    "min_holders": lo,
+                    "max_holders": ctx.health.post_stab_max_holders,
+                    "bounds": ctx.health.token_bounds,
+                },
+            )
+        return None
+
+
+class VacancyPoint(ObservationPoint):
+    """Handover vacancy instants (Theorems 3-4 vs Dijkstra's Figure 13 gap).
+
+    For a graceful-handover algorithm any vacancy after stabilization is
+    an invariant breach (**fatal**); for non-graceful algorithms the
+    count is the measured observable.
+    """
+
+    name = "vacancy"
+
+    def observe(self, ctx: ObservationContext) -> Optional[Observation]:
+        if ctx.event not in ("epoch_open", "final"):
+            return None
+        count = ctx.health.vacancy_instants
+        fatal = bool(ctx.health.guaranteed_throughout and count > 0)
+        return Observation(
+            point=self.name, event=ctx.event, time=ctx.time,
+            value=float(count), breach=fatal, fatal=fatal,
+            detail={"graceful": ctx.health.guaranteed_throughout},
+        )
+
+
+class RestabilizeBudgetPoint(ObservationPoint):
+    """Closure/convergence within budget (Theorem 2, operationalized).
+
+    At ``final``: the last epoch must have restabilized, within the
+    experiment's budget.  Misses are breaches (the cell fails) but not
+    fatal — the ring was torn down normally and the latency itself is
+    the data point.
+    """
+
+    name = "restabilize-budget"
+
+    def observe(self, ctx: ObservationContext) -> Optional[Observation]:
+        if ctx.event != "final":
+            return None
+        ttr = ctx.health.time_to_restabilize()
+        if not ctx.health.stabilized:
+            return Observation(
+                point=self.name, event=ctx.event, time=ctx.time,
+                value=None, breach=True,
+                detail={"reason": "never restabilized",
+                        "epoch": ctx.health.current_epoch.label,
+                        "budget": ctx.budget},
+            )
+        breach = ttr is not None and ttr > ctx.budget
+        return Observation(
+            point=self.name, event=ctx.event, time=ctx.time, value=ttr,
+            breach=breach, detail={"budget": ctx.budget},
+        )
+
+
+class PredicatePoint(ObservationPoint):
+    """A custom point from a plain predicate (tests, ad-hoc campaigns).
+
+    ``fn(ctx)`` returns True to flag a breach at that boundary; ``fatal``
+    chooses whether the breach aborts the experiment.
+    """
+
+    def __init__(self, name: str,
+                 fn: Callable[[ObservationContext], bool],
+                 fatal: bool = True):
+        self.name = name
+        self._fn = fn
+        self.fatal = fatal
+
+    def observe(self, ctx: ObservationContext) -> Optional[Observation]:
+        if not self._fn(ctx):
+            return None
+        return Observation(
+            point=self.name, event=ctx.event, time=ctx.time,
+            breach=True, fatal=self.fatal,
+            detail={"predicate": self.name},
+        )
+
+
+def default_points() -> List[ObservationPoint]:
+    """The canonical panel: entry condition, census, vacancy, budget."""
+    return [
+        EntryConditionPoint(),
+        TokenCensusPoint(),
+        VacancyPoint(),
+        RestabilizeBudgetPoint(),
+    ]
+
+
+class ObservationHarness:
+    """Wires observation points onto one live supervisor's health monitor.
+
+    Chains the supervisor's existing epoch callbacks (the event-bus
+    publications keep flowing) and fans each boundary to every point,
+    accumulating observations and breaches; the first **fatal** breach
+    sets :attr:`breach_event`, which the experiment runner races against
+    the chaos script to implement abort-on-invariant-breach.
+    """
+
+    def __init__(self, points: Optional[List[ObservationPoint]] = None,
+                 budget: float = 10.0):
+        self.points = list(points) if points is not None else default_points()
+        self.budget = budget
+        self.observations: List[Observation] = []
+        self.breaches: List[Observation] = []
+        self.breach_event = asyncio.Event()
+        self._supervisor: Any = None
+
+    @property
+    def fatal(self) -> bool:
+        """Whether any fatal breach has been observed."""
+        return any(o.fatal for o in self.breaches)
+
+    # -- wiring ---------------------------------------------------------------
+    def attach(self, supervisor: Any) -> None:
+        """Chain onto a booted supervisor's health callbacks."""
+        self._supervisor = supervisor
+        health = supervisor.health
+        prev_open = health.on_epoch_open
+        prev_stab = health.on_epoch_stabilized
+        prev_viol = health.on_violation
+
+        def on_open(index: int, epoch: Any) -> None:
+            if prev_open is not None:
+                prev_open(index, epoch)
+            self._boundary("epoch_open", {"index": index, "epoch": epoch})
+
+        def on_stabilized(index: int, epoch: Any) -> None:
+            if prev_stab is not None:
+                prev_stab(index, epoch)
+            self._boundary("epoch_stabilized",
+                           {"index": index, "epoch": epoch})
+
+        def on_violation(record: dict) -> None:
+            if prev_viol is not None:
+                prev_viol(record)
+            self._boundary("violation", {"record": record})
+
+        health.on_epoch_open = on_open
+        health.on_epoch_stabilized = on_stabilized
+        health.on_violation = on_violation
+
+    def finalize(self) -> None:
+        """Take the synthetic ``final`` sample (after the run ends)."""
+        self._boundary("final", {})
+
+    # -- sampling -------------------------------------------------------------
+    def _boundary(self, event: str, payload: Dict[str, Any]) -> None:
+        sup = self._supervisor
+        if sup is None or sup.health is None:
+            return
+        ctx = ObservationContext(
+            event=event,
+            time=sup.clock(),
+            supervisor=sup,
+            health=sup.health,
+            budget=self.budget,
+            payload=payload,
+        )
+        for point in self.points:
+            obs = point.observe(ctx)
+            if obs is None:
+                continue
+            self.observations.append(obs)
+            if obs.breach:
+                self.breaches.append(obs)
+                if obs.fatal:
+                    self.breach_event.set()
+
+
+__all__ = [
+    "EVENTS",
+    "EntryConditionPoint",
+    "Observation",
+    "ObservationContext",
+    "ObservationHarness",
+    "ObservationPoint",
+    "PredicatePoint",
+    "RestabilizeBudgetPoint",
+    "TokenCensusPoint",
+    "VacancyPoint",
+    "default_points",
+]

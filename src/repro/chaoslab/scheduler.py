@@ -1,0 +1,111 @@
+"""Experiment scheduler: campaigns over live rings, sequential or fanned out.
+
+The :class:`ExperimentScheduler` takes a list of
+:class:`~repro.chaoslab.experiment.ChaosExperiment`\\ s — typically the
+seeds × fault-grid product built by
+:func:`repro.chaoslab.campaign.CampaignSpec.experiments` — and runs each
+to a verdict.  ``workers=1`` runs cells sequentially in-process (each
+cell is its own ``asyncio.run``, so rings never share a loop);
+``workers>1`` fans cells across the same process pool the Monte-Carlo
+sweeps use (:func:`repro.experiments.parallel.run_tasks_parallel`).
+
+Cross-process payloads are the experiments' JSON forms, and results come
+back as JSON too — observation points are live callables and cannot
+cross a pickle boundary, so parallel runs always use the default point
+panel.  Pass custom ``points`` only with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.chaoslab.experiment import (
+    ChaosExperiment,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.chaoslab.observe import ObservationPoint
+from repro.experiments.parallel import run_tasks_parallel
+
+#: ``on_progress(index, result, done, total)`` — completion order.
+OnProgress = Callable[[int, ExperimentResult, int, int], None]
+
+
+def _experiment_worker(payload: dict) -> dict:
+    """Pool worker: run one JSON-encoded experiment, return its JSON result.
+
+    Module-level so it pickles into spawn-based pools.
+    """
+    experiment = ChaosExperiment.from_json(payload)
+    return run_experiment(experiment).to_json()
+
+
+class ExperimentScheduler:
+    """Drives a batch of experiments to completion."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        points: Optional[List[ObservationPoint]] = None,
+        on_progress: Optional[OnProgress] = None,
+    ):
+        if workers > 1 and points is not None:
+            raise ValueError(
+                "custom observation points cannot cross the process "
+                "boundary; use workers=1 or the default panel"
+            )
+        self.workers = workers
+        self.points = points
+        self.on_progress = on_progress
+
+    def run(
+        self, experiments: List[ChaosExperiment]
+    ) -> List[ExperimentResult]:
+        """Run every experiment; results in input order."""
+        experiments = list(experiments)
+        if self.workers == 1:
+            return self._run_sequential(experiments)
+        return self._run_parallel(experiments)
+
+    # -- strategies -----------------------------------------------------------
+    def _run_sequential(
+        self, experiments: List[ChaosExperiment]
+    ) -> List[ExperimentResult]:
+        results: List[ExperimentResult] = []
+        total = len(experiments)
+        for k, experiment in enumerate(experiments):
+            result = run_experiment(experiment, points=self.points)
+            results.append(result)
+            if self.on_progress is not None:
+                self.on_progress(k, result, k + 1, total)
+        return results
+
+    def _run_parallel(
+        self, experiments: List[ChaosExperiment]
+    ) -> List[ExperimentResult]:
+        payloads = [e.to_json() for e in experiments]
+        decoded: dict = {}
+
+        def on_result(index: int, blob: dict, done: int, total: int) -> None:
+            result = ExperimentResult.from_json(blob)
+            decoded[index] = result
+            if self.on_progress is not None:
+                self.on_progress(index, result, done, total)
+
+        blobs = run_tasks_parallel(
+            _experiment_worker, payloads,
+            workers=self.workers, on_result=on_result,
+        )
+        results = []
+        for index, blob in enumerate(blobs):
+            result = decoded.get(index)
+            if result is None:
+                result = ExperimentResult.from_json(blob)
+            results.append(result)
+            # Mirror the worker-side status onto the caller's experiment
+            # object so its lifecycle is observable here too.
+            experiments[index].status = result.status
+        return results
+
+
+__all__ = ["ExperimentScheduler", "OnProgress", "_experiment_worker"]

@@ -678,6 +678,119 @@ def _cmd_slo_report(args: argparse.Namespace) -> int:
     return 1 if any(not r.ok for r in results) else 0
 
 
+def _cmd_chaos_campaign_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaoslab import (
+        CampaignSpec, load_campaign_spec, parse_fault_flag,
+        render_campaign_report, run_campaign,
+    )
+    from repro.observability import RunStore
+
+    if bool(args.spec) == bool(args.fault):
+        print("error: give exactly one of --spec PATH or --fault TYPE[...]",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.spec:
+            spec = load_campaign_spec(args.spec)
+        else:
+            spec = CampaignSpec(
+                name=args.name,
+                faults=tuple(parse_fault_flag(f) for f in args.fault),
+                seeds=tuple(int(s) for s in args.seeds.split(",")),
+                algorithm=args.algorithm,
+                n=args.n,
+                K=args.K,
+                transport=args.transport,
+                wire=args.wire,
+                timer_interval=args.timer_interval,
+                budget=args.budget,
+                settle=args.settle,
+                error_budget=args.error_budget,
+            )
+    except (ValueError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(index, result, done, total):
+        verdict = "ok" if result.ok else "FAIL"
+        ttr = result.time_to_restabilize
+        print(f"  [{done}/{total}] {result.experiment.name}: "
+              f"{result.status.value} {verdict}"
+              + (f" ttr={ttr:.3f}s" if ttr is not None else ""))
+
+    store = None if args.no_store else RunStore(args.store)
+    try:
+        print(f"campaign {spec.name}: {spec.cells} cell(s) "
+              f"({len(spec.faults)} fault(s) x {len(spec.seeds)} seed(s)), "
+              f"workers={args.workers}")
+        report = run_campaign(
+            spec, store=store, workers=args.workers, on_progress=progress,
+        )
+    finally:
+        if store is not None:
+            store.close()
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        for line in render_campaign_report(report):
+            print(line)
+    if store is not None:
+        print(f"run store: {args.store} (campaign {spec.name!r} recorded)")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_chaos_campaign_status(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        rows = store.list_campaigns()
+    if not rows:
+        print("no campaigns recorded "
+              "(run one with 'repro chaos campaign run')")
+        return 0
+    for row in rows:
+        cells = row.get("cells") or 0
+        done = row.get("completed")
+        status = ("pending" if done is None
+                  else "completed" if (done + (row.get("aborted") or 0))
+                  >= cells else "partial")
+        print(
+            f"{row['name']}: {status} "
+            f"cells={cells} completed={row.get('completed')} "
+            f"aborted={row.get('aborted')} breaches={row.get('breaches')}"
+            + (f" wall={row['wall_seconds']:.1f}s"
+               if row.get("wall_seconds") is not None else "")
+            + (f" started={row['started_utc']}"
+               if row.get("started_utc") else "")
+        )
+    return 0
+
+
+def _cmd_chaos_campaign_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.chaoslab import build_campaign_report, render_campaign_report
+
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        try:
+            report = build_campaign_report(store, args.name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        for line in render_campaign_report(report):
+            print(line)
+    return 0 if report["ok"] else 1
+
+
 def _cmd_fuzz_run(args: argparse.Namespace) -> int:
     import json
     import os
@@ -1223,6 +1336,71 @@ def main(argv: Optional[List[str]] = None) -> int:
     ps_report.add_argument("--json", action="store_true")
     _store_args(ps_report, toggle=False)
     ps_report.set_defaults(fn=_cmd_slo_report)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="declarative chaos campaigns against live rings"
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    p_campaign = chaos_sub.add_parser(
+        "campaign", help="fault-grid campaigns: run, status, report"
+    )
+    campaign_sub = p_campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    pc_run = campaign_sub.add_parser(
+        "run",
+        help="run a seeds x faults grid; non-zero exit when the error "
+             "budget is exceeded",
+    )
+    pc_run.add_argument("--spec", default=None, metavar="PATH",
+                        help="campaign spec file (JSON; YAML when PyYAML "
+                             "is installed)")
+    pc_run.add_argument("--fault", action="append", default=[],
+                        metavar="TYPE[:SEV[:DUR]]",
+                        help="typed fault for the grid (repeatable); e.g. "
+                             "loss:0.6, partition, node-crash, wedge, "
+                             "cache-corruption")
+    pc_run.add_argument("--name", default="campaign",
+                        help="campaign name (default %(default)s)")
+    pc_run.add_argument("--algorithm", choices=["ssrmin", "dijkstra"],
+                        default="ssrmin")
+    pc_run.add_argument("-n", "--n", type=int, default=6, help="ring size")
+    pc_run.add_argument("-K", type=int, default=None, help="counter modulus")
+    pc_run.add_argument("--seeds", default="0", metavar="S1,S2,...",
+                        help="comma-separated seeds (default %(default)s)")
+    pc_run.add_argument("--budget", type=float, default=10.0,
+                        help="re-stabilization budget per cell, seconds "
+                             "(default %(default)s)")
+    pc_run.add_argument("--error-budget", type=float, default=0.0,
+                        help="fraction of cells allowed to fail "
+                             "(default %(default)s)")
+    pc_run.add_argument("--settle", type=float, default=1.0,
+                        help="calm run-on after the last fault "
+                             "(default %(default)ss)")
+    pc_run.add_argument("--timer-interval", type=float, default=0.05)
+    pc_run.add_argument("--transport", choices=["loopback", "udp"],
+                        default="loopback")
+    pc_run.add_argument("--wire", choices=["json", "binary"], default="json")
+    pc_run.add_argument("--workers", type=int, default=1,
+                        help="parallel cell processes (default 1)")
+    pc_run.add_argument("--json", action="store_true")
+    _store_args(pc_run)
+    pc_run.set_defaults(fn=_cmd_chaos_campaign_run)
+
+    pc_status = campaign_sub.add_parser(
+        "status", help="list recorded campaigns"
+    )
+    _store_args(pc_status, toggle=False)
+    pc_status.set_defaults(fn=_cmd_chaos_campaign_status)
+
+    pc_report = campaign_sub.add_parser(
+        "report", help="re-derive a campaign report from the run store"
+    )
+    pc_report.add_argument("name", help="campaign name")
+    pc_report.add_argument("--json", action="store_true")
+    _store_args(pc_report, toggle=False)
+    pc_report.set_defaults(fn=_cmd_chaos_campaign_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

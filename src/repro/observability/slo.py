@@ -44,7 +44,7 @@ from repro.observability.store import RunStore
 #: Known fault classes, in rendering order.
 DISTURBANCE_CLASSES = (
     "boot", "loss", "delay", "duplicate", "reorder", "partition",
-    "crash", "restart", "corrupt-state", "corrupt-cache",
+    "crash", "wedge", "restart", "corrupt-state", "corrupt-cache",
 )
 
 _LABEL_RE = re.compile(r"^(?P<kind>[a-z-]+?)(-healed)?(@[\d.]+s|-\d+)?$")

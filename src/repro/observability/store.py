@@ -4,7 +4,7 @@ Telemetry so far has been file-shaped — a ``manifest.json`` + ``trace.jsonl``
 pair per run directory — which answers "what happened in *this* run" but not
 the operator questions ("p99 time-to-restabilize across last night's chaos
 campaigns", "which runs ever dropped the token").  The :class:`RunStore`
-keeps one sqlite database (canonically ``runs/store.sqlite``) with five
+keeps one sqlite database (canonically ``runs/store.sqlite``) with six
 tables:
 
 * ``runs`` — one row per run: live deployments, registry experiments,
@@ -17,7 +17,10 @@ tables:
 * ``samples`` — named numeric samples (metric totals at run end, sweep-cell
   observables) for ad-hoc SQL analysis;
 * ``incidents`` — structured incident records (see
-  :mod:`repro.observability.incidents`).
+  :mod:`repro.observability.incidents`);
+* ``campaigns`` — one row per declarative chaos campaign (see
+  :mod:`repro.chaoslab.campaign`), its member runs tagged via
+  ``runs.campaign``.
 
 Rows arrive either **live** — the
 :class:`~repro.observability.ingest.StoreSubscriber` attached to a telemetry
@@ -41,7 +44,8 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Schema version stamped into ``PRAGMA user_version``; bump on
 #: incompatible changes (the store refuses to open newer schemas).
-SCHEMA_VERSION = 1
+#: v2: ``campaigns`` table + ``runs.campaign`` column (chaos campaigns).
+SCHEMA_VERSION = 2
 
 #: Mutations between commits (a run's worth of events lands in one or two
 #: transactions; ``flush()`` forces the tail out).
@@ -68,7 +72,8 @@ CREATE TABLE IF NOT EXISTS runs (
     violations    INTEGER,
     restarts      INTEGER,
     source        TEXT,
-    extra         TEXT
+    extra         TEXT,
+    campaign      TEXT
 );
 CREATE TABLE IF NOT EXISTS epochs (
     id            INTEGER PRIMARY KEY,
@@ -106,7 +111,20 @@ CREATE TABLE IF NOT EXISTS incidents (
     title         TEXT,
     details       TEXT
 );
+CREATE TABLE IF NOT EXISTS campaigns (
+    id            INTEGER PRIMARY KEY,
+    name          TEXT NOT NULL UNIQUE,
+    spec          TEXT,
+    started_utc   TEXT,
+    wall_seconds  REAL,
+    cells         INTEGER,
+    completed     INTEGER,
+    aborted       INTEGER,
+    breaches      INTEGER,
+    report        TEXT
+);
 CREATE INDEX IF NOT EXISTS idx_epochs_run ON epochs(run_id);
+CREATE INDEX IF NOT EXISTS idx_runs_campaign ON runs(campaign);
 CREATE INDEX IF NOT EXISTS idx_epochs_class ON epochs(class);
 CREATE INDEX IF NOT EXISTS idx_disturbances_run ON disturbances(run_id);
 CREATE INDEX IF NOT EXISTS idx_samples_run ON samples(run_id, name);
@@ -118,7 +136,13 @@ CREATE INDEX IF NOT EXISTS idx_incidents_run ON incidents(run_id);
 RUN_COLUMNS = (
     "run_id", "kind", "algorithm", "n", "k", "seed", "transport", "script",
     "started_utc", "wall_seconds", "stabilized", "vacancy_instants",
-    "violations", "restarts", "source", "extra",
+    "violations", "restarts", "source", "extra", "campaign",
+)
+
+#: Columns of ``campaigns`` settable through :meth:`RunStore.insert_campaign`.
+CAMPAIGN_COLUMNS = (
+    "spec", "started_utc", "wall_seconds", "cells", "completed",
+    "aborted", "breaches", "report",
 )
 
 
@@ -165,10 +189,31 @@ class RunStore:
                 f"{path}: store schema v{version} is newer than this "
                 f"package understands (v{SCHEMA_VERSION})"
             )
+        if version < SCHEMA_VERSION:
+            # Column migrations must land before the schema script: its
+            # CREATE INDEX statements reference the new columns.
+            self._migrate(version)
         self._conn.executescript(_SCHEMA)
         if version < SCHEMA_VERSION:
             self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
         self._conn.commit()
+
+    def _migrate(self, version: int) -> None:
+        """In-place upgrades for pre-existing stores (additive only).
+
+        ``executescript`` afterwards creates any missing tables and
+        indexes; this handles columns added to tables that predate them.
+        """
+        if version >= 1:
+            # v1 -> v2: runs grew the campaign column.
+            existing = {
+                row[1] for row in
+                self._conn.execute("PRAGMA table_info(runs)").fetchall()
+            }
+            if "campaign" not in existing:
+                self._conn.execute(
+                    "ALTER TABLE runs ADD COLUMN campaign TEXT"
+                )
 
     # -- write plumbing ------------------------------------------------------
     def _execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
@@ -481,12 +526,97 @@ class RunStore:
         cursor = self._conn.execute(sql + " ORDER BY i.id DESC", params)
         return [_row_to_dict(cursor, row) for row in cursor.fetchall()]
 
+    # -- campaigns -----------------------------------------------------------
+    def insert_campaign(self, name: str, **columns: Any) -> int:
+        """Insert a campaign row; returns its db id.
+
+        An existing campaign of the same name is superseded: its runs
+        (matched by ``runs.campaign``) are deleted — cascading to their
+        epochs, disturbances, samples and incidents — and the row is
+        overwritten, so re-running a named campaign updates in place.
+        """
+        unknown = set(columns) - set(CAMPAIGN_COLUMNS)
+        if unknown:
+            raise ValueError(f"unknown campaign columns: {sorted(unknown)}")
+        for key in ("spec", "report"):
+            if key in columns:
+                columns[key] = _jsonify(columns[key])
+        existing = self._conn.execute(
+            "SELECT id FROM campaigns WHERE name = ?", (name,)
+        ).fetchone()
+        if existing is not None:
+            self._execute("DELETE FROM runs WHERE campaign = ?", (name,))
+            keys = sorted(columns)
+            self._execute(
+                f"UPDATE campaigns SET "
+                f"{', '.join(f'{k} = ?' for k in keys)} WHERE id = ?",
+                [columns[k] for k in keys] + [int(existing[0])],
+            )
+            return int(existing[0])
+        cols = ["name"] + sorted(columns)
+        values = [name] + [columns[c] for c in sorted(columns)]
+        cursor = self._execute(
+            f"INSERT INTO campaigns ({', '.join(cols)}) "
+            f"VALUES ({', '.join('?' * len(cols))})",
+            values,
+        )
+        return int(cursor.lastrowid)
+
+    def update_campaign(self, name: str, **columns: Any) -> None:
+        """Overwrite columns of an existing campaign row."""
+        unknown = set(columns) - set(CAMPAIGN_COLUMNS)
+        if unknown:
+            raise ValueError(f"unknown campaign columns: {sorted(unknown)}")
+        if not columns:
+            return
+        for key in ("spec", "report"):
+            if key in columns:
+                columns[key] = _jsonify(columns[key])
+        keys = sorted(columns)
+        self._execute(
+            f"UPDATE campaigns SET {', '.join(f'{k} = ?' for k in keys)} "
+            f"WHERE name = ?",
+            [columns[k] for k in keys] + [name],
+        )
+
+    def get_campaign(self, name: str) -> Optional[Dict[str, Any]]:
+        """Campaign row by name (None if absent)."""
+        cursor = self._conn.execute(
+            "SELECT * FROM campaigns WHERE name = ?", (name,)
+        )
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        out = _row_to_dict(cursor, row)
+        for key in ("spec", "report"):
+            if isinstance(out.get(key), str):
+                try:
+                    out[key] = json.loads(out[key])
+                except ValueError:
+                    pass
+        return out
+
+    def list_campaigns(self) -> List[Dict[str, Any]]:
+        """Campaign rows, newest first (spec/report left encoded)."""
+        cursor = self._conn.execute(
+            "SELECT id, name, started_utc, wall_seconds, cells, completed, "
+            "aborted, breaches FROM campaigns ORDER BY id DESC"
+        )
+        return [_row_to_dict(cursor, row) for row in cursor.fetchall()]
+
+    def campaign_runs(self, name: str) -> List[Dict[str, Any]]:
+        """Run rows belonging to one campaign, in insertion order."""
+        cursor = self._conn.execute(
+            "SELECT * FROM runs WHERE campaign = ? ORDER BY id", (name,)
+        )
+        return [_row_to_dict(cursor, row) for row in cursor.fetchall()]
+
     # -- ad-hoc queries ------------------------------------------------------
     def counts(self) -> Dict[str, int]:
         """Row counts per table (the ``repro runs list`` footer)."""
         out = {}
         for table in ("runs", "epochs", "disturbances", "samples",
-                      "incidents"):
+                      "incidents", "campaigns"):
             out[table] = int(self._conn.execute(
                 f"SELECT COUNT(*) FROM {table}"
             ).fetchone()[0])
@@ -507,6 +637,7 @@ class RunStore:
 
 
 __all__ = [
+    "CAMPAIGN_COLUMNS",
     "COMMIT_EVERY",
     "DEFAULT_STORE_PATH",
     "RUN_COLUMNS",

@@ -3,7 +3,7 @@
 A :class:`ChaosScript` is a sorted list of :class:`ChaosOp`\\ s, each
 opening a fault window (``loss``, ``delay``, ``duplicate``, ``reorder``,
 ``partition``) for ``duration`` seconds or firing an instantaneous fault
-(``crash``, ``corrupt-state``, ``corrupt-cache`` — the same primitive
+(``crash``, ``wedge``, ``corrupt-state``, ``corrupt-cache`` — the same
 faults :mod:`repro.faults.injection` injects into the DES models, here
 executed against live nodes with values pre-drawn from the script's seeded
 RNG so runs replay).  The :class:`ChaosDirector` executes a script against
@@ -27,7 +27,7 @@ from repro.runtime.transport import ChaosTransport
 #: Fault kinds that open a transport window for ``duration`` seconds.
 WINDOW_KINDS = ("loss", "delay", "duplicate", "reorder", "partition")
 #: Instantaneous fault kinds executed against the supervisor.
-POINT_KINDS = ("crash", "corrupt-state", "corrupt-cache")
+POINT_KINDS = ("crash", "wedge", "corrupt-state", "corrupt-cache")
 
 
 @dataclass(frozen=True)
@@ -167,6 +167,8 @@ class ChaosDirector:
         params = op.params
         if op.kind == "crash":
             sup.kill(int(params["node"]))
+        elif op.kind == "wedge":
+            sup.wedge(int(params["node"]))
         elif op.kind == "corrupt-state":
             sup.corrupt_state(int(params["node"]), params.get("value"))
         else:  # corrupt-cache
@@ -194,14 +196,30 @@ def loss_burst(n: int, seed: int = 0) -> ChaosScript:
     )
 
 
+def ring_cut_edges(n: int, bisect: bool = True) -> List[Tuple[int, int]]:
+    """Directed ring edges to cut: ``(0, 1)`` plus the opposite edge.
+
+    Stays inside the ring for any ``n``: a 1-ring has no edges to cut
+    (an empty cut is a valid — trivially healing — window), and
+    duplicate edges collapse for tiny rings.
+    """
+    if n < 2:
+        return []
+    edges = [(0, 1)]
+    if bisect:
+        opposite = (n // 2, (n // 2 + 1) % n)
+        if opposite not in edges:
+            edges.append(opposite)
+    return edges
+
+
 def partition(n: int, seed: int = 0) -> ChaosScript:
     """Cut two opposite ring edges (a true bisection for even ``n``)."""
-    edges = [(0, 1), (n // 2, (n // 2 + 1) % n)]
     return ChaosScript(
         name="partition",
         ops=(
             ChaosOp(at=0.6, kind="partition", duration=1.2,
-                    params={"edges": edges}),
+                    params={"edges": ring_cut_edges(n)}),
         ),
     )
 
@@ -238,7 +256,7 @@ def cache_scramble(n: int, seed: int = 0) -> ChaosScript:
     return ChaosScript(
         name="cache_scramble",
         ops=(
-            ChaosOp(at=0.5, kind="corrupt-state", params={"node": 1}),
+            ChaosOp(at=0.5, kind="corrupt-state", params={"node": 1 % n}),
             ChaosOp(at=0.9, kind="corrupt-cache",
                     params={"node": mid, "neighbor": (mid + 1) % n}),
             ChaosOp(at=1.3, kind="corrupt-state", params={"node": n - 1}),
@@ -255,7 +273,7 @@ def storm(n: int, seed: int = 0) -> ChaosScript:
             ChaosOp(at=0.7, kind="delay", duration=1.2,
                     params={"low": 0.02, "high": 0.08}),
             ChaosOp(at=1.0, kind="partition", duration=0.8,
-                    params={"edges": [(0, 1)]}),
+                    params={"edges": ring_cut_edges(n, bisect=False)}),
             ChaosOp(at=1.5, kind="crash", params={"node": n - 1}),
         ),
         settle=4.0,

@@ -364,6 +364,17 @@ class RingSupervisor:
         self.health.note_disturbance(f"crash-{i}")
         self.publish("node_crash", node=i)
 
+    def wedge(self, i: int) -> None:
+        """Silently hang node ``i``: its heartbeat dies but the process
+        still looks alive (deliveries keep landing).  The liveness
+        watchdog must detect the missing activity and restart it — the
+        fault ``repro.chaoslab``'s ``wedge`` FaultType compiles to."""
+        server = self.servers[i]
+        if server._timer_task is not None:
+            server._timer_task.cancel()
+        self.health.note_disturbance(f"wedge-{i}")
+        self.publish("fault", fault="wedge", node=i)
+
     def corrupt_state(self, i: int, value: Any = None) -> None:
         """Transient fault: overwrite node ``i``'s local state."""
         if value is None:

@@ -1,0 +1,192 @@
+"""Experiment lifecycle, the abort-on-breach path, and clean teardown."""
+
+import pytest
+
+from repro.chaoslab import (
+    ChaosExperiment,
+    ExperimentResult,
+    ExperimentScheduler,
+    ExperimentStatus,
+    FaultConfig,
+    FaultType,
+    PredicatePoint,
+    default_points,
+    persist_experiment,
+    run_experiment,
+)
+from repro.observability import RunStore
+
+
+def _loss_experiment(**overrides):
+    kwargs = dict(
+        name="exp/loss",
+        faults=(FaultConfig(FaultType.LOSS, at=0.2, duration=0.3,
+                            severity=0.5),),
+        n=4,
+        seed=11,
+        settle=0.5,
+        budget=15.0,
+        timer_interval=0.05,
+    )
+    kwargs.update(overrides)
+    return ChaosExperiment(**kwargs)
+
+
+def _loss_tripwire():
+    """A fatal observation point that fires on the first loss epoch."""
+    return PredicatePoint(
+        "loss-tripwire",
+        lambda ctx: (
+            ctx.event == "epoch_open"
+            and ctx.payload["epoch"].label.startswith("loss")
+        ),
+        fatal=True,
+    )
+
+
+class TestLifecycle:
+    def test_pending_to_completed(self):
+        experiment = _loss_experiment()
+        assert experiment.status is ExperimentStatus.PENDING
+        result = run_experiment(experiment)
+        assert experiment.status is ExperimentStatus.COMPLETED
+        assert result.status is ExperimentStatus.COMPLETED
+        assert result.ok
+        assert result.report["health"]["stabilized"]
+        assert result.time_to_restabilize is not None
+        # The canonical panel sampled every boundary.
+        points = {obs.point for obs in result.observations}
+        assert "restabilize-budget" in points
+        assert "token-census" in points
+        assert "vacancy" in points
+
+    def test_compile_merges_and_sorts_faults(self):
+        experiment = ChaosExperiment(
+            name="exp/multi",
+            faults=(
+                FaultConfig(FaultType.NODE_CRASH, at=1.0),
+                FaultConfig(FaultType.LOSS, at=0.3, duration=0.2),
+            ),
+            n=4,
+        )
+        script = experiment.compile()
+        assert [op.at for op in script.ops] == sorted(
+            op.at for op in script.ops
+        )
+        assert {op.kind for op in script.ops} == {"crash", "loss"}
+
+    def test_budget_overrun_is_nonfatal_breach(self):
+        """Zero budget: the cell fails its verdict but still completes."""
+        result = run_experiment(_loss_experiment(budget=0.0))
+        assert result.status is ExperimentStatus.COMPLETED
+        assert not result.fatal
+        assert not result.ok
+        assert any(
+            o.point == "restabilize-budget" and o.breach and not o.fatal
+            for o in result.observations
+        )
+
+    def test_result_json_roundtrip(self):
+        result = run_experiment(_loss_experiment())
+        clone = ExperimentResult.from_json(result.to_json())
+        assert clone.status is result.status
+        assert clone.ok == result.ok
+        assert clone.experiment.name == result.experiment.name
+        assert [o.to_json() for o in clone.observations] == [
+            o.to_json() for o in result.observations
+        ]
+
+
+class TestAbortPath:
+    def test_breach_aborts_cancels_script_and_tears_down_clean(self):
+        # The second loss window sits far in the future: reaching
+        # ABORTED quickly proves the tripwire cancelled the director
+        # instead of playing the script out.
+        experiment = _loss_experiment(
+            name="exp/abort",
+            faults=(
+                FaultConfig(FaultType.LOSS, at=0.2, duration=0.3,
+                            severity=0.6),
+                FaultConfig(FaultType.LOSS, at=30.0, duration=0.5,
+                            severity=0.6),
+            ),
+            settle=30.0,
+        )
+        result = run_experiment(
+            experiment, points=default_points() + [_loss_tripwire()],
+        )
+        assert experiment.status is ExperimentStatus.ABORTED
+        assert result.status is ExperimentStatus.ABORTED
+        assert result.fatal
+        assert not result.ok
+        # The run never reached the 30s ops: abort was immediate.
+        assert result.report["wall_clock"] < 10.0
+        # Clean teardown: no asyncio tasks survived the supervisor.
+        assert result.leaked_tasks == 0
+
+    def test_abort_disabled_runs_to_completion(self):
+        experiment = _loss_experiment(
+            name="exp/no-abort", abort_on_breach=False,
+        )
+        result = run_experiment(
+            experiment, points=default_points() + [_loss_tripwire()],
+        )
+        assert result.status is ExperimentStatus.COMPLETED
+        assert result.fatal  # the tripwire still fired and was recorded
+        assert not result.ok
+
+    def test_persisted_abort_opens_exactly_one_critical_incident(self):
+        experiment = _loss_experiment(name="exp/abort-incident")
+        result = run_experiment(
+            experiment, points=default_points() + [_loss_tripwire()],
+        )
+        assert result.status is ExperimentStatus.ABORTED
+        with RunStore(":memory:") as store:
+            store.insert_campaign("abort-campaign", cells=1)
+            run_db_id = persist_experiment(store, "abort-campaign", result)
+            incidents = store.incidents(run_db_id)
+            assert len(incidents) == 1
+            (incident,) = incidents
+            assert incident["severity"] == "critical"
+            assert incident["kind"] == "invariant-breach"
+            assert "loss-tripwire" in incident["title"]
+            # The run row carries the aborted status for the report.
+            run = store.get_run("exp/abort-incident")
+            assert run["extra"]["status"] == "aborted"
+            assert run["campaign"] == "abort-campaign"
+
+    def test_completed_cell_opens_no_incident(self):
+        result = run_experiment(_loss_experiment(name="exp/clean"))
+        with RunStore(":memory:") as store:
+            store.insert_campaign("clean-campaign", cells=1)
+            run_db_id = persist_experiment(store, "clean-campaign", result)
+            assert store.incidents(run_db_id) == []
+
+
+class TestScheduler:
+    def test_sequential_batch_preserves_order_and_status(self):
+        experiments = [
+            _loss_experiment(name=f"batch/{i}", seed=i) for i in range(2)
+        ]
+        seen = []
+        scheduler = ExperimentScheduler(
+            workers=1,
+            on_progress=lambda i, r, done, total: seen.append(
+                (i, r.status, done, total)
+            ),
+        )
+        results = scheduler.run(experiments)
+        assert [r.experiment.name for r in results] == [
+            "batch/0", "batch/1"
+        ]
+        assert all(
+            r.status is ExperimentStatus.COMPLETED for r in results
+        )
+        assert seen == [
+            (0, ExperimentStatus.COMPLETED, 1, 2),
+            (1, ExperimentStatus.COMPLETED, 2, 2),
+        ]
+
+    def test_parallel_rejects_custom_points(self):
+        with pytest.raises(ValueError, match="process boundary"):
+            ExperimentScheduler(workers=2, points=[_loss_tripwire()])

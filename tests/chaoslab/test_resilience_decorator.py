@@ -1,0 +1,86 @@
+"""The resilience_test decorator: signature surgery and outcome injection."""
+
+import inspect
+
+import pytest
+
+from repro.chaoslab import (
+    ChaosExperiment,
+    ExperimentStatus,
+    FaultConfig,
+    FaultType,
+    resilience_test,
+)
+from repro.chaoslab.testing import _coerce_faults
+
+
+class TestFaultCoercion:
+    def test_accepts_configs_members_and_strings(self):
+        faults = _coerce_faults([
+            FaultConfig(FaultType.LOSS, severity=0.9),
+            FaultType.WEDGE,
+            "partition:0.3:0.5",
+        ])
+        assert [f.fault_type for f in faults] == [
+            FaultType.LOSS, FaultType.WEDGE, FaultType.PARTITION,
+        ]
+        assert faults[2].severity == 0.3 and faults[2].duration == 0.5
+
+    def test_single_spec_wraps_into_tuple(self):
+        (fault,) = _coerce_faults("node-crash")
+        assert fault.fault_type is FaultType.NODE_CRASH
+
+
+class TestDecorator:
+    def test_outcome_is_stripped_from_signature(self):
+        """pytest must not see ``outcome`` (it would look like a fixture)."""
+
+        @resilience_test("loss:0.5:0.3", n=4, settle=0.5)
+        def probe(tmp_path, outcome):
+            pass
+
+        params = list(inspect.signature(probe).parameters)
+        assert params == ["tmp_path"]
+
+    def test_missing_outcome_parameter_rejected_at_decoration(self):
+        with pytest.raises(TypeError, match="'outcome' parameter"):
+            @resilience_test("loss", n=4)
+            def no_outcome():
+                pass
+
+    def test_make_experiment_is_fresh_per_call(self):
+        @resilience_test("node-crash", n=4, seed=5)
+        def probe(outcome):
+            pass
+
+        first = probe.make_experiment()
+        second = probe.make_experiment()
+        assert first is not second
+        assert first.status is ExperimentStatus.PENDING
+        assert isinstance(first, ChaosExperiment)
+        assert first.name == "probe" and first.seed == 5
+
+    def test_outcome_injected_and_test_body_runs(self):
+        ran = {}
+
+        @resilience_test(
+            [FaultConfig(FaultType.LOSS, at=0.2, duration=0.3,
+                         severity=0.5)],
+            n=4, seed=11, settle=0.5, budget=15.0,
+        )
+        def probe(outcome):
+            ran["status"] = outcome.status
+            ran["ok"] = outcome.ok
+            return "verdict"
+
+        assert probe() == "verdict"
+        assert ran["status"] is ExperimentStatus.COMPLETED
+        assert ran["ok"] is True
+
+    def test_fixture_arguments_pass_through(self, tmp_path):
+        @resilience_test("node-crash", n=4, settle=0.5, budget=15.0)
+        def probe(path, outcome):
+            assert outcome.status is ExperimentStatus.COMPLETED
+            return path
+
+        assert probe(tmp_path) == tmp_path

@@ -1,0 +1,127 @@
+"""Property tests (hypothesis) for the chaos script builders.
+
+The named scripts in :data:`repro.runtime.chaos.SCRIPTS` are factories
+``(n, seed) -> ChaosScript``; these properties pin what every factory
+must guarantee for *any* ring size, including the degenerate n=1 and n=2
+rings the hand-written tests never touched:
+
+* determinism — the same ``(name, n, seed)`` always builds the same ops
+  (replayability is the whole point of scripted chaos);
+* partitions heal — every cut edge stays inside the ring and every
+  partition window closes (finite duration), so a partition can never
+  wedge a run forever;
+* structural validity — ops stay inside the declared kind taxonomy and
+  the script timeline is well-formed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaoslab.faults import FaultConfig, FaultType
+from repro.runtime.chaos import (
+    POINT_KINDS,
+    SCRIPTS,
+    WINDOW_KINDS,
+    build_script,
+    ring_cut_edges,
+)
+
+script_names = st.sampled_from(sorted(SCRIPTS))
+ring_sizes = st.integers(min_value=1, max_value=64)
+seeds = st.integers(min_value=0, max_value=2 ** 20)
+
+
+@given(name=script_names, n=ring_sizes, seed=seeds)
+@settings(max_examples=60)
+def test_builders_are_deterministic_under_fixed_seed(name, n, seed):
+    first = build_script(name, n, seed)
+    again = build_script(name, n, seed)
+    assert first.to_json() == again.to_json()
+
+
+@given(name=script_names, n=ring_sizes, seed=seeds)
+@settings(max_examples=60)
+def test_ops_are_well_formed_for_any_ring_size(name, n, seed):
+    script = build_script(name, n, seed)
+    assert script.ops, f"{name} built an empty script"
+    for op in script.ops:
+        assert op.kind in WINDOW_KINDS + POINT_KINDS
+        assert op.at >= 0.0
+        if op.kind in WINDOW_KINDS:
+            assert op.duration > 0.0
+        if "node" in op.params:
+            assert 0 <= op.params["node"] < n
+        if "neighbor" in op.params:
+            assert 0 <= op.params["neighbor"] < n
+    assert script.duration >= script.last_disturbance >= 0.0
+
+
+@given(n=ring_sizes, seed=seeds)
+@settings(max_examples=60)
+def test_partitions_always_heal(n, seed):
+    """Every partition window has in-ring edges and a finite close."""
+    for name in sorted(SCRIPTS):
+        script = build_script(name, n, seed)
+        for op in script.ops:
+            if op.kind != "partition":
+                continue
+            assert op.duration > 0.0  # the window closes: the cut heals
+            for src, dst in op.params["edges"]:
+                assert 0 <= src < n
+                assert 0 <= dst < n
+
+
+@given(n=ring_sizes, bisect=st.booleans())
+@settings(max_examples=60)
+def test_ring_cut_edges_stay_in_ring_and_deduplicate(n, bisect):
+    edges = ring_cut_edges(n, bisect=bisect)
+    assert len(edges) == len(set(edges))
+    for src, dst in edges:
+        assert 0 <= src < n
+        assert 0 <= dst < n
+    if n < 2:
+        assert edges == []  # a 1-ring has no channels to cut
+    else:
+        assert (0, 1) in edges
+
+
+def test_degenerate_rings_build_every_script():
+    """n=1 and n=2 were the historical out-of-range crashes: node ids
+    must stay in range and partition edges must stay in the ring."""
+    for n in (1, 2):
+        for name in sorted(SCRIPTS):
+            script = build_script(name, n, seed=0)
+            for op in script.ops:
+                for key in ("node", "neighbor"):
+                    if key in op.params:
+                        assert 0 <= op.params[key] < n
+                if op.kind == "partition":
+                    for src, dst in op.params["edges"]:
+                        assert 0 <= src < n and 0 <= dst < n
+
+
+@given(
+    fault_type=st.sampled_from(sorted(FaultType, key=lambda f: f.value)),
+    n=ring_sizes,
+    seed=seeds,
+    severity=st.floats(min_value=0.0, max_value=1.0,
+                       allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=80)
+def test_fault_config_lowering_replays_for_any_ring(
+    fault_type, n, seed, severity,
+):
+    """The declarative layer inherits the builders' guarantees: typed
+    faults compile deterministically to in-taxonomy, in-ring ops."""
+    config = FaultConfig(fault_type, severity=severity)
+    first = [op.to_json() for op in config.compile(n, seed)]
+    again = [op.to_json() for op in config.compile(n, seed)]
+    assert first == again
+    for op in config.compile(n, seed):
+        assert op.kind in WINDOW_KINDS + POINT_KINDS
+        for key in ("node", "neighbor"):
+            if key in op.params:
+                assert 0 <= op.params[key] < n
+        if op.kind == "partition":
+            for src, dst in op.params["edges"]:
+                assert 0 <= src < n and 0 <= dst < n

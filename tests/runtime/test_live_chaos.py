@@ -1,8 +1,10 @@
 """Chaos campaigns against live rings, including the CLI acceptance run.
 
-The fast tests use short hand-rolled scripts (sub-second fault windows);
-the full named scripts — several seconds of scripted faults plus settle
-time each — are exercised by the ``slow``-marked tests.
+The fast tests declare their faults through the chaos lab's
+``resilience_test`` decorator (each lowers to the same sub-second
+``ChaosOp`` windows the old hand-rolled scripts used); the full named
+scripts — several seconds of scripted faults plus settle time each — are
+exercised by the ``slow``-marked tests.
 """
 
 import json
@@ -11,7 +13,8 @@ import os
 import pytest
 
 from repro import cli
-from repro.runtime import ChaosOp, ChaosScript, build_script, live_chaos
+from repro.chaoslab import FaultConfig, FaultType, resilience_test
+from repro.runtime import build_script, live_chaos
 
 STABILIZE_TIMEOUT = 20.0
 
@@ -22,53 +25,55 @@ def _final_epoch_violations(health):
             if v["epoch_index"] == final]
 
 
-def test_loss_window_end_to_end():
+@resilience_test(
+    faults=[FaultConfig(FaultType.LOSS, at=0.2, duration=0.4, severity=0.7)],
+    n=4, seed=41, settle=1.0, budget=STABILIZE_TIMEOUT,
+    stabilize_timeout=STABILIZE_TIMEOUT,
+)
+def test_loss_window_end_to_end(outcome):
     """Bernoulli loss stales the caches; timers repair them (Theorem 4)."""
-    script = ChaosScript(
-        name="mini_loss",
-        ops=(ChaosOp(at=0.2, kind="loss", duration=0.4, params={"p": 0.7}),),
-        settle=1.0,
-    )
-    report = live_chaos(
-        script=script, algorithm="ssrmin", n=4, transport="loopback",
-        seed=41, timer_interval=0.05, stabilize_timeout=STABILIZE_TIMEOUT,
-    )
-    health = report["health"]
+    health = outcome.report["health"]
     assert health["stabilized"]
     assert _final_epoch_violations(health) == []
     assert health["time_to_restabilize"] is not None
-    assert report["transport_stats"]["injected_losses"] > 0
+    assert outcome.report["transport_stats"]["injected_losses"] > 0
     # Epochs: boot, window open, window healed.
     labels = [e["label"] for e in health["epochs"]]
     assert any(lbl.startswith("loss@") for lbl in labels)
     assert any(lbl.startswith("loss-healed@") for lbl in labels)
+    # The observation panel agrees with the raw health assertions.
+    assert outcome.ok
 
 
-def test_partition_window_end_to_end():
-    script = ChaosScript(
-        name="mini_partition",
-        ops=(ChaosOp(at=0.2, kind="partition", duration=0.4,
-                     params={"edges": [(0, 1)]}),),
-        settle=1.0,
-    )
-    report = live_chaos(
-        script=script, algorithm="ssrmin", n=4, transport="loopback",
-        seed=43, timer_interval=0.05, stabilize_timeout=STABILIZE_TIMEOUT,
-    )
-    health = report["health"]
+@resilience_test(
+    faults=[FaultConfig(FaultType.PARTITION, at=0.2, duration=0.4,
+                        params={"edges": [(0, 1)]})],
+    n=4, seed=43, settle=1.0, budget=STABILIZE_TIMEOUT,
+    stabilize_timeout=STABILIZE_TIMEOUT,
+)
+def test_partition_window_end_to_end(outcome):
+    health = outcome.report["health"]
     assert health["stabilized"]
     assert _final_epoch_violations(health) == []
-    assert report["transport_stats"]["blocked_by_partition"] > 0
+    assert outcome.report["transport_stats"]["blocked_by_partition"] > 0
+    assert outcome.ok
 
 
-def test_cache_scramble_end_to_end():
-    """Transient state/cache corruption — the paper's section 5 faults."""
-    report = live_chaos(
-        script="cache_scramble", algorithm="ssrmin", n=4,
-        transport="loopback", seed=47, timer_interval=0.05,
-        stabilize_timeout=STABILIZE_TIMEOUT,
-    )
-    health = report["health"]
+@resilience_test(
+    faults=[FaultConfig(FaultType.CACHE_CORRUPTION, at=0.5)],
+    n=4, seed=47, settle=3.0, budget=STABILIZE_TIMEOUT,
+    stabilize_timeout=STABILIZE_TIMEOUT,
+)
+def test_cache_scramble_end_to_end(outcome):
+    """Transient state/cache corruption — the paper's section 5 faults.
+
+    The default ``cache-corruption`` volley lowers to the exact ops of
+    the named ``cache_scramble`` script this test used to run.
+    """
+    assert [op.to_json() for op in outcome.experiment.compile().ops] == [
+        op.to_json() for op in build_script("cache_scramble", 4).ops
+    ]
+    health = outcome.report["health"]
     assert health["stabilized"]
     assert _final_epoch_violations(health) == []
     labels = [e["label"] for e in health["epochs"]]
@@ -90,8 +95,13 @@ def test_crash_restart_script_restabilizes():
 
 
 def test_build_script_rejects_unknown_name():
-    with pytest.raises(ValueError, match="unknown chaos script"):
+    """A typo'd script name fails with the valid names, not a KeyError."""
+    with pytest.raises(ValueError, match="unknown chaos script") as excinfo:
         build_script("no_such_script", 4)
+    message = str(excinfo.value)
+    # Helpful, not bare: the error enumerates every registered script.
+    for name in ("loss_burst", "partition", "cache_scramble", "storm"):
+        assert name in message
 
 
 def test_script_shape_is_replayable():

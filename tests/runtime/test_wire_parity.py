@@ -18,7 +18,8 @@ import os
 
 import pytest
 
-from repro.runtime import build_script, live_chaos
+from repro.chaoslab import ChaosExperiment, FaultConfig, FaultType, run_experiment
+from repro.runtime import build_script
 
 GOLDEN = os.path.join(
     os.path.dirname(__file__), "..", "corpus", "golden_fig13_timeline.jsonl"
@@ -58,19 +59,31 @@ def test_fig13_chaos_verdicts_identical_under_both_wires():
     assert header["algorithm"] == "SSRmin"
     n, K, seed = header["n"], header["K"], header["seed"]
 
-    # The same deterministic script instance parameters for both runs.
+    # The declarative faults that lower to exactly the loss_burst script
+    # the golden scenario pins (two Bernoulli-loss windows).
+    faults = (
+        FaultConfig(FaultType.LOSS, at=0.6, duration=1.0, severity=0.6),
+        FaultConfig(FaultType.LOSS, at=2.4, duration=0.8, severity=0.4),
+    )
+
     def run(wire: str) -> dict:
-        return live_chaos(
-            script=build_script("loss_burst", n, seed),
+        experiment = ChaosExperiment(
+            name="fig13-parity",
+            faults=faults,
             algorithm="ssrmin",
             n=n,
             K=K,
             seed=seed,
             transport="loopback",
             timer_interval=0.05,
+            settle=3.0,
             extra_duration=0.3,
             wire=wire,
         )
+        assert [op.to_json() for op in experiment.compile().ops] == [
+            op.to_json() for op in build_script("loss_burst", n, seed).ops
+        ]
+        return run_experiment(experiment).report
 
     via_json = run("json")
     via_binary = run("binary")
