@@ -1,0 +1,52 @@
+"""Before/after benchmark for the batched sweep engine (PR artifact).
+
+Thin entry point over :mod:`repro.sweeps.bench` — see that module for the
+workload definitions.  Writes ``BENCH_perf_sweep.json`` and exits non-zero
+when the batched/per-cell throughput ratio falls below the
+``--min-cell-speedup`` gate, which is how the CI smoke job uses it
+(``--quick --min-cell-speedup 2``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_sweep.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf_sweep.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.sweeps.bench import check_gates, format_report, run_sweep_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes: small grid, fit up to n=128")
+    parser.add_argument(
+        "--output", default="BENCH_perf_sweep.json",
+        help="artifact path (default: %(default)s)")
+    parser.add_argument(
+        "--min-cell-speedup", type=float, default=None,
+        help="fail if batched/per-cell cells-per-sec is below this factor")
+    args = parser.parse_args(argv)
+
+    payload = run_sweep_bench(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(format_report(payload))
+    print(f"artifact       : {args.output}")
+
+    failures = check_gates(
+        payload, min_cell_speedup=args.min_cell_speedup)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,9 @@ Commands
 * ``fleet run|status`` — N concurrent rings multiplexed over a shared
   UDP socket pool (binary wire fastpath, optional worker-process
   sharding, optional load generation; see ``docs/RUNTIME.md``);
+* ``sweep run|resume|status|report`` — resumable phase-diagram sweeps
+  (batched cells through the unified kernel layer; see
+  ``docs/PERFORMANCE.md``);
 * ``runs list|show|query|backfill`` — the persistent sqlite run store;
 * ``slo report`` — paper-grounded service-level objectives graded against
   the store (see ``docs/OBSERVABILITY.md``).
@@ -646,6 +649,8 @@ def _cmd_runs_backfill(args: argparse.Namespace) -> int:
         print(f"  orphan   {path}")
     for path in report.pruned:
         print(f"  pruned   {path}")
+    for warning in report.warnings:
+        print(f"  warning  {warning}")
     for error in report.errors:
         print(f"  error    {error}")
     print(
@@ -945,6 +950,174 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _parse_int_list(text: str) -> tuple:
+    """Parse "8,16,32" or "0:8" (half-open range) into a tuple of ints."""
+    out = []
+    for part in text.split(","):
+        part = part.strip()
+        if ":" in part:
+            lo, hi = part.split(":", 1)
+            out.extend(range(int(lo), int(hi)))
+        elif part:
+            out.append(int(part))
+    return tuple(out)
+
+
+def _parse_float_list(text: str) -> tuple:
+    return tuple(float(part) for part in text.split(",") if part.strip())
+
+
+def _sweep_spec_from_args(args: argparse.Namespace):
+    import json
+
+    from repro.sweeps import SweepSpec
+
+    if args.spec:
+        with open(args.spec) as fh:
+            data = json.load(fh)
+        if args.name:
+            data["name"] = args.name
+        return SweepSpec.from_json(data)
+    if not args.name:
+        raise ValueError("give --name (or --spec PATH)")
+    kwargs = dict(
+        name=args.name,
+        kind=args.kind,
+        algorithm=args.algorithm,
+        n_values=_parse_int_list(args.n_values),
+        seeds=_parse_int_list(args.seeds),
+        max_steps=args.max_steps,
+    )
+    if args.daemons is not None:
+        kwargs["daemons"] = tuple(
+            d.strip() for d in args.daemons.split(",") if d.strip())
+    if args.loss_rates is not None:
+        kwargs["loss_rates"] = _parse_float_list(args.loss_rates)
+    if args.delay_scales is not None:
+        kwargs["delay_scales"] = _parse_float_list(args.delay_scales)
+    if args.duplication_rates is not None:
+        kwargs["duplication_rates"] = _parse_float_list(
+            args.duplication_rates)
+    return SweepSpec(**kwargs)
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sweeps import run_sweep
+
+    try:
+        spec = _sweep_spec_from_args(args)
+        summary = run_sweep(
+            spec,
+            base_dir=args.dir,
+            run_store=args.store,
+            resume=args.resume,
+            fresh=args.fresh,
+            mode=args.mode,
+            workers=args.workers,
+            throttle=args.throttle,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"sweep {summary['name']}: {summary['completed']}/"
+            f"{summary['cells']} cells ({summary['ran']} ran, "
+            f"{summary['skipped']} resumed) via {summary['mode']} in "
+            f"{summary['wall_seconds']:.2f}s"
+            + (f" ({summary['cells_per_sec']:.1f} cells/s)"
+               if summary["cells_per_sec"] else "")
+        )
+        print(f"checkpoints: {summary['directory']}")
+    return 0 if summary["status"] == "completed" else 1
+
+
+def _cmd_sweep_resume(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sweeps import resume_sweep
+
+    try:
+        summary = resume_sweep(
+            args.name,
+            base_dir=args.dir,
+            run_store=args.store,
+            mode=args.mode,
+            workers=args.workers,
+            throttle=args.throttle,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(
+            f"sweep {summary['name']}: {summary['completed']}/"
+            f"{summary['cells']} cells ({summary['ran']} ran, "
+            f"{summary['skipped']} already done) in "
+            f"{summary['wall_seconds']:.2f}s"
+        )
+    return 0 if summary["status"] == "completed" else 1
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.sweeps import render_status
+
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        try:
+            print(render_status(store, args.name))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    from repro.sweeps import build_sweep_report, render_report
+    from repro.sweeps.report import report_to_json
+
+    store = _open_store(args)
+    if store is None:
+        return 1
+    with store:
+        try:
+            report = build_sweep_report(store, args.name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(report_to_json(report))
+    else:
+        print(render_report(report))
+    return 0
+
+
+def _cmd_bench_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sweeps.bench import check_gates, format_report, run_sweep_bench
+
+    payload = run_sweep_bench(quick=args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(format_report(payload))
+    print(f"artifact       : {args.output}")
+    failures = check_gates(
+        payload, min_cell_speedup=args.min_cell_speedup)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _store_args(p: argparse.ArgumentParser, toggle: bool = True) -> None:
     """Attach ``--store`` (and for recorders ``--no-store``) to a parser."""
     from repro.observability.store import DEFAULT_STORE_PATH
@@ -1115,6 +1288,95 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="fail if binary-batched/json delivered "
                                  "msgs/sec is below this factor")
     pb_runtime.set_defaults(fn=_cmd_bench_runtime)
+
+    pb_sweep = bench_sub.add_parser(
+        "sweep", help="batched-cell sweep engine vs one-task-per-cell"
+    )
+    pb_sweep.add_argument("--quick", action="store_true",
+                          help="CI smoke sizes: small grid, small fit")
+    pb_sweep.add_argument("--output", default="BENCH_perf_sweep.json",
+                          help="artifact path (default: %(default)s)")
+    pb_sweep.add_argument("--min-cell-speedup", type=float, default=None,
+                          help="fail if batched/per-cell cells-per-sec is "
+                               "below this factor")
+    pb_sweep.set_defaults(fn=_cmd_bench_sweep)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="resumable phase-diagram sweeps over the kernel layer"
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _sweep_exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", default="runs", metavar="DIR",
+                       help="checkpoint root (default: %(default)s)")
+        p.add_argument("--mode", choices=["auto", "batched", "per-cell"],
+                       default="auto",
+                       help="cell execution backend (default: %(default)s)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="per-cell worker processes (default 1)")
+        p.add_argument("--throttle", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="pause after each cell (pacing knob for "
+                            "kill/resume drills)")
+        p.add_argument("--json", action="store_true")
+        _store_args(p, toggle=False)
+
+    psw_run = sweep_sub.add_parser(
+        "run", help="run a phase-diagram grid, checkpointing every cell"
+    )
+    psw_run.add_argument("--name", default=None, help="sweep name")
+    psw_run.add_argument("--spec", default=None, metavar="PATH",
+                         help="JSON SweepSpec file (flags override --name)")
+    psw_run.add_argument("--kind", choices=["convergence", "des"],
+                         default="convergence")
+    psw_run.add_argument("--algorithm", choices=["ssrmin", "dijkstra"],
+                         default="ssrmin")
+    psw_run.add_argument("--n-values", default="8", metavar="N1,N2|LO:HI",
+                         help="ring sizes (default %(default)s)")
+    psw_run.add_argument("--seeds", default="0:8", metavar="S1,S2|LO:HI",
+                         help="seed axis (default %(default)s)")
+    psw_run.add_argument("--daemons", default=None,
+                         metavar="D1,D2",
+                         help="daemon families (convergence): synchronous, "
+                              "central, bernoulli:<p>")
+    psw_run.add_argument("--loss-rates", default=None, metavar="P1,P2",
+                         help="message-loss axis (des)")
+    psw_run.add_argument("--delay-scales", default=None, metavar="S1,S2",
+                         help="link-delay scale axis (des)")
+    psw_run.add_argument("--duplication-rates", default=None,
+                         metavar="P1,P2",
+                         help="message-duplication axis (des)")
+    psw_run.add_argument("--max-steps", type=int, default=0,
+                         help="convergence budget override "
+                              "(0 = 60n^2+600)")
+    psw_run.add_argument("--resume", action="store_true",
+                         help="keep checkpointed cells, run the rest")
+    psw_run.add_argument("--fresh", action="store_true",
+                         help="discard checkpointed cells and restart")
+    _sweep_exec_args(psw_run)
+    psw_run.set_defaults(fn=_cmd_sweep_run)
+
+    psw_resume = sweep_sub.add_parser(
+        "resume", help="resume a named sweep (only missing cells run)"
+    )
+    psw_resume.add_argument("name", help="sweep name")
+    _sweep_exec_args(psw_resume)
+    psw_resume.set_defaults(fn=_cmd_sweep_resume)
+
+    psw_status = sweep_sub.add_parser(
+        "status", help="cells-completed progress per recorded sweep"
+    )
+    psw_status.add_argument("name", nargs="?", default=None)
+    _store_args(psw_status, toggle=False)
+    psw_status.set_defaults(fn=_cmd_sweep_status)
+
+    psw_report = sweep_sub.add_parser(
+        "report", help="store-derived per-coordinate stats + scaling fit"
+    )
+    psw_report.add_argument("name", help="sweep name")
+    psw_report.add_argument("--json", action="store_true")
+    _store_args(psw_report, toggle=False)
+    psw_report.set_defaults(fn=_cmd_sweep_report)
 
     p_live = sub.add_parser(
         "live", help="live asyncio ring deployment: run, chaos, status"

@@ -1,0 +1,94 @@
+"""One pack/unpack codec surface for SSRmin's packed word encoding.
+
+Every packed backend encodes an SSRmin local state ``(x, rts, tra)`` as
+the integer word ``(x << 2) | (rts << 1) | tra`` — the low two bits are
+exactly the handshake code ``h = 2*rts + tra`` the rule table indexes on.
+The shared-memory kernel's state keys, the message-passing codec's wire
+words and the binary wire's bounds check all use this module instead of
+re-deriving the bit layout.
+
+The full-pass legitimacy predicate on packed words
+(:func:`ssrmin_words_legitimate`) also lives here: Definition 1 evaluated
+on split ``x``/``h`` vectors, shared by the codec (which sees the true
+configuration only as packed states) and by any backend without
+incremental counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def pack_ssrmin(x: int, rts: int, tra: int) -> int:
+    """Encode one native local state as a packed word."""
+    return (x << 2) | (rts << 1) | tra
+
+
+def unpack_ssrmin(word: int) -> Tuple[int, int, int]:
+    """Decode a packed word back to ``(x, rts, tra)``."""
+    return (word >> 2, (word >> 1) & 1, word & 1)
+
+
+def ssrmin_x(word: int) -> int:
+    """The Dijkstra counter of a packed word."""
+    return word >> 2
+
+
+def ssrmin_h(word: int) -> int:
+    """The 2-bit handshake code of a packed word."""
+    return word & 3
+
+
+def ssrmin_word_bound(K: int) -> int:
+    """Exclusive upper bound of the packed domain for alphabet size ``K``.
+
+    Doubles as the radix (``key_base``) of the kernel's positional state
+    keys and as the wire-level corruption filter.
+    """
+    return K << 2
+
+
+def ssrmin_decode_table(K: int) -> List[Tuple[int, int, int]]:
+    """Interned ``packed -> (x, rts, tra)`` table over the whole domain."""
+    return [unpack_ssrmin(p) for p in range(ssrmin_word_bound(K))]
+
+
+def ssrmin_words_legitimate(words: Sequence[int], K: int) -> bool:
+    """Definition 1 on a ring of packed words (full O(n) pass).
+
+    The x-vector must be Dijkstra-legitimate — 0 cyclic boundaries (all
+    equal) or exactly 2 with the wraparound among them and a ``+1 mod K``
+    step — and the handshake vector one of the three shapes anchored at
+    the token position.
+    """
+    n = len(words)
+    x = [w >> 2 for w in words]
+    h = [w & 3 for w in words]
+    diff_edges = sum(1 for i in range(n) if x[i] != x[i - 1])
+    if diff_edges == 0:
+        pos = 0
+    elif diff_edges == 2:
+        if x[0] == x[n - 1]:
+            return False
+        pos = next(b for b in range(1, n) if x[b] != x[b - 1])
+        if x[0] != (x[pos] + 1) % K:
+            return False
+    else:
+        return False
+    nz = sum(1 for v in h if v)
+    if nz == 1:
+        return h[pos] in (1, 2)
+    if nz == 2:
+        return h[pos] == 2 and h[(pos + 1) % n] == 1
+    return False
+
+
+__all__ = [
+    "pack_ssrmin",
+    "ssrmin_decode_table",
+    "ssrmin_h",
+    "ssrmin_word_bound",
+    "ssrmin_words_legitimate",
+    "ssrmin_x",
+    "unpack_ssrmin",
+]

@@ -1,0 +1,82 @@
+"""The shared SSRmin guard-resolution table — one consumer surface.
+
+SSRmin's five prioritized guards (Algorithm 3) collapse into a 128-entry
+lookup table indexed by ``(G_i, h_{i-1}, h_i, h_{i+1})``.  Before the
+kernel layer existed this table lived in the shared-memory fastpath and
+was *imported sideways* by the message-passing codec and the batch
+engine; now all three consume it from here:
+
+* :class:`repro.simulation.fastpath.ssrmin_kernel.SSRminKernel` indexes
+  it scalar-at-a-time (and, through it, the explicit-state model
+  checker);
+* :class:`repro.messagepassing.fastpath.codecs.SSRminMPCodec` resolves
+  cached local views through the same index layout;
+* :mod:`repro.kernels.batched` broadcasts it with one numpy gather per
+  lockstep batch.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+def build_rule_table() -> bytes:
+    """Resolve SSRmin's prioritized guards for all 128 local neighborhoods.
+
+    Index layout: ``(g << 6) | (h_pred << 4) | (h_own << 2) | h_succ`` with
+    ``g`` the Dijkstra guard bit and each ``h`` the 2-bit handshake code.
+    Value: the winning rule id 1..5, or 0 when no guard holds.  Priority
+    ("smaller rule number wins") is already folded in, mirroring
+    :meth:`repro.core.rules.RuleSet.enabled_rule`:
+
+    * ``G_i`` true: ``h != 10`` -> R1; ``h == 10``: successor ``01`` -> R2,
+      neighborhood ``<00, 10, 00>`` -> stable, anything else -> R4;
+    * ``G_i`` false: predecessor ``10`` -> R3 unless own is ``01`` (the
+      mid-handshake state, stable); otherwise R5 unless own is ``00``.
+    """
+    table = bytearray(128)
+    for g in (0, 1):
+        for hp in range(4):
+            for h in range(4):
+                for hs in range(4):
+                    if g:
+                        if h != 2:
+                            rule = 1
+                        elif hs == 1:
+                            rule = 2
+                        elif hp == 0 and hs == 0:
+                            rule = 0
+                        else:
+                            rule = 4
+                    else:
+                        if hp == 2:
+                            rule = 3 if h != 1 else 0
+                        else:
+                            rule = 5 if h != 0 else 0
+                    table[(g << 6) | (hp << 4) | (h << 2) | hs] = rule
+    return bytes(table)
+
+
+def rule_index(g: int, h_pred: int, h_own: int, h_succ: int) -> int:
+    """The table index of one local neighborhood (``g`` is 0 or 1)."""
+    return (g << 6) | (h_pred << 4) | (h_own << 2) | h_succ
+
+
+#: The shared guard-resolution table (scalar kernels index it directly,
+#: the batched backend broadcasts it with a numpy gather).
+RULE_TABLE: bytes = build_rule_table()
+
+#: SSRmin rule names by id; id 0 (disabled) has no name.
+SSRMIN_RULE_NAMES: Tuple[str, ...] = ("", "R1", "R2", "R3", "R4", "R5")
+
+#: Dijkstra K-state rule names by id (D1 at the bottom, D2 elsewhere).
+DIJKSTRA_RULE_NAMES: Tuple[str, ...] = ("", "D1", "D2")
+
+
+__all__ = [
+    "DIJKSTRA_RULE_NAMES",
+    "RULE_TABLE",
+    "SSRMIN_RULE_NAMES",
+    "build_rule_table",
+    "rule_index",
+]

@@ -1,0 +1,62 @@
+"""Shared successor arithmetic: the one copy of ``C_i``.
+
+Both ring families move counter values the same way — Dijkstra's command
+``C_i``: the bottom process increments its predecessor's counter mod K,
+everyone else copies it.  Before the kernel layer this digit-delta
+arithmetic was written out independently in the shared-memory SSRmin
+kernel, the Dijkstra kernel and the message-passing codec; the exhaustive
+small-n audit in ``tests/kernels/test_successor_audit.py`` pins all call
+sites to this module.
+
+:func:`execute_ssrmin_word` is the full packed-word rule executor (R1-R5
+on ``(own, pred)`` words); both the shared-memory kernel's ``update`` and
+the MP codec's ``execute`` delegate to it, so a rule-semantics change
+lands exactly once.
+"""
+
+from __future__ import annotations
+
+
+def next_x(pred_x: int, i: int, K: int) -> int:
+    """Dijkstra's command ``C_i`` on the predecessor counter.
+
+    The bottom process (``i == 0``) writes ``pred_x + 1 mod K``; every
+    other process copies ``pred_x``.  Callers pass the *cyclic*
+    predecessor's counter (``x[n-1]`` for the bottom).
+    """
+    return (pred_x + 1) % K if i == 0 else pred_x
+
+
+def execute_ssrmin_word(rid: int, own: int, pred: int, i: int, K: int) -> int:
+    """Packed new local state after firing SSRmin rule ``rid`` at ``i``.
+
+    ``own`` and ``pred`` are packed words (``(x << 2) | h``); the result
+    is a packed word.  R1/R3/R5 only rewrite the handshake bits; R2/R4
+    additionally move the counter through :func:`next_x` and quiet the
+    handshake.
+    """
+    if rid == 1:                      # R1: <rts.tra> <- 10
+        return (own & ~3) | 2
+    if rid == 3:                      # R3: <rts.tra> <- 01
+        return (own & ~3) | 1
+    if rid == 5:                      # R5: <rts.tra> <- 00
+        return own & ~3
+    if rid in (2, 4):                 # R2 / R4: x <- C_i, <rts.tra> <- 00
+        return next_x(pred >> 2, i, K) << 2
+    raise ValueError(f"unknown SSRmin rule id {rid}")
+
+
+def execute_dijkstra_word(rid: int, pred: int, K: int) -> int:
+    """New counter after firing Dijkstra rule ``rid`` (words == counters).
+
+    D1 is the bottom rule, D2 the interior one — the rule id encodes the
+    position, so this is :func:`next_x` keyed by rule instead of index.
+    """
+    if rid == 1:
+        return next_x(pred, 0, K)
+    if rid == 2:
+        return next_x(pred, 1, K)
+    raise ValueError(f"unknown Dijkstra rule id {rid}")
+
+
+__all__ = ["execute_dijkstra_word", "execute_ssrmin_word", "next_x"]

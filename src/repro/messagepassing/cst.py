@@ -83,6 +83,7 @@ def transformed_from_chaos(
     seed: int = 0,
     delay_model: Optional[DelayModel] = None,
     loss_probability: float = 0.0,
+    duplicate_probability: float = 0.0,
     timer_interval: float = 5.0,
     timer_jitter: float = 1.0,
     use_fastpath: Optional[bool] = None,
@@ -112,6 +113,7 @@ def transformed_from_chaos(
         states,
         delay_model=delay_model,
         loss_probability=loss_probability,
+        duplicate_probability=duplicate_probability,
         timer_interval=timer_interval,
         timer_jitter=timer_jitter,
         seed=seed + 1,

@@ -8,13 +8,18 @@ length-n list with ``(cache_pred, own, cache_succ)`` at positions
 ``i-1, i, i+1`` and ``None`` elsewhere; because every shipped guard only
 reads those three positions, the codec collapses the view to three ints.
 
-Encodings reuse the PR 2 conventions:
+Encodings reuse the PR 2 conventions, now served by the shared kernel
+layer (:mod:`repro.kernels`):
 
 * **SSRmin** — ``packed = (x << 2) | (rts << 1) | tra`` (the handshake code
   ``h = packed & 3`` is exactly the fastpath kernel's ``h``), with guard
   resolution through the shared 128-entry
-  :data:`~repro.simulation.fastpath.ssrmin_kernel.RULE_TABLE`;
-* **Dijkstra's K-state ring** — the bare counter (identity packing).
+  :data:`~repro.kernels.rule_table.RULE_TABLE`, rule execution through
+  :func:`~repro.kernels.successor.execute_ssrmin_word` and legitimacy
+  through :func:`~repro.kernels.packing.ssrmin_words_legitimate` — the
+  same modules the shared-memory kernel rides;
+* **Dijkstra's K-state ring** — the bare counter (identity packing), its
+  moves through :func:`~repro.kernels.successor.execute_dijkstra_word`.
 
 Codecs are *stateless* translators (safe to share across networks); the
 engine owns all mutable arrays.  Equivalence with the
@@ -26,7 +31,17 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.simulation.fastpath.ssrmin_kernel import RULE_TABLE, SSRMIN_RULE_NAMES
+from repro.kernels.packing import (
+    ssrmin_decode_table,
+    ssrmin_word_bound,
+    ssrmin_words_legitimate,
+)
+from repro.kernels.rule_table import (
+    DIJKSTRA_RULE_NAMES,
+    RULE_TABLE,
+    SSRMIN_RULE_NAMES,
+)
+from repro.kernels.successor import execute_dijkstra_word, execute_ssrmin_word
 
 
 class MPCodec:
@@ -99,11 +114,9 @@ class SSRminMPCodec(MPCodec):
         self.algorithm = algorithm
         self.n = algorithm.n
         self.K = algorithm.K
-        self.packed_bound = self.K << 2
+        self.packed_bound = ssrmin_word_bound(self.K)
         # Interned decode table: packed -> (x, rts, tra); pack is its inverse.
-        self._unpack: List[Tuple[int, int, int]] = [
-            (p >> 2, (p >> 1) & 1, p & 1) for p in range(self.K << 2)
-        ]
+        self._unpack: List[Tuple[int, int, int]] = ssrmin_decode_table(self.K)
         self._pack: Dict[Tuple[int, int, int], int] = {
             s: p for p, s in enumerate(self._unpack)
         }
@@ -127,17 +140,9 @@ class SSRminMPCodec(MPCodec):
         ]
 
     def execute(self, rid: int, own: int, cpred: int, csucc: int, i: int) -> int:
-        if rid == 1:                      # R1: <rts.tra> <- 10
-            return (own & ~3) | 2
-        if rid == 3:                      # R3: <rts.tra> <- 01
-            return (own & ~3) | 1
-        if rid == 5:                      # R5: <rts.tra> <- 00
-            return own & ~3
-        if rid in (2, 4):                 # R2 / R4: x <- C_i, <rts.tra> <- 00
-            xp = cpred >> 2
-            nx = (xp + 1) % self.K if i == 0 else xp
-            return nx << 2
-        raise ValueError(f"unknown SSRmin rule id {rid}")
+        # One shared executor with the shared-memory kernel — R1/R3/R5
+        # rewrite handshake bits, R2/R4 move the counter through C_i.
+        return execute_ssrmin_word(rid, own, cpred, i, self.K)
 
     def holds_token(self, own: int, cpred: int, csucc: int, i: int) -> bool:
         # Primary: G_i.  Secondary: tra_i, or rts_i with a quiet successor.
@@ -149,29 +154,10 @@ class SSRminMPCodec(MPCodec):
         return bool((own & 1) or ((own & 2) and not (csucc & 3)))
 
     def is_legitimate(self, packed_states: Sequence[int]) -> bool:
-        # Mirrors SSRminKernel: Dijkstra-legitimate x-vector (0 or 2 cyclic
-        # boundaries, wraparound being one of them, step of +1 mod K) plus
-        # the Definition 1 handshake shapes at the token position.
-        n, K = self.n, self.K
-        x = [p >> 2 for p in packed_states]
-        h = [p & 3 for p in packed_states]
-        diff_edges = sum(1 for i in range(n) if x[i] != x[i - 1])
-        if diff_edges == 0:
-            pos = 0
-        elif diff_edges == 2:
-            if x[0] == x[n - 1]:
-                return False
-            pos = next(b for b in range(1, n) if x[b] != x[b - 1])
-            if x[0] != (x[pos] + 1) % K:
-                return False
-        else:
-            return False
-        nz = sum(1 for v in h if v)
-        if nz == 1:
-            return h[pos] in (1, 2)
-        if nz == 2:
-            return h[pos] == 2 and h[(pos + 1) % n] == 1
-        return False
+        # The shared full-pass Definition 1 predicate (the incremental
+        # counter-gated variant lives in SSRminKernel; both are pinned
+        # equivalent by the differential suites).
+        return ssrmin_words_legitimate(packed_states, self.K)
 
 
 class DijkstraMPCodec(MPCodec):
@@ -183,7 +169,7 @@ class DijkstraMPCodec(MPCodec):
     """
 
     bidirectional = False
-    rule_names = ("", "D1", "D2")
+    rule_names = DIJKSTRA_RULE_NAMES
 
     def __init__(self, algorithm):
         self.algorithm = algorithm
@@ -206,11 +192,7 @@ class DijkstraMPCodec(MPCodec):
         return 2 if own != cpred else 0
 
     def execute(self, rid: int, own: int, cpred: int, csucc: int, i: int) -> int:
-        if rid == 1:
-            return (cpred + 1) % self.K
-        if rid == 2:
-            return cpred
-        raise ValueError(f"unknown Dijkstra rule id {rid}")
+        return execute_dijkstra_word(rid, cpred, self.K)
 
     def holds_token(self, own: int, cpred: int, csucc: int, i: int) -> bool:
         # Privilege == enabledness for Dijkstra's ring (the base-class

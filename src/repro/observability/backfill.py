@@ -14,7 +14,11 @@ optional ``trace.jsonl``) since PR 1; the run store post-dates all of it.
   use;
 * a directory with only an **empty or missing** artifact set (the stray
   ``runs/nope`` left by an interrupted run) is reported as an orphan and,
-  with ``prune_empty=True``, deleted.
+  with ``prune_empty=True``, deleted;
+* a directory that holds *other* content — nested directories or
+  non-telemetry files, e.g. the sweep checkpoints under ``runs/sweeps/``
+  — is **not a run directory at all**: it is skipped with a warning,
+  never treated as an orphan and never pruned.
 
 Imports are idempotent: ``run_id`` is unique in the store, so re-running
 the importer refreshes rows instead of duplicating them.
@@ -44,6 +48,8 @@ class BackfillReport:
     sweep_cells: int = 0
     orphans: List[str] = field(default_factory=list)
     pruned: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -59,6 +65,8 @@ class BackfillReport:
         ]
         if self.pruned:
             parts.append(f"pruned {len(self.pruned)}")
+        if self.skipped:
+            parts.append(f"skipped {len(self.skipped)} non-run dir(s)")
         if self.errors:
             parts.append(f"{len(self.errors)} error(s)")
         return ", ".join(parts)
@@ -70,6 +78,8 @@ class BackfillReport:
             "sweep_cells": self.sweep_cells,
             "orphans": list(self.orphans),
             "pruned": list(self.pruned),
+            "skipped": list(self.skipped),
+            "warnings": list(self.warnings),
             "errors": list(self.errors),
         }
 
@@ -226,10 +236,13 @@ def import_trace_sweep_cells(
 
 def _dir_is_empty_artifacts(path: str) -> bool:
     """True when the directory holds nothing but empty telemetry files."""
-    for name in os.listdir(path):
-        full = os.path.join(path, name)
-        if os.path.isdir(full) or os.path.getsize(full) > 0:
-            return False
+    try:
+        for name in os.listdir(path):
+            full = os.path.join(path, name)
+            if os.path.isdir(full) or os.path.getsize(full) > 0:
+                return False
+    except OSError:
+        return False
     return True
 
 
@@ -265,12 +278,29 @@ def backfill_runs(
             except (OSError, ValueError) as exc:
                 report.errors.append(f"{trace_path}: {exc}")
         if not imported_something and not os.path.isfile(manifest_path):
-            report.orphans.append(run_dir)
-            if prune_empty and _dir_is_empty_artifacts(run_dir):
-                for entry in os.listdir(run_dir):
-                    os.remove(os.path.join(run_dir, entry))
-                os.rmdir(run_dir)
-                report.pruned.append(run_dir)
+            # No manifest, nothing ingested.  Distinguish the two shapes:
+            # an abandoned run skeleton (only empty telemetry files) is an
+            # orphan; anything else under base_dir — sweep checkpoints,
+            # nested trees, stray user files — is simply not a run
+            # directory, and gets a warning instead of orphan treatment.
+            if _dir_is_empty_artifacts(run_dir):
+                report.orphans.append(run_dir)
+                if prune_empty:
+                    try:
+                        for entry in os.listdir(run_dir):
+                            os.remove(os.path.join(run_dir, entry))
+                        os.rmdir(run_dir)
+                        report.pruned.append(run_dir)
+                    except OSError as exc:
+                        report.warnings.append(
+                            f"{run_dir}: could not prune ({exc})"
+                        )
+            else:
+                report.skipped.append(run_dir)
+                report.warnings.append(
+                    f"{run_dir}: not a run directory (no manifest.json); "
+                    f"skipped"
+                )
     store.flush()
     return report
 

@@ -4,7 +4,7 @@ Telemetry so far has been file-shaped — a ``manifest.json`` + ``trace.jsonl``
 pair per run directory — which answers "what happened in *this* run" but not
 the operator questions ("p99 time-to-restabilize across last night's chaos
 campaigns", "which runs ever dropped the token").  The :class:`RunStore`
-keeps one sqlite database (canonically ``runs/store.sqlite``) with six
+keeps one sqlite database (canonically ``runs/store.sqlite``) with these
 tables:
 
 * ``runs`` — one row per run: live deployments, registry experiments,
@@ -20,7 +20,11 @@ tables:
   :mod:`repro.observability.incidents`);
 * ``campaigns`` — one row per declarative chaos campaign (see
   :mod:`repro.chaoslab.campaign`), its member runs tagged via
-  ``runs.campaign``.
+  ``runs.campaign``;
+* ``sweeps`` / ``sweep_cells`` — the resumable phase-diagram sweep
+  engine's manifest index (:mod:`repro.sweeps.store`): one row per named
+  sweep plus one row per completed cell, keyed ``(sweep_id, cell_index)``
+  so re-recording a cell upserts instead of duplicating.
 
 Rows arrive either **live** — the
 :class:`~repro.observability.ingest.StoreSubscriber` attached to a telemetry
@@ -45,7 +49,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 #: Schema version stamped into ``PRAGMA user_version``; bump on
 #: incompatible changes (the store refuses to open newer schemas).
 #: v2: ``campaigns`` table + ``runs.campaign`` column (chaos campaigns).
-SCHEMA_VERSION = 2
+#: v3: ``sweeps`` + ``sweep_cells`` tables (the resumable sweep engine's
+#: manifest index; purely additive, so the migration is just the schema
+#: script creating the missing tables).
+SCHEMA_VERSION = 3
 
 #: Mutations between commits (a run's worth of events lands in one or two
 #: transactions; ``flush()`` forces the tail out).
@@ -123,7 +130,33 @@ CREATE TABLE IF NOT EXISTS campaigns (
     breaches      INTEGER,
     report        TEXT
 );
+CREATE TABLE IF NOT EXISTS sweeps (
+    id            INTEGER PRIMARY KEY,
+    name          TEXT NOT NULL UNIQUE,
+    spec          TEXT,
+    directory     TEXT,
+    created_utc   TEXT,
+    updated_utc   TEXT,
+    cells         INTEGER,
+    completed     INTEGER,
+    status        TEXT,
+    wall_seconds  REAL,
+    report        TEXT
+);
+CREATE TABLE IF NOT EXISTS sweep_cells (
+    id            INTEGER PRIMARY KEY,
+    sweep_id      INTEGER NOT NULL REFERENCES sweeps(id) ON DELETE CASCADE,
+    cell_index    INTEGER NOT NULL,
+    cell_key      TEXT,
+    params        TEXT,
+    seed          INTEGER,
+    engine        TEXT,
+    wall_seconds  REAL,
+    result        TEXT,
+    UNIQUE (sweep_id, cell_index)
+);
 CREATE INDEX IF NOT EXISTS idx_epochs_run ON epochs(run_id);
+CREATE INDEX IF NOT EXISTS idx_sweep_cells_sweep ON sweep_cells(sweep_id);
 CREATE INDEX IF NOT EXISTS idx_runs_campaign ON runs(campaign);
 CREATE INDEX IF NOT EXISTS idx_epochs_class ON epochs(class);
 CREATE INDEX IF NOT EXISTS idx_disturbances_run ON disturbances(run_id);
@@ -145,6 +178,18 @@ CAMPAIGN_COLUMNS = (
     "aborted", "breaches", "report",
 )
 
+#: Columns of ``sweeps`` settable through :meth:`RunStore.upsert_sweep`.
+SWEEP_COLUMNS = (
+    "spec", "directory", "created_utc", "updated_utc", "cells",
+    "completed", "status", "wall_seconds", "report",
+)
+
+#: Columns of ``sweep_cells`` settable through
+#: :meth:`RunStore.upsert_sweep_cell` (besides the identifying pair).
+SWEEP_CELL_COLUMNS = (
+    "cell_key", "params", "seed", "engine", "wall_seconds", "result",
+)
+
 
 def _jsonify(value: Any) -> Optional[str]:
     """JSON-encode dict/list payload columns (None passes through)."""
@@ -155,7 +200,7 @@ def _jsonify(value: Any) -> Optional[str]:
 
 def _row_to_dict(cursor: sqlite3.Cursor, row: Sequence[Any]) -> Dict[str, Any]:
     out = {desc[0]: value for desc, value in zip(cursor.description, row)}
-    for key in ("extra", "params", "labels", "details"):
+    for key in ("extra", "params", "labels", "details", "result"):
         if isinstance(out.get(key), str):
             try:
                 out[key] = json.loads(out[key])
@@ -214,6 +259,8 @@ class RunStore:
                 self._conn.execute(
                     "ALTER TABLE runs ADD COLUMN campaign TEXT"
                 )
+        # v2 -> v3 added only the sweeps/sweep_cells tables; the schema
+        # script's CREATE TABLE IF NOT EXISTS covers it, nothing to do.
 
     # -- write plumbing ------------------------------------------------------
     def _execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
@@ -611,12 +658,116 @@ class RunStore:
         )
         return [_row_to_dict(cursor, row) for row in cursor.fetchall()]
 
+    # -- sweeps --------------------------------------------------------------
+    def upsert_sweep(self, name: str, **columns: Any) -> int:
+        """Insert or update a sweep row by name; returns its db id.
+
+        Unlike :meth:`insert_campaign`, an existing row keeps its recorded
+        cells — resuming a killed sweep must see them.  Use
+        :meth:`reset_sweep_cells` to start a named sweep over.
+        """
+        unknown = set(columns) - set(SWEEP_COLUMNS)
+        if unknown:
+            raise ValueError(f"unknown sweep columns: {sorted(unknown)}")
+        for key in ("spec", "report"):
+            if key in columns:
+                columns[key] = _jsonify(columns[key])
+        existing = self._conn.execute(
+            "SELECT id FROM sweeps WHERE name = ?", (name,)
+        ).fetchone()
+        if existing is not None:
+            sweep_id = int(existing[0])
+            if columns:
+                keys = sorted(columns)
+                self._execute(
+                    f"UPDATE sweeps SET "
+                    f"{', '.join(f'{k} = ?' for k in keys)} WHERE id = ?",
+                    [columns[k] for k in keys] + [sweep_id],
+                )
+            return sweep_id
+        cols = ["name"] + sorted(columns)
+        values = [name] + [columns[c] for c in sorted(columns)]
+        cursor = self._execute(
+            f"INSERT INTO sweeps ({', '.join(cols)}) "
+            f"VALUES ({', '.join('?' * len(cols))})",
+            values,
+        )
+        return int(cursor.lastrowid)
+
+    def get_sweep(self, name: str) -> Optional[Dict[str, Any]]:
+        """Sweep row by name (None if absent; spec/report decoded)."""
+        cursor = self._conn.execute(
+            "SELECT * FROM sweeps WHERE name = ?", (name,)
+        )
+        row = cursor.fetchone()
+        if row is None:
+            return None
+        out = _row_to_dict(cursor, row)
+        for key in ("spec", "report"):
+            if isinstance(out.get(key), str):
+                try:
+                    out[key] = json.loads(out[key])
+                except ValueError:
+                    pass
+        return out
+
+    def list_sweeps(self) -> List[Dict[str, Any]]:
+        """Sweep rows, newest first (spec/report left encoded)."""
+        cursor = self._conn.execute(
+            "SELECT id, name, directory, created_utc, updated_utc, cells, "
+            "completed, status, wall_seconds FROM sweeps ORDER BY id DESC"
+        )
+        return [_row_to_dict(cursor, row) for row in cursor.fetchall()]
+
+    def reset_sweep_cells(self, sweep_id: int) -> None:
+        """Drop every recorded cell of a sweep (fresh restart of a name)."""
+        self._execute(
+            "DELETE FROM sweep_cells WHERE sweep_id = ?", (sweep_id,)
+        )
+
+    def upsert_sweep_cell(
+        self, sweep_id: int, cell_index: int, **columns: Any
+    ) -> None:
+        """Record one completed cell (idempotent on re-record)."""
+        unknown = set(columns) - set(SWEEP_CELL_COLUMNS)
+        if unknown:
+            raise ValueError(f"unknown sweep cell columns: {sorted(unknown)}")
+        for key in ("params", "result"):
+            if key in columns:
+                columns[key] = _jsonify(columns[key])
+        keys = sorted(columns)
+        cols = ["sweep_id", "cell_index"] + keys
+        updates = ", ".join(f"{k} = excluded.{k}" for k in keys)
+        self._execute(
+            f"INSERT INTO sweep_cells ({', '.join(cols)}) "
+            f"VALUES ({', '.join('?' * len(cols))}) "
+            f"ON CONFLICT (sweep_id, cell_index) DO UPDATE SET {updates}",
+            [sweep_id, cell_index] + [columns[k] for k in keys],
+        )
+
+    def sweep_cells_for(self, sweep_id: int) -> List[Dict[str, Any]]:
+        """Recorded cell rows of one sweep, in grid order."""
+        cursor = self._conn.execute(
+            "SELECT * FROM sweep_cells WHERE sweep_id = ? ORDER BY cell_index",
+            (sweep_id,),
+        )
+        return [_row_to_dict(cursor, row) for row in cursor.fetchall()]
+
+    def sweep_cell_indexes(self, sweep_id: int) -> List[int]:
+        """Just the completed cell indexes (the resume set), ascending."""
+        return [
+            int(row[0]) for row in self._conn.execute(
+                "SELECT cell_index FROM sweep_cells WHERE sweep_id = ? "
+                "ORDER BY cell_index", (sweep_id,)
+            )
+        ]
+
     # -- ad-hoc queries ------------------------------------------------------
     def counts(self) -> Dict[str, int]:
         """Row counts per table (the ``repro runs list`` footer)."""
         out = {}
         for table in ("runs", "epochs", "disturbances", "samples",
-                      "incidents", "campaigns"):
+                      "incidents", "campaigns", "sweeps", "sweep_cells"):
             out[table] = int(self._conn.execute(
                 f"SELECT COUNT(*) FROM {table}"
             ).fetchone()[0])
@@ -643,4 +794,6 @@ __all__ = [
     "RUN_COLUMNS",
     "RunStore",
     "SCHEMA_VERSION",
+    "SWEEP_CELL_COLUMNS",
+    "SWEEP_COLUMNS",
 ]

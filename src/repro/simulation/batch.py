@@ -27,12 +27,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.simulation.fastpath.ssrmin_kernel import RULE_TABLE
+from repro.kernels.batched import (
+    RULE_LUT as _RULE_LUT,
+    batched_commands,
+    batched_guards,
+    batched_legitimate,
+    batched_privileged_counts,
+)
 from repro.telemetry.session import current_session
-
-#: The scalar kernel's 128-entry guard-resolution table as a numpy LUT —
-#: one source of truth for rule priority across both execution models.
-_RULE_LUT = np.frombuffer(RULE_TABLE, dtype=np.uint8)
 
 
 @dataclass
@@ -124,21 +126,13 @@ class BatchSSRmin:
         """``(G, rule)`` arrays; rule in {0 (none), 1..5} after priority.
 
         One gather through the shared
-        :data:`~repro.simulation.fastpath.ssrmin_kernel.RULE_TABLE`
-        (indexed ``(G << 6) | (h_pred << 4) | (h_own << 2) | h_succ``)
-        replaces the five separate guard masks + ``np.select`` cascade.
+        :data:`~repro.kernels.rule_table.RULE_TABLE` (indexed
+        ``(G << 6) | (h_pred << 4) | (h_own << 2) | h_succ``) replaces
+        the five separate guard masks + ``np.select`` cascade — evaluated
+        by :func:`repro.kernels.batched.batched_guards`, the same
+        expressions the sweep engine's batched-cell mode runs.
         """
-        X, H, n = self.X, self.H, self.n
-        Xp = np.roll(X, 1, axis=1)
-        G = X != Xp
-        G[:, 0] = X[:, 0] == X[:, n - 1]
-
-        Hp = np.roll(H, 1, axis=1)
-        Hs = np.roll(H, -1, axis=1)
-
-        idx = (G.astype(np.int64) << 6) | (Hp << 4) | (H << 2) | Hs
-        rule = _RULE_LUT[idx].astype(np.int64)
-        return G, rule
+        return batched_guards(self.X, self.H)
 
     def enabled_counts(self) -> np.ndarray:
         """Number of enabled processes per trial."""
@@ -153,15 +147,7 @@ class BatchSSRmin:
         token (``tra_i = 1`` or ``rts_i = 1`` with a quiet successor).
         Theorem 1 puts this in ``[1, 2]`` for legitimate configurations.
         """
-        X, H, n = self.X, self.H, self.n
-        Xp = np.roll(X, 1, axis=1)
-        G = X != Xp
-        G[:, 0] = X[:, 0] == X[:, n - 1]
-        Hs = np.roll(H, -1, axis=1)
-        rts = H >= 2
-        tra = (H % 2) == 1
-        secondary = tra | (rts & (Hs == 0))
-        return (G | secondary).sum(axis=1)
+        return batched_privileged_counts(self.X, self.H)
 
     # -- vectorized legitimacy ---------------------------------------------
     def legitimate_mask(self) -> np.ndarray:
@@ -169,37 +155,10 @@ class BatchSSRmin:
 
         Mirrors Definition 1: the x-vector is a Dijkstra staircase with
         token position ``pos`` and the handshake vector is one of the three
-        shapes anchored at ``pos``.
+        shapes anchored at ``pos`` — evaluated by
+        :func:`repro.kernels.batched.batched_legitimate`.
         """
-        X, H, n, K = self.X, self.H, self.n, self.K
-        trials = self.trials
-
-        interior_diff = X[:, 1:] != X[:, :-1]  # (trials, n-1)
-        nb = interior_diff.sum(axis=1)
-
-        # All-equal: token at position 0.
-        d0 = nb == 0
-
-        # Single interior boundary at b: X[b-1] == X[b] + 1 (mod K) and the
-        # wraparound also steps: X[0] == X[n-1] + 1 (mod K).
-        d1 = nb == 1
-        boundary = np.where(interior_diff, 1, 0).argmax(axis=1) + 1  # first diff
-        rows = np.arange(trials)
-        step_ok = X[rows, boundary - 1] == (X[rows, boundary] + 1) % K
-        wrap_ok = X[:, 0] == (X[:, n - 1] + 1) % K
-        d1 = d1 & step_ok & wrap_ok
-
-        pos = np.where(d1, boundary, 0)
-        dijkstra_ok = d0 | d1
-
-        # Handshake shapes relative to pos.
-        h_pos = H[rows, pos]
-        h_succ = H[rows, (pos + 1) % n]
-        nonzero = (H != 0).sum(axis=1)
-        shape_a = (nonzero == 1) & (h_pos == 1)          # <0.1> at pos
-        shape_b = (nonzero == 1) & (h_pos == 2)          # <1.0> at pos
-        shape_c = (nonzero == 2) & (h_pos == 2) & (h_succ == 1)
-        return dijkstra_ok & (shape_a | shape_b | shape_c)
+        return batched_legitimate(self.X, self.H, self.K)
 
     # -- stepping -------------------------------------------------------------
     def step(self, active: Optional[np.ndarray] = None) -> None:
@@ -233,9 +192,7 @@ class BatchSSRmin:
 
         # Commands.  C_i: bottom gets X[n-1]+1, others copy the predecessor —
         # computed from the OLD X (composite atomicity).
-        Xp = np.roll(X, 1, axis=1)
-        C = Xp.copy()
-        C[:, 0] = (X[:, n - 1] + 1) % K
+        C = batched_commands(X, K)
 
         new_H = H.copy()
         new_X = X.copy()

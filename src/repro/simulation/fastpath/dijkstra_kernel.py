@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Any, Sequence, Tuple
 
+from repro.kernels.rule_table import DIJKSTRA_RULE_NAMES
+from repro.kernels.successor import next_x
 from repro.simulation.fastpath.kernel import FastKernel
 
-#: Rule names by id; id 0 (disabled) has no name.
-DIJKSTRA_RULE_NAMES: Tuple[str, ...] = ("", "D1", "D2")
+__all__ = ["DIJKSTRA_RULE_NAMES", "DijkstraKernel"]
 
 
 class DijkstraKernel(FastKernel):
@@ -104,8 +105,8 @@ class DijkstraKernel(FastKernel):
     def update(self, i: int) -> int:
         if self._rule[i] == 0:
             raise ValueError(f"process {i} is not enabled")
-        x = self._x
-        return (x[self.n - 1] + 1) % self.K if i == 0 else x[i - 1]
+        # Shared C_i arithmetic (cyclic predecessor: x[-1] for the bottom).
+        return next_x(self._x[i - 1], i, self.K)
 
     def apply(self, selection: Sequence[int]) -> None:
         n, K = self.n, self.K
@@ -117,9 +118,7 @@ class DijkstraKernel(FastKernel):
         for i in selected:
             if rule[i] == 0:
                 raise ValueError(f"process {i} is not enabled")
-            writes.append(
-                (i, (x[n - 1] + 1) % K if i == 0 else x[i - 1])
-            )
+            writes.append((i, next_x(x[i - 1], i, K)))
         edges = set()
         for i, _ in writes:
             edges.add(i)

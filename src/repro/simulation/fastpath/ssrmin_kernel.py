@@ -2,12 +2,15 @@
 
 Local states pack into two parallel lists: the Dijkstra counter ``x_i`` and
 the 2-bit handshake code ``h_i = 2*rts_i + tra_i``.  The five prioritized
-SSRmin guards (Algorithm 3) collapse into one 128-entry lookup table
-indexed by ``(G_i, h_{i-1}, h_i, h_{i+1})`` — the single source of truth
-for rule resolution, shared with the vectorized batch engine
-(:mod:`repro.simulation.batch` takes the same table per-element with
-numpy).  Each table lookup computes ``G_i`` exactly once, versus up to
-three recomputations per process on the naive path.
+SSRmin guards (Algorithm 3) collapse into the 128-entry
+:data:`repro.kernels.rule_table.RULE_TABLE` indexed by
+``(G_i, h_{i-1}, h_i, h_{i+1})`` — owned by the shared kernel layer
+(:mod:`repro.kernels`) and consumed identically by this kernel, the
+message-passing codec and the batched numpy backend.  Each table lookup
+computes ``G_i`` exactly once, versus up to three recomputations per
+process on the naive path; rule *execution* and the ``C_i`` successor
+arithmetic delegate to :mod:`repro.kernels.successor`, the one copy both
+fastpaths share.
 
 Two cheap counters make the legitimacy test near-O(1) on the hot path:
 
@@ -26,52 +29,21 @@ from __future__ import annotations
 from typing import Any, Dict, Sequence, Tuple
 
 from repro.core.state import Configuration, StateTuple
+from repro.kernels.packing import ssrmin_word_bound
+from repro.kernels.rule_table import (
+    SSRMIN_RULE_NAMES,
+    build_rule_table as _build_rule_table,
+)
+from repro.kernels.rule_table import RULE_TABLE
+from repro.kernels.successor import execute_ssrmin_word, next_x
 from repro.simulation.fastpath.kernel import FastKernel
 
-
-def _build_rule_table() -> bytes:
-    """Resolve SSRmin's prioritized guards for all 128 local neighborhoods.
-
-    Index layout: ``(g << 6) | (h_pred << 4) | (h_own << 2) | h_succ`` with
-    ``g`` the Dijkstra guard bit and each ``h`` the 2-bit handshake code.
-    Value: the winning rule id 1..5, or 0 when no guard holds.  Priority
-    ("smaller rule number wins") is already folded in, mirroring
-    :meth:`repro.core.rules.RuleSet.enabled_rule`:
-
-    * ``G_i`` true: ``h != 10`` -> R1; ``h == 10``: successor ``01`` -> R2,
-      neighborhood ``<00, 10, 00>`` -> stable, anything else -> R4;
-    * ``G_i`` false: predecessor ``10`` -> R3 unless own is ``01`` (the
-      mid-handshake state, stable); otherwise R5 unless own is ``00``.
-    """
-    table = bytearray(128)
-    for g in (0, 1):
-        for hp in range(4):
-            for h in range(4):
-                for hs in range(4):
-                    if g:
-                        if h != 2:
-                            rule = 1
-                        elif hs == 1:
-                            rule = 2
-                        elif hp == 0 and hs == 0:
-                            rule = 0
-                        else:
-                            rule = 4
-                    else:
-                        if hp == 2:
-                            rule = 3 if h != 1 else 0
-                        else:
-                            rule = 5 if h != 0 else 0
-                    table[(g << 6) | (hp << 4) | (h << 2) | hs] = rule
-    return bytes(table)
-
-
-#: The shared guard-resolution table (scalar kernel indexes it directly,
-#: the batch engine broadcasts it with ``numpy.take``).
-RULE_TABLE: bytes = _build_rule_table()
-
-#: Rule names by id; id 0 (disabled) has no name.
-SSRMIN_RULE_NAMES: Tuple[str, ...] = ("", "R1", "R2", "R3", "R4", "R5")
+# Re-exported module globals: the kernel methods below resolve RULE_TABLE
+# through *this* module's namespace at call time, so tests that
+# monkeypatch ``ssrmin_kernel.RULE_TABLE`` (mutation smoke, differential
+# fuzzer witnesses) keep injecting divergences exactly as before the
+# table moved to :mod:`repro.kernels.rule_table`.
+__all__ = ["RULE_TABLE", "SSRMIN_RULE_NAMES", "SSRminKernel"]
 
 
 class SSRminKernel(FastKernel):
@@ -91,7 +63,7 @@ class SSRminKernel(FastKernel):
         self._enabled_cache: Tuple[int, ...] | None = None
         self._diff_edges = 0
         self._nonzero_h = 0
-        self.key_base = self.K << 2
+        self.key_base = ssrmin_word_bound(self.K)
         self.key_weights = [
             self.key_base ** (n - 1 - i) for i in range(n)
         ]
@@ -171,16 +143,13 @@ class SSRminKernel(FastKernel):
         r = self._rule[i]
         if r == 0:
             raise ValueError(f"process {i} is not enabled")
-        x = self._x
-        if r == 1:                      # R1: <rts.tra> <- 10
-            return (x[i], 1, 0)
-        if r == 3:                      # R3: <rts.tra> <- 01
-            return (x[i], 0, 1)
-        if r == 5:                      # R5: <rts.tra> <- 00
-            return (x[i], 0, 0)
-        # R2 / R4: x <- C_i, <rts.tra> <- 00
-        nx = (x[self.n - 1] + 1) % self.K if i == 0 else x[i - 1]
-        return (nx, 0, 0)
+        # Delegate to the shared packed-word executor (the cyclic
+        # predecessor word: ``x[i-1]`` is ``x[n-1]`` for the bottom).
+        x, h = self._x, self._h
+        word = execute_ssrmin_word(
+            r, (x[i] << 2) | h[i], (x[i - 1] << 2) | h[i - 1], i, self.K
+        )
+        return (word >> 2, (word >> 1) & 1, word & 1)
 
     def apply(self, selection: Sequence[int]) -> None:
         n, K = self.n, self.K
@@ -200,9 +169,8 @@ class SSRminKernel(FastKernel):
                 writes.append((i, -1, 1))
             elif r == 5:
                 writes.append((i, -1, 0))
-            else:  # R2 / R4
-                nx = (x[n - 1] + 1) % K if i == 0 else x[i - 1]
-                writes.append((i, nx, 0))
+            else:  # R2 / R4: x <- C_i (shared successor arithmetic)
+                writes.append((i, next_x(x[i - 1], i, K), 0))
 
         # Incremental counter maintenance: compare the touched x-edges and
         # handshake entries before/after the simultaneous writes.

@@ -1,0 +1,35 @@
+"""First-class phase-diagram sweeps over the unified kernel layer.
+
+The package generalizes the one-off seeds × n × loss grid of
+:mod:`repro.messagepassing.fastpath.sweep` into a sweep *engine*:
+
+* :mod:`repro.sweeps.spec` — typed grid specifications
+  (n × loss × delay × duplication × daemon-family) with deterministic
+  cell identity;
+* :mod:`repro.sweeps.engine` — batched-cell execution (homogeneous cell
+  groups vectorized through :mod:`repro.kernels.batched`) and per-cell
+  fallback, with per-cell-seed determinism making the two bit-identical;
+* :mod:`repro.sweeps.store` — resumable checkpoints: JSONL write-ahead
+  cells plus the RunStore's v3 ``sweeps``/``sweep_cells`` manifest index;
+* :mod:`repro.sweeps.report` — store-derived aggregation and the
+  Theorem-2 scaling re-fit.
+
+CLI surface: ``repro sweep run|resume|status|report``.
+"""
+
+from repro.sweeps.engine import resume_sweep, run_sweep
+from repro.sweeps.report import build_sweep_report, render_report, render_status
+from repro.sweeps.spec import CellSpec, SweepSpec
+from repro.sweeps.store import SweepStore, sweep_dir
+
+__all__ = [
+    "CellSpec",
+    "SweepSpec",
+    "SweepStore",
+    "build_sweep_report",
+    "render_report",
+    "render_status",
+    "resume_sweep",
+    "run_sweep",
+    "sweep_dir",
+]

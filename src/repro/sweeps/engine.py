@@ -1,0 +1,315 @@
+"""The sweep scheduler: batched-cell and per-cell execution with resume.
+
+:func:`run_sweep` drives one :class:`~repro.sweeps.spec.SweepSpec` to
+completion:
+
+1. open the :class:`~repro.sweeps.store.SweepStore` (create / resume /
+   fresh), reconcile already-checkpointed cells, and enumerate the
+   *missing* ones;
+2. execute the missing cells —
+
+   * **batched-cell mode**: convergence cells partition into homogeneous
+     groups (same ``n`` and daemon; only seeds differ) and each group
+     advances in lockstep through the vectorized kernel backend
+     (:func:`repro.kernels.batched.run_convergence_cells`), amortizing
+     per-cell task setup into one numpy pipeline.  Counter-based per-cell
+     randomness makes the results identical to running each cell alone —
+     the benchmark asserts this cell-by-cell;
+   * **per-cell mode**: one task per cell through
+     :func:`repro.experiments.parallel.run_tasks_parallel` (the
+     pre-kernel-layer execution shape; DES cells always run this way);
+
+3. checkpoint every completed cell durably (JSONL + sqlite index) the
+   moment it finishes, and stream one ``("sweep", "sweep_progress")``
+   telemetry event per cell into the ambient session.
+
+A killed run (SIGTERM mid-grid) therefore loses nothing but in-flight
+cells; ``resume`` re-runs exactly the missing set and, because cells are
+pure functions of their parameters, lands bit-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.observability.store import RunStore
+from repro.sweeps.spec import CellSpec, SweepSpec
+from repro.sweeps.store import SweepStore
+
+#: Execution modes: ``auto`` batches whatever is batchable.
+MODES = ("auto", "batched", "per-cell")
+
+#: Cells per lockstep group — bounds peak array memory at
+#: ``2 * chunk * max(n)`` int64 while keeping per-chunk numpy dispatch
+#: overhead amortized.
+GROUP_CHUNK = 256
+
+#: Algorithm factories by name (names, not classes, cross process
+#: boundaries in per-cell mode).
+def _make_algorithm(algorithm: str, n: int):
+    if algorithm == "ssrmin":
+        from repro.core.ssrmin import SSRmin
+
+        return SSRmin(n, n + 1)
+    if algorithm == "dijkstra":
+        from repro.algorithms.dijkstra import DijkstraKState
+
+        return DijkstraKState(n, n + 1)
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+def _convergence_cell_worker(payload: tuple) -> Dict[str, Any]:
+    """One convergence cell as an isolated task (module-level, picklable).
+
+    Calls the same counter-based kernel backend as batched mode with a
+    single-seed group — the construction that guarantees batched results
+    match per-cell results bitwise.
+    """
+    n, daemon, seed, max_steps = payload
+    from repro.kernels.batched import run_convergence_cells
+
+    return run_convergence_cells(
+        n, [seed], daemon, budget=max_steps or None,
+    )[0]
+
+
+def _des_cell_worker(payload: tuple) -> Dict[str, Any]:
+    """One DES chaos-to-stabilized cell (module-level, picklable)."""
+    (algorithm, n, loss, delay_scale, duplication, seed,
+     slice_duration, max_time, gap_duration) = payload
+    from repro.messagepassing.coherence import CoherenceTracker
+    from repro.messagepassing.cst import transformed_from_chaos
+    from repro.messagepassing.links import UniformDelay
+    from repro.messagepassing.modelgap import evaluate_gap
+
+    alg = _make_algorithm(algorithm, n)
+    net = transformed_from_chaos(
+        alg,
+        seed=seed,
+        loss_probability=loss,
+        duplicate_probability=duplication,
+        delay_model=UniformDelay(0.5 * delay_scale, 1.5 * delay_scale),
+    )
+    tracker = CoherenceTracker(net)
+    stabilized = tracker.run_until_stabilized(
+        slice_duration=slice_duration, max_time=max_time,
+    )
+    report = evaluate_gap(net, duration=gap_duration, warmup=net.queue.now)
+    return {
+        "stabilized_at": stabilized,
+        "min_tokens": report.min_count,
+        "max_tokens": report.max_count,
+        "zero_time": report.zero_time,
+        "events": net.queue.executed,
+    }
+
+
+def _publish_progress(
+    name: str, done: int, total: int, cell: Optional[CellSpec], engine: str
+) -> None:
+    from repro.telemetry.session import current_session
+
+    session = current_session()
+    if session is None:
+        return
+    fields: Dict[str, Any] = {
+        "name": name, "total": total, "engine": engine,
+    }
+    if cell is not None:
+        fields["cell_index"] = cell.index
+        fields["cell_key"] = cell.key
+    session.bus.publish("sweep", "sweep_progress", float(done), **fields)
+
+
+def _batch_groups(
+    cells: Sequence[CellSpec],
+) -> List[Tuple[Tuple[int, str], List[CellSpec]]]:
+    """Partition convergence cells into homogeneous (n, daemon) groups."""
+    groups: Dict[Tuple[int, str], List[CellSpec]] = {}
+    for cell in cells:
+        key = (int(cell.params["n"]), str(cell.params["daemon"]))
+        groups.setdefault(key, []).append(cell)
+    return sorted(groups.items())
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    base_dir: str = "runs",
+    run_store: Union[RunStore, str, None] = None,
+    resume: bool = False,
+    fresh: bool = False,
+    mode: str = "auto",
+    workers: int = 1,
+    throttle: float = 0.0,
+) -> Dict[str, Any]:
+    """Run (or resume) one sweep to completion; returns a summary dict.
+
+    Parameters
+    ----------
+    spec:
+        The grid to run.
+    base_dir:
+        Checkpoint root (cells land under ``<base_dir>/sweeps/<name>/``).
+    run_store:
+        An open :class:`RunStore`, a path to one, or None for
+        ``<base_dir>/store.sqlite``.
+    resume, fresh:
+        What to do when the named sweep already has checkpointed cells:
+        keep them and run only the missing set, or discard and restart.
+    mode:
+        ``"auto"`` (batch whatever is batchable), ``"batched"`` (require
+        the batched backend; error for DES grids) or ``"per-cell"`` (one
+        task per cell — the pre-refactor execution shape, and the
+        benchmark baseline).
+    workers:
+        Process fan-out for per-cell tasks (1 = in-process).
+    throttle:
+        Parent-side sleep after each recorded cell — a pacing knob for
+        kill/resume tests and CI smoke jobs; 0 disables.
+    """
+    import os
+
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+    batchable = spec.kind == "convergence" and spec.algorithm == "ssrmin"
+    if mode == "batched" and not batchable:
+        raise ValueError(
+            f"kind {spec.kind!r}/{spec.algorithm} has no batched backend; "
+            f"use mode='auto' or 'per-cell'"
+        )
+    use_batched = batchable and mode != "per-cell"
+
+    owns_store = not isinstance(run_store, RunStore)
+    if owns_store:
+        path = run_store if isinstance(run_store, str) else os.path.join(
+            base_dir, "store.sqlite"
+        )
+        run_store = RunStore(path)
+    t0 = time.perf_counter()
+    try:
+        store = SweepStore.create(
+            spec, base_dir, run_store, resume=resume, fresh=fresh,
+        )
+        with store:
+            done_before = store.completed()
+            cells = spec.cells()
+            total = len(cells)
+            missing = [c for c in cells if c.index not in done_before]
+            done = len(done_before)
+            _publish_progress(spec.name, done, total, None, mode)
+
+            def _record(cell: CellSpec, result: Dict[str, Any],
+                        engine: str, wall: float) -> None:
+                nonlocal done
+                store.record(cell, result, engine, wall)
+                done += 1
+                _publish_progress(spec.name, done, total, cell, engine)
+                if throttle > 0.0:
+                    time.sleep(throttle)
+
+            if use_batched:
+                for (n, daemon), group in _batch_groups(missing):
+                    from repro.kernels.batched import run_convergence_cells
+
+                    for lo in range(0, len(group), GROUP_CHUNK):
+                        chunk = group[lo:lo + GROUP_CHUNK]
+                        g0 = time.perf_counter()
+                        results = run_convergence_cells(
+                            n, [c.seed for c in chunk], daemon,
+                            budget=spec.max_steps or None,
+                        )
+                        per_cell_wall = (
+                            (time.perf_counter() - g0) / len(chunk)
+                        )
+                        for cell, result in zip(chunk, results):
+                            _record(cell, result, "batched", per_cell_wall)
+            else:
+                from repro.experiments.parallel import run_tasks_parallel
+
+                if spec.kind == "convergence":
+                    worker = _convergence_cell_worker
+                    payloads = [
+                        (int(c.params["n"]), str(c.params["daemon"]),
+                         c.seed, spec.max_steps)
+                        for c in missing
+                    ]
+                else:
+                    worker = _des_cell_worker
+                    payloads = [
+                        (spec.algorithm, int(c.params["n"]),
+                         float(c.params["loss"]), float(c.params["delay"]),
+                         float(c.params["duplication"]), c.seed,
+                         spec.slice_duration, spec.max_time,
+                         spec.gap_duration)
+                        for c in missing
+                    ]
+                walls: Dict[int, float] = {}
+
+                def _on_result(index, result, _done, _total):
+                    cell = missing[index]
+                    wall = time.perf_counter() - walls.get(index, t0)
+                    _record(cell, result, "per-cell", wall)
+
+                # Wall clocks are informational; parallel completion order
+                # makes exact per-cell timing from the parent approximate.
+                for i in range(len(missing)):
+                    walls[i] = time.perf_counter()
+                run_tasks_parallel(
+                    worker, payloads, workers=workers, on_result=_on_result,
+                )
+
+            wall = time.perf_counter() - t0
+            store.finish(done, wall)
+            ran = done - len(done_before)
+            return {
+                "name": spec.name,
+                "kind": spec.kind,
+                "cells": total,
+                "completed": done,
+                "skipped": len(done_before),
+                "ran": ran,
+                "wall_seconds": wall,
+                "cells_per_sec": (ran / wall) if wall > 0 and ran else 0.0,
+                "mode": "batched" if use_batched else "per-cell",
+                "status": "completed" if done >= total else "running",
+                "directory": store.directory,
+            }
+    finally:
+        if owns_store:
+            run_store.close()
+
+
+def resume_sweep(
+    name: str,
+    *,
+    base_dir: str = "runs",
+    run_store: Union[RunStore, str, None] = None,
+    mode: str = "auto",
+    workers: int = 1,
+    throttle: float = 0.0,
+) -> Dict[str, Any]:
+    """Resume a named sweep from its recorded spec (only missing cells run)."""
+    import os
+
+    owns_store = not isinstance(run_store, RunStore)
+    if owns_store:
+        path = run_store if isinstance(run_store, str) else os.path.join(
+            base_dir, "store.sqlite"
+        )
+        run_store = RunStore(path)
+    try:
+        store = SweepStore.attach(name, base_dir, run_store)
+        spec = store.spec
+        store.close()
+        return run_sweep(
+            spec, base_dir=base_dir, run_store=run_store, resume=True,
+            mode=mode, workers=workers, throttle=throttle,
+        )
+    finally:
+        if owns_store:
+            run_store.close()
+
+
+__all__ = ["GROUP_CHUNK", "MODES", "resume_sweep", "run_sweep"]

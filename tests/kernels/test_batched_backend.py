@@ -1,0 +1,94 @@
+"""The vectorized convergence backend vs the scalar engines.
+
+``run_convergence_cells`` is the batched-cell workhorse of the sweep
+engine; these tests pin its two load-bearing contracts:
+
+* **group-composition invariance** — a cell's result is identical whether
+  it runs alone or inside any batch (the per-cell-seed determinism the
+  resumable store relies on);
+* **cross-engine agreement** — under the synchronous daemon the
+  trajectory is a deterministic function of the initial configuration, so
+  the batched backend must report exactly the step count the scalar
+  fastpath engine measures from the same start.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ssrmin import SSRmin
+from repro.daemons.distributed import SynchronousDaemon
+from repro.kernels.batched import (
+    DAEMON_FAMILIES,
+    STREAM_INIT_H,
+    STREAM_INIT_X,
+    parse_daemon,
+    run_convergence_cells,
+)
+from repro.kernels.prng import grid_integers
+from repro.simulation.convergence import converge
+
+
+@pytest.mark.parametrize("daemon", ["synchronous", "central",
+                                    "bernoulli:0.5"])
+def test_group_composition_invariance(daemon):
+    seeds = list(range(10))
+    together = run_convergence_cells(6, seeds, daemon)
+    for seed, expected in zip(seeds, together):
+        alone = run_convergence_cells(6, [seed], daemon)[0]
+        assert alone == expected
+    shuffled = run_convergence_cells(6, seeds[::-1], daemon)
+    assert shuffled == together[::-1]
+
+
+def test_all_daemon_families_converge():
+    for daemon in ("synchronous", "central", "bernoulli:0.3",
+                   "bernoulli:0.9"):
+        results = run_convergence_cells(5, range(6), daemon)
+        assert all(r["converged"] for r in results)
+        assert all(r["steps"] >= 0 for r in results)
+
+
+def test_synchronous_agrees_with_scalar_engine():
+    n, K, seeds = 6, 7, list(range(8))
+    X = grid_integers(seeds, STREAM_INIT_X, 0, n, K)
+    H = grid_integers(seeds, STREAM_INIT_H, 0, n, 4)
+    batched = run_convergence_cells(n, seeds, "synchronous", K=K)
+    alg = SSRmin(n, K)
+    for row, result in enumerate(batched):
+        init = tuple(
+            (int(X[row, i]), int(H[row, i]) >> 1, int(H[row, i]) & 1)
+            for i in range(n)
+        )
+        scalar = converge(alg, SynchronousDaemon(), init)
+        assert scalar.converged
+        assert scalar.steps == result["steps"]
+
+
+def test_budget_exhaustion_reports_unconverged():
+    # A 2-step budget cannot converge every random start at n=8.
+    results = run_convergence_cells(8, range(32), "central", budget=2)
+    assert any(not r["converged"] for r in results)
+    for r in results:
+        assert r["budget"] == 2
+        if not r["converged"]:
+            assert r["steps"] == -1
+
+
+def test_daemon_parsing():
+    assert parse_daemon("synchronous")[0] == "synchronous"
+    assert parse_daemon("central")[0] == "central"
+    assert parse_daemon("bernoulli:0.25") == ("bernoulli", 0.25)
+    assert set(DAEMON_FAMILIES) == {"synchronous", "central", "bernoulli"}
+    with pytest.raises(ValueError):
+        parse_daemon("lottery")
+    with pytest.raises(ValueError):
+        parse_daemon("bernoulli:0")
+    with pytest.raises(ValueError):
+        parse_daemon("bernoulli:1.5")
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        run_convergence_cells(2, [0])
+    with pytest.raises(ValueError):
+        run_convergence_cells(5, [0], K=5)

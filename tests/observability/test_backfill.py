@@ -105,3 +105,32 @@ def test_backfill_missing_dir_reports_error(tmp_path):
     with RunStore(":memory:") as store:
         report = backfill_runs(store, str(tmp_path / "absent"))
         assert not report.ok
+
+
+def test_backfill_skips_non_run_dirs_with_warning(tmp_path):
+    """Sweep checkpoints and stray user trees are not orphans."""
+    base = tmp_path / "runs"
+    _write(str(base / "fig02"), "manifest.json", EXPERIMENT_MANIFEST)
+    # The sweep layer's checkpoint tree: a nested non-run directory.
+    os.makedirs(base / "sweeps" / "grid")
+    with open(base / "sweeps" / "grid" / "cells.jsonl", "w") as fh:
+        fh.write('{"index": 0}\n')
+    # A flat dir with non-telemetry content.
+    os.makedirs(base / "notes")
+    with open(base / "notes" / "todo.txt", "w") as fh:
+        fh.write("not a run\n")
+    with RunStore(":memory:") as store:
+        report = backfill_runs(store, str(base), prune_empty=True)
+    assert report.imported == ["fig02"]
+    assert report.orphans == []
+    assert report.pruned == []
+    assert sorted(report.skipped) == [str(base / "notes"),
+                                      str(base / "sweeps")]
+    assert len(report.warnings) == 2
+    assert all("not a run directory" in w for w in report.warnings)
+    # Nothing was deleted: skipping is observational, never destructive.
+    assert os.path.isfile(base / "sweeps" / "grid" / "cells.jsonl")
+    assert os.path.isfile(base / "notes" / "todo.txt")
+    assert report.ok  # warnings are not errors
+    assert "skipped 2 non-run dir(s)" in report.summary()
+    assert report.to_json()["skipped"] == report.skipped

@@ -1,0 +1,104 @@
+"""RunStore schema v3: sweeps / sweep_cells accessors and migration."""
+
+import sqlite3
+
+import pytest
+
+from repro.observability.store import SCHEMA_VERSION, RunStore
+
+
+def test_schema_version_is_three():
+    assert SCHEMA_VERSION == 3
+
+
+def test_upsert_sweep_keeps_cells_and_updates_columns():
+    with RunStore(":memory:") as store:
+        sweep_id = store.upsert_sweep(
+            "grid", spec={"name": "grid"}, cells=10, status="running",
+        )
+        store.upsert_sweep_cell(sweep_id, 0, cell_key="n=5/seed=0",
+                                params={"n": 5, "seed": 0}, seed=0,
+                                engine="batched", wall_seconds=0.01,
+                                result={"steps": 4})
+        # Re-upserting the sweep row must NOT clear its cells (unlike
+        # campaigns, sweeps accumulate across run/resume passes).
+        again = store.upsert_sweep("grid", completed=1, status="completed")
+        assert again == sweep_id
+        store.flush()
+        row = store.get_sweep("grid")
+        assert row["status"] == "completed"
+        assert row["spec"] == {"name": "grid"}  # untouched columns survive
+        cells = store.sweep_cells_for(sweep_id)
+        assert len(cells) == 1
+        assert cells[0]["result"] == {"steps": 4}
+        assert cells[0]["params"] == {"n": 5, "seed": 0}
+
+
+def test_sweep_cell_upsert_is_idempotent_per_index():
+    with RunStore(":memory:") as store:
+        sweep_id = store.upsert_sweep("s", cells=2)
+        store.upsert_sweep_cell(sweep_id, 1, result={"steps": 9}, seed=1)
+        store.upsert_sweep_cell(sweep_id, 1, result={"steps": 9}, seed=1,
+                                engine="batched")
+        store.flush()
+        assert store.sweep_cell_indexes(sweep_id) == [1]
+        cell = store.sweep_cells_for(sweep_id)[0]
+        assert cell["engine"] == "batched"
+
+
+def test_reset_sweep_cells():
+    with RunStore(":memory:") as store:
+        sweep_id = store.upsert_sweep("s", cells=2)
+        store.upsert_sweep_cell(sweep_id, 0, result={})
+        store.upsert_sweep_cell(sweep_id, 1, result={})
+        store.reset_sweep_cells(sweep_id)
+        store.flush()
+        assert store.sweep_cell_indexes(sweep_id) == []
+
+
+def test_list_sweeps_and_counts():
+    with RunStore(":memory:") as store:
+        a = store.upsert_sweep("a", cells=1)
+        store.upsert_sweep("b", cells=2)
+        store.upsert_sweep_cell(a, 0, result={"steps": 1})
+        store.flush()
+        names = [row["name"] for row in store.list_sweeps()]
+        assert set(names) == {"a", "b"}
+        counts = store.counts()
+        assert counts["sweeps"] == 2
+        assert counts["sweep_cells"] == 1
+
+
+def test_migration_from_v2_store(tmp_path):
+    """A pre-sweep (v2) store upgrades in place, additively."""
+    path = str(tmp_path / "store.sqlite")
+    with RunStore(path) as store:
+        store.insert_run("r1", kind="experiment", algorithm="SSRmin")
+    # Downgrade the file to the v2 shape: no sweep tables, version 2.
+    conn = sqlite3.connect(path)
+    conn.executescript(
+        "DROP TABLE sweep_cells; DROP TABLE sweeps; PRAGMA user_version = 2;"
+    )
+    conn.commit()
+    conn.close()
+    with RunStore(path) as store:
+        # Reopen migrated: sweep tables exist, old rows intact.
+        sweep_id = store.upsert_sweep("post-upgrade", cells=1)
+        store.upsert_sweep_cell(sweep_id, 0, result={"steps": 2})
+        store.flush()
+        assert store.get_run("r1")["algorithm"] == "SSRmin"
+        assert store.sweep_cell_indexes(sweep_id) == [0]
+    conn = sqlite3.connect(path)
+    assert conn.execute("PRAGMA user_version").fetchone()[0] == 3
+    conn.close()
+
+
+def test_newer_store_rejected(tmp_path):
+    path = str(tmp_path / "store.sqlite")
+    RunStore(path).close()
+    conn = sqlite3.connect(path)
+    conn.execute("PRAGMA user_version = 99")
+    conn.commit()
+    conn.close()
+    with pytest.raises(RuntimeError, match="newer"):
+        RunStore(path)

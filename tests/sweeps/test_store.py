@@ -1,0 +1,119 @@
+"""SweepStore: durable checkpoints, reconcile, truncated tails, guards."""
+
+import json
+import os
+
+import pytest
+
+from repro.observability.store import RunStore
+from repro.sweeps.spec import SweepSpec
+from repro.sweeps.store import SweepStore, sweep_dir
+
+
+def _spec(name="s", seeds=(0, 1, 2)):
+    return SweepSpec(name=name, n_values=(5,), seeds=seeds)
+
+
+def test_record_and_completed_roundtrip(tmp_path):
+    base = str(tmp_path)
+    with RunStore(":memory:") as rs:
+        with SweepStore.create(_spec(), base, rs) as store:
+            cells = store.spec.cells()
+            store.record(cells[0], {"steps": 7, "converged": True},
+                         "batched", 0.001)
+            store.record(cells[2], {"steps": 9, "converged": True},
+                         "batched", 0.002)
+        with SweepStore.create(_spec(), base, rs, resume=True) as store:
+            done = store.completed()
+            assert sorted(done) == [0, 2]
+            assert done[0]["result"] == {"steps": 7, "converged": True}
+            assert done[2]["key"] == cells[2].key
+        # The sqlite index agrees with the JSONL.
+        row = rs.get_sweep("s")
+        assert rs.sweep_cell_indexes(row["id"]) == [0, 2]
+
+
+def test_truncated_tail_dropped_and_repaired(tmp_path):
+    base = str(tmp_path)
+    path = os.path.join(sweep_dir(base, "s"), "cells.jsonl")
+    with RunStore(":memory:") as rs:
+        with SweepStore.create(_spec(), base, rs) as store:
+            store.record(store.spec.cells()[0],
+                         {"steps": 3, "converged": True}, "batched", 0.0)
+        with open(path, "a") as fh:
+            fh.write('{"index": 1, "key": "half-writ')  # kill mid-write
+        with SweepStore.create(_spec(), base, rs, resume=True) as store:
+            done = store.completed()
+            assert sorted(done) == [0]  # the torn line is dropped
+            # Appending after the torn tail starts on a fresh line.
+            store.record(store.spec.cells()[1],
+                         {"steps": 4, "converged": True}, "batched", 0.0)
+        lines = [json.loads(line) for line in open(path)
+                 if _parses(line)]
+        assert {rec["index"] for rec in lines} == {0, 1}
+
+
+def _parses(line):
+    try:
+        json.loads(line)
+        return True
+    except ValueError:
+        return False
+
+
+def test_completed_repairs_sqlite_from_jsonl(tmp_path):
+    base = str(tmp_path)
+    with RunStore(":memory:") as rs:
+        with SweepStore.create(_spec(), base, rs) as store:
+            store.record(store.spec.cells()[1],
+                         {"steps": 5, "converged": True}, "batched", 0.0)
+            rs.reset_sweep_cells(store.sweep_id)  # simulate lost commits
+            rs.flush()
+            assert rs.sweep_cell_indexes(store.sweep_id) == []
+            assert sorted(store.completed()) == [1]
+            assert rs.sweep_cell_indexes(store.sweep_id) == [1]
+
+
+def test_existing_cells_require_resume_or_fresh(tmp_path):
+    base = str(tmp_path)
+    with RunStore(":memory:") as rs:
+        with SweepStore.create(_spec(), base, rs) as store:
+            store.record(store.spec.cells()[0],
+                         {"steps": 1, "converged": True}, "batched", 0.0)
+        with pytest.raises(ValueError):
+            SweepStore.create(_spec(), base, rs)
+        with SweepStore.create(_spec(), base, rs, fresh=True) as store:
+            assert store.completed() == {}
+
+
+def test_grid_hash_mismatch_rejected(tmp_path):
+    base = str(tmp_path)
+    with RunStore(":memory:") as rs:
+        SweepStore.create(_spec(seeds=(0, 1)), base, rs).close()
+        with pytest.raises(ValueError):
+            SweepStore.create(_spec(seeds=(0, 9)), base, rs, resume=True)
+
+
+def test_attach_falls_back_to_store_row(tmp_path):
+    base = str(tmp_path)
+    with RunStore(":memory:") as rs:
+        SweepStore.create(_spec(), base, rs).close()
+        os.remove(os.path.join(sweep_dir(base, "s"), "spec.json"))
+        store = SweepStore.attach("s", base, rs)
+        assert store.spec == _spec()
+        store.close()
+        with pytest.raises(ValueError):
+            SweepStore.attach("nonexistent", base, rs)
+
+
+def test_finish_accumulates_wall_and_status(tmp_path):
+    base = str(tmp_path)
+    with RunStore(":memory:") as rs:
+        with SweepStore.create(_spec(), base, rs) as store:
+            store.finish(2, 1.5)
+            assert rs.get_sweep("s")["status"] == "running"
+            store.finish(3, 2.5)
+        row = rs.get_sweep("s")
+        assert row["status"] == "completed"
+        assert row["wall_seconds"] == pytest.approx(4.0)
+        assert row["completed"] == 3
